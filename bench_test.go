@@ -1,0 +1,472 @@
+package fpstudy
+
+// The benchmark harness regenerates every table and figure of the
+// paper. Running
+//
+//	go test -bench=. -benchmem
+//
+// prints each figure once (measured data side by side with the paper's
+// published values) and measures the cost of regenerating it. The
+// Benchmark names map to the paper's figure numbers; see DESIGN.md's
+// per-experiment index.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"fpstudy/internal/audit"
+	"fpstudy/internal/core"
+	"fpstudy/internal/eft"
+	"fpstudy/internal/expr"
+	"fpstudy/internal/fpvm"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/interval"
+	"fpstudy/internal/kernels"
+	"fpstudy/internal/monitor"
+	"fpstudy/internal/mpfloat"
+	"fpstudy/internal/optsim"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/respondent"
+	"fpstudy/internal/tuner"
+)
+
+var (
+	studyOnce    sync.Once
+	studyResults *core.Results
+	printedOnce  sync.Map
+)
+
+func results() *core.Results {
+	studyOnce.Do(func() {
+		studyResults = core.DefaultStudy().Run()
+	})
+	return studyResults
+}
+
+// printFigure emits the regenerated figure exactly once per process.
+func printFigure(num int) {
+	if _, loaded := printedOnce.LoadOrStore(num, true); loaded {
+		return
+	}
+	fmt.Fprintf(os.Stdout, "\n%s\n", results().Figure(num).String())
+}
+
+func benchFigure(b *testing.B, num int) {
+	r := results()
+	printFigure(num)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Figure(num)
+	}
+}
+
+// Figures 1-11: participant background tables.
+
+func BenchmarkFig01Positions(b *testing.B)        { benchFigure(b, 1) }
+func BenchmarkFig02Areas(b *testing.B)            { benchFigure(b, 2) }
+func BenchmarkFig03FormalTraining(b *testing.B)   { benchFigure(b, 3) }
+func BenchmarkFig04InformalTraining(b *testing.B) { benchFigure(b, 4) }
+func BenchmarkFig05Roles(b *testing.B)            { benchFigure(b, 5) }
+func BenchmarkFig06FPLanguages(b *testing.B)      { benchFigure(b, 6) }
+func BenchmarkFig07ArbPrec(b *testing.B)          { benchFigure(b, 7) }
+func BenchmarkFig08ContribSize(b *testing.B)      { benchFigure(b, 8) }
+func BenchmarkFig09ContribExtent(b *testing.B)    { benchFigure(b, 9) }
+func BenchmarkFig10InvolvedSize(b *testing.B)     { benchFigure(b, 10) }
+func BenchmarkFig11InvolvedExtent(b *testing.B)   { benchFigure(b, 11) }
+
+// Figures 12-15: quiz performance tables.
+
+func BenchmarkFig12AverageScores(b *testing.B) { benchFigure(b, 12) }
+func BenchmarkFig13CoreHistogram(b *testing.B) { benchFigure(b, 13) }
+func BenchmarkFig14CoreBreakdown(b *testing.B) { benchFigure(b, 14) }
+func BenchmarkFig15OptBreakdown(b *testing.B)  { benchFigure(b, 15) }
+
+// Figures 16-21: factor effects.
+
+func BenchmarkFig16EffectContribSize(b *testing.B) { benchFigure(b, 16) }
+func BenchmarkFig17EffectArea(b *testing.B)        { benchFigure(b, 17) }
+func BenchmarkFig18EffectRole(b *testing.B)        { benchFigure(b, 18) }
+func BenchmarkFig19EffectTraining(b *testing.B)    { benchFigure(b, 19) }
+func BenchmarkFig20OptEffectArea(b *testing.B)     { benchFigure(b, 20) }
+func BenchmarkFig21OptEffectRole(b *testing.B)     { benchFigure(b, 21) }
+
+// Figure 22: suspicion distributions (both cohorts).
+
+func BenchmarkFig22Suspicion(b *testing.B) { benchFigure(b, 22) }
+
+// Headline claims (Section IV text).
+
+func BenchmarkHeadlineClaims(b *testing.B) {
+	r := results()
+	if _, loaded := printedOnce.LoadOrStore("claims", true); !loaded {
+		fmt.Println("\nHeadline claims (Section IV)")
+		fmt.Println("============================")
+		for _, c := range r.HeadlineClaims() {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("  [%s] %-34s %s\n", status, c.Name, c.Detail)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.HeadlineClaims()
+	}
+}
+
+// End-to-end population generation (the paper's data collection step).
+
+func BenchmarkPopulationGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = respondent.GenerateMain(int64(i), 199)
+	}
+}
+
+// Softfloat operation throughput (the substrate the oracles run on).
+
+func benchOp(b *testing.B, fn func(e *ieee754.Env, x, y uint64) uint64) {
+	var e ieee754.Env
+	x, y := ieee754.Binary64.FromFloat64(&e, 1.2345), ieee754.Binary64.FromFloat64(&e, 6.789)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = fn(&e, x, y) & 0x7fffffffffffff // keep finite-ish
+		x |= 0x3ff0000000000000
+	}
+}
+
+func BenchmarkSoftfloatAdd(b *testing.B) {
+	benchOp(b, func(e *ieee754.Env, x, y uint64) uint64 { return ieee754.Binary64.Add(e, x, y) })
+}
+func BenchmarkSoftfloatMul(b *testing.B) {
+	benchOp(b, func(e *ieee754.Env, x, y uint64) uint64 { return ieee754.Binary64.Mul(e, x, y) })
+}
+func BenchmarkSoftfloatDiv(b *testing.B) {
+	benchOp(b, func(e *ieee754.Env, x, y uint64) uint64 { return ieee754.Binary64.Div(e, x, y) })
+}
+func BenchmarkSoftfloatFMA(b *testing.B) {
+	var e ieee754.Env
+	x := ieee754.Binary64.FromFloat64(&e, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ieee754.Binary64.FMA(&e, x, x, x)
+	}
+}
+func BenchmarkSoftfloatSqrt(b *testing.B) {
+	var e ieee754.Env
+	x := ieee754.Binary64.FromFloat64(&e, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ieee754.Binary64.Sqrt(&e, x)
+	}
+}
+
+// Kernel workloads under the exception monitor.
+
+func BenchmarkKernelLorenz(b *testing.B) {
+	k := kernels.Lorenz(1000, 0.005)
+	for i := 0; i < b.N; i++ {
+		_, _ = monitor.Run(ieee754.Binary64, k.Run)
+	}
+}
+
+func BenchmarkKernelNBody(b *testing.B) {
+	k := kernels.NBody(100, 0.01)
+	for i := 0; i < b.N; i++ {
+		_, _ = monitor.Run(ieee754.Binary64, k.Run)
+	}
+}
+
+// Ablation: compensated vs naive summation (design-choice benchmark
+// from DESIGN.md).
+
+func BenchmarkAblationSumNaive(b *testing.B) {
+	k := kernels.SumNaive(5000)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+func BenchmarkAblationSumKahan(b *testing.B) {
+	k := kernels.SumKahan(5000)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+// Ablation: fused vs separate multiply-add (the MADD question).
+
+func BenchmarkAblationDotSeparate(b *testing.B) {
+	k := kernels.DotProduct(2000, false)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+func BenchmarkAblationDotFused(b *testing.B) {
+	k := kernels.DotProduct(2000, true)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+// Ablation: IEEE gradual underflow vs FTZ/DAZ mode.
+
+func BenchmarkAblationDecayIEEE(b *testing.B) {
+	k := kernels.DecayUnderflow()
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+func BenchmarkAblationDecayFTZ(b *testing.B) {
+	k := kernels.DecayUnderflow()
+	e := ieee754.Env{FTZ: true, DAZ: true}
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+// Optimization simulator compliance sweep (the optimization quiz
+// oracle's workload).
+
+func BenchmarkOptsimFastMathCheck(b *testing.B) {
+	p := expr.MustParse("(a + b) + c")
+	corpus := optsim.GenCorpus(ieee754.Binary64, p, 500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = optsim.Check(ieee754.Binary64, p, optsim.FastMath(), corpus)
+	}
+}
+
+func BenchmarkOptsimLevelSweep(b *testing.B) {
+	progs := optsim.WitnessPrograms()
+	for i := 0; i < b.N; i++ {
+		_ = optsim.HighestCompliantLevel(ieee754.Binary64, progs, 200, 42)
+	}
+}
+
+// Arbitrary-precision shadow execution.
+
+func BenchmarkMPFloatShadow(b *testing.B) {
+	ctx := mpfloat.NewContext(200)
+	n := expr.MustParse("(a + b) - a")
+	var e ieee754.Env
+	vars := map[string]uint64{
+		"a": ieee754.Binary64.FromFloat64(&e, 1e10),
+		"b": ieee754.Binary64.FromFloat64(&e, 1e-10),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ctx.Shadow(ieee754.Binary64, n, vars)
+	}
+}
+
+// Quiz oracle evaluation (deriving the full answer key from scratch).
+
+func BenchmarkOracleAnswerKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, q := range quiz.CoreQuestions() {
+			_ = q.Oracle()
+		}
+	}
+}
+
+// Custom-format throughput: an FP8 minifloat (the parametric path).
+
+func BenchmarkSoftfloatFP8Mul(b *testing.B) {
+	fp8 := ieee754.Format{ExpBits: 4, FracBits: 3, Name: "fp8"}
+	var e ieee754.Env
+	x := fp8.FromFloat64(&e, 1.5)
+	y := fp8.FromFloat64(&e, 2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fp8.Mul(&e, x, y)
+	}
+}
+
+// Arbitrary-precision decimal rendering (the paranoid display path).
+
+func BenchmarkMPFloatDecimal50(b *testing.B) {
+	ctx := mpfloat.NewContext(200)
+	third := ctx.Div(mpfloat.FromInt64(1), mpfloat.FromInt64(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = third.DecimalString(50)
+	}
+}
+
+// Vectorized-summation divergence measurement (fast-math reduction
+// ablation).
+
+func BenchmarkVectorizedSumDivergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = optsim.SumChainDivergence(ieee754.Binary64, 16, 4, 200, 3)
+	}
+}
+
+// Ablation: LU with and without pivoting.
+
+func BenchmarkAblationLUPivot(b *testing.B) {
+	k := kernels.LUSolve(20, true)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+func BenchmarkAblationLUNoPivot(b *testing.B) {
+	k := kernels.LUSolve(20, false)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+// Ablation: Euler vs RK4 Lorenz integration.
+
+func BenchmarkAblationLorenzEuler(b *testing.B) {
+	k := kernels.Lorenz(1000, 0.002)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+func BenchmarkAblationLorenzRK4(b *testing.B) {
+	k := kernels.LorenzRK4(100, 0.02)
+	var e ieee754.Env
+	for i := 0; i < b.N; i++ {
+		_ = k.Run(&e, ieee754.Binary64)
+	}
+}
+
+// Supplementary analyses printed once: confidence calibration and the
+// chi-square calibration report.
+
+func BenchmarkConfidenceAnalysis(b *testing.B) {
+	r := results()
+	if _, loaded := printedOnce.LoadOrStore("confidence", true); !loaded {
+		fmt.Printf("\n%s\n", r.ConfidenceReport().String())
+		fmt.Printf("overconfidence index: %+.3f; optimization humility: %.2f\n",
+			r.OverconfidenceIndex(), r.OptHumilityIndex())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.ConfidenceReport()
+	}
+}
+
+func BenchmarkCalibrationReport(b *testing.B) {
+	r := results()
+	if _, loaded := printedOnce.LoadOrStore("calibration", true); !loaded {
+		fmt.Printf("\n%s\n", r.CalibrationReport().String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.CalibrationReport()
+	}
+}
+
+// Error-free transformation throughput.
+
+func BenchmarkEFTSum2(b *testing.B) {
+	var e ieee754.Env
+	xs := make([]uint64, 1000)
+	for i := range xs {
+		xs[i] = ieee754.Binary64.FromFloat64(&e, float64(i)*0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eft.Sum2(&e, ieee754.Binary64, xs)
+	}
+}
+
+func BenchmarkEFTSumNaive(b *testing.B) {
+	var e ieee754.Env
+	xs := make([]uint64, 1000)
+	for i := range xs {
+		xs[i] = ieee754.Binary64.FromFloat64(&e, float64(i)*0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eft.SumNaive(&e, ieee754.Binary64, xs)
+	}
+}
+
+// Interval evaluation throughput.
+
+func BenchmarkIntervalHypot(b *testing.B) {
+	a := interval.New(ieee754.Binary64)
+	n := expr.MustParse("sqrt(x*x + y*y)")
+	vars := map[string]interval.Interval{
+		"x": a.FromFloat64(3.01),
+		"y": a.FromFloat64(4.02),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.EvalExpr(n, vars)
+	}
+}
+
+// VM execution under the monitor (the runtime-tool workload).
+
+func BenchmarkVMHarmonic(b *testing.B) {
+	vm := fpvm.New(ieee754.Binary64)
+	var e ieee754.Env
+	vars := map[string]uint64{"n": ieee754.Binary64.FromFloat64(&e, 1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Run(fpvm.HarmonicSum, vars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Precision tuning search cost.
+
+func BenchmarkTunerHypot(b *testing.B) {
+	n := expr.MustParse("sqrt(x*x + y*y)")
+	corpus := tuner.Corpus(n, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tuner.Tune(n, corpus, 1e-6)
+	}
+}
+
+// Combined audit (the paper's low-barrier tool).
+
+func BenchmarkAuditCancellation(b *testing.B) {
+	n := expr.MustParse("(a + b) - a")
+	var e ieee754.Env
+	vars := map[string]uint64{
+		"a": ieee754.Binary64.FromFloat64(&e, 1e16),
+		"b": ieee754.Binary64.FromFloat64(&e, 1),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = audit.Run(n, vars)
+	}
+}
+
+// Suspicion-ranking empirical validation (printed once).
+
+func BenchmarkSuspicionValidation(b *testing.B) {
+	if _, loaded := printedOnce.LoadOrStore("suspicion-evidence", true); !loaded {
+		fmt.Printf("\nSuspicion ranking, empirically validated on the kernel corpus\n")
+		fmt.Printf("==============================================================\n%s\n",
+			monitor.FormatEvidence(monitor.ValidateSuspicionRanking(0.01)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = monitor.ValidateSuspicionRanking(0.01)
+	}
+}

@@ -1,0 +1,48 @@
+// Command fpgen generates synthetic survey datasets: the calibrated
+// main cohort (background + all quizzes) or the student suspicion-quiz
+// cohort.
+//
+// Usage:
+//
+//	fpgen -n 199 -seed 42 -o main.json
+//	fpgen -students -n 52 -seed 43 -o students.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpstudy/internal/respondent"
+	"fpstudy/internal/survey"
+)
+
+func main() {
+	n := flag.Int("n", 199, "number of respondents")
+	seed := flag.Int64("seed", 42, "generation seed")
+	students := flag.Bool("students", false, "generate the student (suspicion-only) cohort")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var ds *survey.Dataset
+	if *students {
+		ds = respondent.GenerateStudents(*seed, *n)
+	} else {
+		ds = respondent.GenerateMain(*seed, *n).Dataset
+	}
+	data, err := survey.EncodeDataset(ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fpgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fpgen: wrote %d responses to %s\n", len(ds.Responses), *out)
+}

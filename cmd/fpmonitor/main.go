@@ -1,0 +1,72 @@
+// Command fpmonitor runs numerical kernels on the softfloat substrate
+// under the floating point exception monitor — the runtime tool the
+// paper's conclusions propose — and prints an audit of which
+// exceptional conditions occurred, how often, and how suspicious a
+// well-calibrated developer should be of the output.
+//
+// Usage:
+//
+//	fpmonitor -list                 # list available kernels
+//	fpmonitor -kernel lorenz        # audit one kernel
+//	fpmonitor                       # audit the whole suite
+//	fpmonitor -format binary32      # run in another format
+//	fpmonitor -ftz                  # non-standard flush-to-zero mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+	"fpstudy/internal/monitor"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list kernels and exit")
+	name := flag.String("kernel", "", "run only the named kernel")
+	formatName := flag.String("format", "binary64", "binary16, binary32, or binary64")
+	ftz := flag.Bool("ftz", false, "enable flush-to-zero/denormals-are-zero (non-standard)")
+	flag.Parse()
+
+	suite := kernels.All()
+	if *list {
+		for _, k := range suite {
+			fmt.Printf("%-18s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	var f ieee754.Format
+	switch *formatName {
+	case "binary16":
+		f = ieee754.Binary16
+	case "binary32":
+		f = ieee754.Binary32
+	case "binary64":
+		f = ieee754.Binary64
+	default:
+		fmt.Fprintln(os.Stderr, "fpmonitor: unknown format", *formatName)
+		os.Exit(2)
+	}
+
+	ran := 0
+	for _, k := range suite {
+		if *name != "" && k.Name != *name {
+			continue
+		}
+		ran++
+		m := monitor.NewWithEnv(ieee754.Env{FTZ: *ftz, DAZ: *ftz})
+		res := k.Run(m.Env(), f)
+		rep := m.Report()
+		fmt.Printf("=== %s (%s) ===\n", k.Name, k.Description)
+		fmt.Printf("result: %s\n", f.String(res))
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "fpmonitor: no kernel named %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+}

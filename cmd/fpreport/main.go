@@ -1,0 +1,102 @@
+// Command fpreport regenerates the paper's figures and headline claims
+// from a reproduction study run.
+//
+// Usage:
+//
+//	fpreport -all                # print every figure (1-22) and the claims
+//	fpreport -fig 14             # one figure
+//	fpreport -claims             # headline claims only
+//	fpreport -csv -fig 22        # figure as CSV
+//	fpreport -n 1000 -seed 7     # larger cohort / different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpstudy/internal/core"
+	"fpstudy/internal/paperdata"
+)
+
+func main() {
+	all := flag.Bool("all", false, "print all figures and claims")
+	fig := flag.Int("fig", 0, "print one figure by number (1-22)")
+	claims := flag.Bool("claims", false, "print headline claims")
+	calibration := flag.Bool("calibration", false, "print the chi-square calibration report")
+	association := flag.Bool("association", false, "print factor-association effect sizes")
+	items := flag.Bool("items", false, "print the item analysis of the core quiz")
+	intervention := flag.Bool("intervention", false, "print the training-intervention policy experiment")
+	confidence := flag.Bool("confidence", false, "print the confidence-vs-accuracy analysis")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	markdown := flag.Bool("markdown", false, "emit Markdown instead of an aligned table")
+	n := flag.Int("n", paperdata.NMain, "main cohort size")
+	nStudents := flag.Int("nstudents", paperdata.NStudent, "student cohort size")
+	seed := flag.Int64("seed", 42, "study seed")
+	flag.Parse()
+
+	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents}
+	results := study.Run()
+
+	emit := func(num int) {
+		t := results.Figure(num)
+		switch {
+		case *csv:
+			fmt.Print(t.CSV())
+		case *markdown:
+			fmt.Println(t.Markdown())
+		default:
+			fmt.Println(t.String())
+		}
+	}
+
+	switch {
+	case *calibration:
+		fmt.Println(results.CalibrationReport().String())
+	case *association:
+		fmt.Println(results.FactorAssociation().String())
+	case *items:
+		fmt.Println(results.ItemAnalysis().String())
+	case *intervention:
+		fmt.Println(results.InterventionReport().String())
+	case *confidence:
+		fmt.Println(results.ConfidenceReport().String())
+		fmt.Printf("overconfidence index: %+.3f; optimization humility: %.2f\n",
+			results.OverconfidenceIndex(), results.OptHumilityIndex())
+	case *fig != 0:
+		if *fig < 1 || *fig > 22 {
+			fmt.Fprintln(os.Stderr, "fpreport: figure number must be 1-22")
+			os.Exit(2)
+		}
+		emit(*fig)
+	case *all:
+		for i := 1; i <= 22; i++ {
+			emit(i)
+		}
+		printClaims(results)
+	case *claims:
+		printClaims(results)
+	default:
+		// Default: the paper's headline table and histogram.
+		emit(12)
+		emit(13)
+		printClaims(results)
+	}
+}
+
+func printClaims(results *core.Results) {
+	fmt.Println("Headline claims (Section IV)")
+	fmt.Println("============================")
+	ok := true
+	for _, c := range results.HeadlineClaims() {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Printf("  [%s] %-34s %s\n", status, c.Name, c.Detail)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

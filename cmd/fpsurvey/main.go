@@ -1,0 +1,103 @@
+// Command fpsurvey manages the survey instrument and response
+// datasets: print the instrument as JSON, validate a dataset against
+// it, tally a question, or anonymize a dataset in place.
+//
+// Usage:
+//
+//	fpsurvey -instrument                 # dump the instrument JSON
+//	fpsurvey -validate data.json         # check a dataset
+//	fpsurvey -tally bg.area data.json    # tabulate one question
+//	fpsurvey -anonymize data.json        # rewrite with opaque tokens
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/survey"
+)
+
+func main() {
+	instrument := flag.Bool("instrument", false, "print the survey instrument JSON")
+	text := flag.Bool("text", false, "print the participant-facing survey text")
+	validate := flag.String("validate", "", "validate a dataset file")
+	tally := flag.String("tally", "", "question ID to tabulate (requires a dataset argument)")
+	anonymize := flag.String("anonymize", "", "anonymize a dataset file in place")
+	csv := flag.String("csv", "", "flatten a dataset file to CSV on stdout")
+	flag.Parse()
+
+	ins := quiz.Instrument()
+
+	switch {
+	case *text:
+		fmt.Print(ins.RenderText())
+
+	case *instrument:
+		data, err := survey.EncodeInstrument(ins)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+
+	case *validate != "":
+		ds := load(*validate)
+		if err := ins.ValidateDataset(ds); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fpsurvey: %s: %d responses, all valid\n", *validate, len(ds.Responses))
+
+	case *tally != "":
+		if flag.NArg() < 1 {
+			fatal(fmt.Errorf("usage: fpsurvey -tally <questionID> <dataset.json>"))
+		}
+		ds := load(flag.Arg(0))
+		t, err := ins.Tally(ds, *tally)
+		if err != nil {
+			fatal(err)
+		}
+		total := len(ds.Responses)
+		for _, k := range survey.SortedKeys(t) {
+			fmt.Printf("%-60s %4d  %5.1f%%\n", k, t[k], 100*float64(t[k])/float64(total))
+		}
+
+	case *csv != "":
+		ds := load(*csv)
+		fmt.Print(ins.FlattenCSV(ds))
+
+	case *anonymize != "":
+		ds := load(*anonymize)
+		ds.Anonymize()
+		data, err := survey.EncodeDataset(ds)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*anonymize, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fpsurvey: anonymized %d responses in %s\n", len(ds.Responses), *anonymize)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) *survey.Dataset {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := survey.DecodeDataset(data)
+	if err != nil {
+		fatal(err)
+	}
+	return ds
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpsurvey:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command fptune auto-tunes the precision of a floating point
+// expression: it finds the lowest per-operation format assignment that
+// keeps the result within a relative error bound of the binary64
+// reference over a random corpus — a miniature Precimonious, one of the
+// precision-reduction systems the paper's introduction cites.
+//
+// Usage:
+//
+//	fptune 'sqrt(a*a + b*b)'
+//	fptune -tol 1e-3 -corpus 500 '(a + b)*(a - b)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/tuner"
+)
+
+func main() {
+	tol := flag.Float64("tol", 1e-6, "maximum relative error vs binary64")
+	corpusSize := flag.Int("corpus", 300, "number of test inputs")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fptune [-tol t] [-corpus n] '<expression>'")
+		os.Exit(2)
+	}
+	n, err := expr.Parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fptune:", err)
+		os.Exit(1)
+	}
+	corpus := tuner.Corpus(n, *corpusSize, *seed)
+	res := tuner.Tune(n, corpus, *tol)
+
+	fmt.Printf("expression:   %s\n", n.String())
+	fmt.Printf("tolerance:    %g relative\n", *tol)
+	fmt.Printf("corpus:       %d inputs\n", len(corpus))
+	fmt.Printf("operations:   %d tunable\n", res.Ops)
+	fmt.Printf("demoted:      %d (saving %d significand bits total)\n", res.Demoted, res.BitsSaved)
+	fmt.Printf("worst error:  %.3g relative\n", res.MaxRelError)
+	fmt.Printf("trials:       %d\n", res.Trials)
+	if len(res.Assignment) == 0 {
+		fmt.Println("assignment:   everything stays binary64")
+		return
+	}
+	fmt.Printf("assignment:   %s\n", res.Assignment)
+}

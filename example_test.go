@@ -1,0 +1,115 @@
+package fpstudy_test
+
+// Runnable documentation examples (go test runs these and checks the
+// output; godoc displays them).
+
+import (
+	"fmt"
+
+	"fpstudy"
+)
+
+// The softfloat computes with visible exception flags — here, the
+// famous 0.1 + 0.2.
+func ExampleFormat() {
+	var e fpstudy.Env
+	a := fpstudy.Binary64.FromFloat64(&e, 0.1)
+	b := fpstudy.Binary64.FromFloat64(&e, 0.2)
+	sum := fpstudy.Binary64.Add(&e, a, b)
+	fmt.Println(fpstudy.Binary64.String(sum))
+	fmt.Println(e.Flags)
+	// Output:
+	// 0.30000000000000004
+	// inexact
+}
+
+// Every quiz answer is derived by executing IEEE semantics.
+func ExampleCoreQuestions() {
+	for _, q := range fpstudy.CoreQuestions() {
+		if q.ID != "core.zerodivzero" {
+			continue
+		}
+		res := q.Oracle()
+		fmt.Println("assertion holds:", res.Holds)
+	}
+	// Output:
+	// assertion holds: false
+}
+
+// The exception monitor audits a computation's sticky flags — here a
+// divide-by-zero that leaves no NaN in the output.
+func ExampleMonitorKernel() {
+	for _, k := range fpstudy.Kernels() {
+		if k.Name != "hidden-infinity" {
+			continue
+		}
+		res, rep := fpstudy.MonitorKernel(fpstudy.Binary64, k.Run)
+		fmt.Println("output:", fpstudy.Binary64.String(res))
+		fmt.Println("divide-by-zero events:", rep.DivByZero)
+	}
+	// Output:
+	// output: 0
+	// divide-by-zero events: 1
+}
+
+// Compliance checking answers the optimization quiz mechanically.
+func ExampleCheckCompliance() {
+	n, _ := fpstudy.ParseExpr("a*b + c")
+	v := fpstudy.CheckCompliance(fpstudy.Binary64, n, fpstudy.OptForLevel(3), 2000, 1)
+	fmt.Println("-O3 compliant:", v.Compliant)
+	fmt.Println("passes:", v.PassesApplied)
+	// Output:
+	// -O3 compliant: false
+	// passes: [fma-contraction]
+}
+
+// TwoSum captures the exact rounding error of an addition.
+func ExampleTwoSum() {
+	var e fpstudy.Env
+	a := fpstudy.Binary64.FromFloat64(&e, 1e16)
+	b := fpstudy.Binary64.FromFloat64(&e, 1)
+	s, err := fpstudy.TwoSum(&e, fpstudy.Binary64, a, b)
+	fmt.Println("sum:", fpstudy.Binary64.String(s))
+	fmt.Println("error:", fpstudy.Binary64.String(err))
+	// Output:
+	// sum: 1e+16
+	// error: 1
+}
+
+// Interval arithmetic produces rigorous enclosures via the directed
+// rounding modes.
+func ExampleIntervalArith() {
+	a := fpstudy.NewIntervalArith(fpstudy.Binary64)
+	n, _ := fpstudy.ParseExpr("x*x")
+	res := a.EvalExpr(n, map[string]fpstudy.Interval{"x": a.FromFloat64(3)})
+	var e fpstudy.Env
+	fmt.Println(a.Contains(res, fpstudy.Binary64.FromFloat64(&e, 9)))
+	// Output:
+	// true
+}
+
+// The VM runs assembly "binaries" the monitor can spy on.
+func ExampleVM() {
+	prog, _ := fpstudy.Assemble("double", `
+		load  x
+		loadc 2
+		mul
+		ret
+	`)
+	vm := fpstudy.NewVM(fpstudy.Binary64)
+	var e fpstudy.Env
+	res, _ := vm.Run(prog, map[string]uint64{"x": fpstudy.Binary64.FromFloat64(&e, 21)})
+	fmt.Println(fpstudy.Binary64.String(res))
+	// Output:
+	// 42
+}
+
+// Static analysis flags the hazards the quiz shows developers miss.
+func ExampleLintExpr() {
+	n, _ := fpstudy.ParseExpr("1/(a - b)")
+	for _, f := range fpstudy.LintExpr(n) {
+		fmt.Println(f.Rule)
+	}
+	// Output:
+	// division-by-difference
+}

@@ -1,0 +1,38 @@
+// Exception audit: the scenario of the paper's suspicion quiz, made
+// real. Run scientific kernels (Lorenz, N-body, summations, a hidden
+// divide-by-zero) on the softfloat substrate under the exception
+// monitor, and report which exceptional conditions occurred and how
+// suspicious a well-calibrated developer should be of each run's
+// output.
+//
+// The "hidden-infinity" kernel is the paper's Divide-by-Zero motif: the
+// output looks like an ordinary number (zero), and only the monitor
+// reveals that a 1/0 happened along the way.
+package main
+
+import (
+	"fmt"
+
+	"fpstudy"
+)
+
+func main() {
+	fmt.Println("Floating point exception audit (binary64, IEEE default environment)")
+	fmt.Println("====================================================================")
+	for _, k := range fpstudy.Kernels() {
+		res, rep := fpstudy.MonitorKernel(fpstudy.Binary64, k.Run)
+		fmt.Printf("\n--- %s: %s\n", k.Name, k.Description)
+		fmt.Printf("output: %s\n", fpstudy.Binary64.String(res))
+		fmt.Print(rep.String())
+	}
+
+	// The same audit in binary16 shows how reduced precision moves the
+	// exception profile: overflow arrives much sooner.
+	fmt.Println("\nSame kernels in binary16 (half precision):")
+	for _, k := range fpstudy.Kernels() {
+		res, rep := fpstudy.MonitorKernel(fpstudy.Binary16, k.Run)
+		occurred := rep.Occurred()
+		fmt.Printf("  %-18s output=%-12s suspicion=%d/5 conditions=%v\n",
+			k.Name, fpstudy.Binary16.String(res), rep.SuspicionScore(), occurred)
+	}
+}

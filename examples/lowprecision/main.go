@@ -1,0 +1,100 @@
+// Low precision: the trend that motivates the paper — half-precision
+// and ML formats spreading beyond science and engineering. Run the same
+// computations in binary64, binary32, binary16, and bfloat16 and watch
+// what each format trades away:
+//
+//   - binary16 keeps more precision but overflows at 65504;
+//   - bfloat16 keeps binary32's range but only ~2-3 decimal digits;
+//   - both absorb moderate addends and saturate far sooner than
+//     developers calibrated on doubles expect.
+package main
+
+import (
+	"fmt"
+
+	"fpstudy"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+)
+
+func main() {
+	formats := []fpstudy.Format{
+		fpstudy.Binary64, fpstudy.Binary32, fpstudy.Binary16, ieee754.Bfloat16,
+	}
+
+	fmt.Println("Format parameters")
+	fmt.Println("=================")
+	fmt.Printf("%-10s %8s %9s %14s %14s\n", "format", "prec", "emax", "max finite", "min subnormal")
+	for _, f := range formats {
+		fmt.Printf("%-10s %8d %9d %14.4g %14.4g\n",
+			f.Name, f.Precision(), f.Emax(),
+			f.ToFloat64(f.MaxFinite(false)), f.ToFloat64(f.MinSubnormal()))
+	}
+
+	fmt.Println("\nAbsorption threshold: smallest N with N + 1 == N")
+	fmt.Println("=================================================")
+	for _, f := range formats {
+		var e fpstudy.Env
+		one := f.FromFloat64(&e, 1)
+		n := one
+		two := f.FromFloat64(&e, 2)
+		for {
+			sum := f.Add(&e, n, one)
+			if f.Eq(&e, sum, n) {
+				break
+			}
+			n = f.Mul(&e, n, two)
+			if f.IsInf(n, 0) {
+				break
+			}
+		}
+		fmt.Printf("  %-10s N = %g\n", f.Name, f.ToFloat64(n))
+	}
+
+	fmt.Println("\nThe same kernels, four precisions (exception profile shifts)")
+	fmt.Println("=============================================================")
+	suite := []fpstudy.Kernel{
+		kernels.GrowthOverflow(),
+		kernels.SumNaive(2000),
+		kernels.ArchimedesPi(15),
+		kernels.LogisticMap(1000),
+	}
+	fmt.Printf("%-16s", "kernel")
+	for _, f := range formats {
+		fmt.Printf(" %-22s", f.Name)
+	}
+	fmt.Println()
+	for _, k := range suite {
+		fmt.Printf("%-16s", k.Name)
+		for _, f := range formats {
+			res, rep := fpstudy.MonitorKernel(f, k.Run)
+			fmt.Printf(" %-12s susp=%d/5  ", f.String(res), rep.SuspicionScore())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nA dot product in ML formats: bfloat16 vs binary16")
+	fmt.Println("==================================================")
+	ref, _ := fpstudy.MonitorKernel(fpstudy.Binary64, kernels.DotProduct(500, false).Run)
+	want := fpstudy.Binary64.ToFloat64(ref)
+	for _, f := range []fpstudy.Format{fpstudy.Binary16, ieee754.Bfloat16, fpstudy.Binary32} {
+		got, rep := fpstudy.MonitorKernel(f, kernels.DotProduct(500, false).Run)
+		v := f.ToFloat64(got)
+		fmt.Printf("  %-10s %-14g (binary64 reference %g, rel err %.2e, conditions %v)\n",
+			f.Name, v, want, relErr(v, want), rep.Occurred())
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	if want < 0 {
+		return d / -want
+	}
+	return d / want
+}

@@ -1,0 +1,330 @@
+// Package fpstudy reproduces "Do Developers Understand IEEE Floating
+// Point?" (Dinda & Hetland, IPDPS 2018) as a runnable system: a
+// from-scratch IEEE 754 softfloat oracle, a compiler-optimization
+// simulator, a runtime exception monitor, an arbitrary-precision shadow
+// executor, the paper's survey instrument with mechanically derived
+// answers, a calibrated synthetic respondent population, and the
+// analysis pipeline that regenerates every figure in the paper.
+//
+// This package is the public facade: it re-exports the main types and
+// entry points from the internal packages. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Quick start:
+//
+//	study := fpstudy.DefaultStudy()
+//	results := study.Run()
+//	fmt.Println(results.Figure12().String())
+//
+// Or grade yourself:
+//
+//	for _, q := range fpstudy.CoreQuestions() {
+//	    fmt.Println(q.Snippet, q.Prompt)
+//	    res := q.Oracle()
+//	    fmt.Println("answer:", res.Holds, "—", res.Witness)
+//	}
+package fpstudy
+
+import (
+	"fpstudy/internal/audit"
+	"fpstudy/internal/core"
+	"fpstudy/internal/eft"
+	"fpstudy/internal/expr"
+	"fpstudy/internal/fpvm"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/interval"
+	"fpstudy/internal/kernels"
+	"fpstudy/internal/lint"
+	"fpstudy/internal/monitor"
+	"fpstudy/internal/mpfloat"
+	"fpstudy/internal/optsim"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/respondent"
+	"fpstudy/internal/survey"
+	"fpstudy/internal/tuner"
+)
+
+// --- IEEE 754 softfloat (internal/ieee754) ---
+
+// Format describes a binary interchange format.
+type Format = ieee754.Format
+
+// Env is a floating point environment: rounding mode, sticky flags,
+// FTZ/DAZ controls, and an optional per-operation observer.
+type Env = ieee754.Env
+
+// Flags is a set of exception flags.
+type Flags = ieee754.Flags
+
+// RoundingMode selects a rounding-direction attribute.
+type RoundingMode = ieee754.RoundingMode
+
+// Num pairs an encoding with its format for value-like ergonomics.
+type Num = ieee754.Num
+
+// The three standard interchange formats, plus the ML-oriented
+// bfloat16. Custom formats can be built directly: Format{ExpBits: 4,
+// FracBits: 3, Name: "fp8"}.
+var (
+	Binary16 = ieee754.Binary16
+	Binary32 = ieee754.Binary32
+	Binary64 = ieee754.Binary64
+	Bfloat16 = ieee754.Bfloat16
+)
+
+// Exception flags (the paper's suspicion-quiz conditions map to these).
+const (
+	FlagInvalid   = ieee754.FlagInvalid
+	FlagDivByZero = ieee754.FlagDivByZero
+	FlagOverflow  = ieee754.FlagOverflow
+	FlagUnderflow = ieee754.FlagUnderflow
+	FlagInexact   = ieee754.FlagInexact
+	FlagDenormal  = ieee754.FlagDenormal
+)
+
+// Rounding modes.
+const (
+	NearestEven    = ieee754.NearestEven
+	NearestAway    = ieee754.NearestAway
+	TowardZero     = ieee754.TowardZero
+	TowardPositive = ieee754.TowardPositive
+	TowardNegative = ieee754.TowardNegative
+)
+
+// N constructs a Num in format f from a float64.
+func N(f Format, v float64) Num { return ieee754.N(f, v) }
+
+// --- Expressions and the optimization simulator ---
+
+// ExprNode is an arithmetic expression tree node.
+type ExprNode = expr.Node
+
+// ParseExpr parses an arithmetic expression ("a*(b + c) - sqrt(d)").
+func ParseExpr(src string) (ExprNode, error) { return expr.Parse(src) }
+
+// OptConfig is a compiler/hardware optimization configuration.
+type OptConfig = optsim.Config
+
+// OptLevel is a -O level.
+type OptLevel = optsim.Level
+
+// OptVerdict is the result of a compliance check.
+type OptVerdict = optsim.Verdict
+
+// OptForLevel returns the configuration for -O0..-O3.
+func OptForLevel(l OptLevel) OptConfig { return optsim.ForLevel(l) }
+
+// FastMath returns the -ffast-math configuration.
+func FastMath() OptConfig { return optsim.FastMath() }
+
+// CheckCompliance evaluates an expression under strict IEEE semantics
+// and under a configuration, reporting whether any corpus input
+// diverges.
+func CheckCompliance(f Format, n ExprNode, cfg OptConfig, corpusSize int, seed int64) OptVerdict {
+	return optsim.Check(f, n, cfg, optsim.GenCorpus(f, n, corpusSize, seed))
+}
+
+// VectorizeSum rewrites a sum chain into the lane-partitioned shape a
+// fast-math vectorizer produces (legal only under reassociation).
+func VectorizeSum(n ExprNode, lanes int) (ExprNode, bool) {
+	return optsim.VectorizeSum(n, lanes)
+}
+
+// --- Exception monitor and kernels ---
+
+// Monitor watches a computation's floating point exceptions.
+type Monitor = monitor.Monitor
+
+// MonitorReport is the audit of one monitored execution.
+type MonitorReport = monitor.Report
+
+// Condition is a suspicion-quiz exceptional condition.
+type Condition = monitor.Condition
+
+// NewMonitor creates an exception monitor with a default environment.
+func NewMonitor() *Monitor { return monitor.New() }
+
+// Tracer is a Monitor that also logs the first exceptional operations.
+type Tracer = monitor.Tracer
+
+// NewTracer creates a tracer watching the given flags (0 = all).
+func NewTracer(watch Flags, limit int) *Tracer { return monitor.NewTracer(watch, limit) }
+
+// Kernel is a runnable numerical workload.
+type Kernel = kernels.Kernel
+
+// Kernels returns the standard kernel suite.
+func Kernels() []Kernel { return kernels.All() }
+
+// MonitorKernel runs fn under a fresh monitor and returns result bits
+// plus the exception report.
+func MonitorKernel(f Format, fn func(*Env, Format) uint64) (uint64, MonitorReport) {
+	return monitor.Run(f, fn)
+}
+
+// --- Error-free transformations (numeric-correctness toolbox) ---
+
+// TwoSum returns s = round(a+b) and the exact rounding error, so that
+// a + b == s + err exactly.
+func TwoSum(e *Env, f Format, a, b uint64) (s, err uint64) {
+	return eft.TwoSum(e, f, a, b)
+}
+
+// TwoProduct returns p = round(a*b) and the exact rounding error via
+// FMA.
+func TwoProduct(e *Env, f Format, a, b uint64) (p, err uint64) {
+	return eft.TwoProduct(e, f, a, b)
+}
+
+// Sum2 computes a compensated sum with doubled effective precision.
+func Sum2(e *Env, f Format, xs []uint64) uint64 { return eft.Sum2(e, f, xs) }
+
+// Dot2 computes a compensated dot product with doubled effective
+// precision.
+func Dot2(e *Env, f Format, xs, ys []uint64) uint64 { return eft.Dot2(e, f, xs, ys) }
+
+// --- Arbitrary precision shadow execution ---
+
+// MPContext carries the working precision for arbitrary-precision
+// arithmetic.
+type MPContext = mpfloat.Context
+
+// MPFloat is an arbitrary-precision binary floating point number.
+type MPFloat = mpfloat.Float
+
+// NewMPContext returns a context with the given precision in bits.
+func NewMPContext(prec uint) MPContext { return mpfloat.NewContext(prec) }
+
+// ShadowReport compares format vs arbitrary-precision evaluation.
+type ShadowReport = mpfloat.ShadowReport
+
+// --- Interval arithmetic (rigorous enclosures) ---
+
+// IntervalArith performs interval arithmetic over a format using the
+// directed rounding modes.
+type IntervalArith = interval.Arith
+
+// Interval is a closed interval of format values.
+type Interval = interval.Interval
+
+// NewIntervalArith creates interval arithmetic over format f.
+func NewIntervalArith(f Format) *IntervalArith { return interval.New(f) }
+
+// --- The floating point VM (programs for the monitor to spy on) ---
+
+// VMProgram is an assembled floating point VM program.
+type VMProgram = fpvm.Program
+
+// VM executes VMPrograms on the softfloat under an environment.
+type VM = fpvm.VM
+
+// Assemble parses floating point VM assembly.
+func Assemble(name, src string) (*VMProgram, error) { return fpvm.Assemble(name, src) }
+
+// NewVM creates a VM over format f with a fresh environment.
+func NewVM(f Format) *VM { return fpvm.New(f) }
+
+// VMPrograms returns the built-in sample program library.
+func VMPrograms() []*VMProgram { return fpvm.SamplePrograms() }
+
+// --- Combined audit (the paper's "low barrier to use" tool) ---
+
+// AuditReport is the combined verdict of every analyzer over one
+// computation: lint, monitored evaluation, fast-math stability,
+// interval enclosure, shadow execution, and a precision probe.
+type AuditReport = audit.Report
+
+// AuditRun audits the expression at the given binary64-encoded inputs.
+func AuditRun(n ExprNode, vars map[string]uint64) AuditReport { return audit.Run(n, vars) }
+
+// --- Static analysis (lint) ---
+
+// LintFinding is one statically detected floating point hazard.
+type LintFinding = lint.Finding
+
+// LintExpr statically analyzes an expression for floating point
+// hazards (division by differences, cancellation, sqrt of differences,
+// long naive sums).
+func LintExpr(n ExprNode) []LintFinding { return lint.CheckExpr(n) }
+
+// LintProgram statically analyzes a VM program (float-equality control
+// flow, division by differences, sqrt of differences).
+func LintProgram(p *VMProgram) []LintFinding { return lint.CheckProgram(p) }
+
+// --- Precision auto-tuning (Precimonious-style) ---
+
+// TuneResult is the outcome of a precision-tuning search.
+type TuneResult = tuner.Result
+
+// PrecisionAssignment maps operation paths to formats.
+type PrecisionAssignment = tuner.Assignment
+
+// TunePrecision searches for the lowest per-operation precision keeping
+// the expression within tol relative error of binary64 over a seeded
+// corpus.
+func TunePrecision(n ExprNode, corpusSize int, seed int64, tol float64) TuneResult {
+	return tuner.Tune(n, tuner.Corpus(n, corpusSize, seed), tol)
+}
+
+// --- The survey instrument and quiz ---
+
+// Instrument returns the paper's survey (background, core quiz,
+// optimization quiz, suspicion quiz).
+func Instrument() *survey.Instrument { return quiz.Instrument() }
+
+// CoreQuestion is one core-quiz assertion with its oracle.
+type CoreQuestion = quiz.CoreQuestion
+
+// OptQuestion is one optimization-quiz question with its oracle.
+type OptQuestion = quiz.OptQuestion
+
+// CoreQuestions returns the 15 core questions in the paper's order.
+func CoreQuestions() []CoreQuestion { return quiz.CoreQuestions() }
+
+// OptQuestions returns the 4 optimization questions.
+func OptQuestions() []OptQuestion { return quiz.OptQuestions() }
+
+// Response is one participant's answers.
+type Response = survey.Response
+
+// Dataset is a collection of responses.
+type Dataset = survey.Dataset
+
+// Tally is a per-participant grade.
+type Tally = quiz.Tally
+
+// EncodeDataset renders a dataset as JSON.
+func EncodeDataset(d *Dataset) ([]byte, error) { return survey.EncodeDataset(d) }
+
+// DecodeDataset parses a dataset from JSON.
+func DecodeDataset(data []byte) (*Dataset, error) { return survey.DecodeDataset(data) }
+
+// ScoreCore grades the core quiz of a response.
+func ScoreCore(r Response) Tally { return quiz.ScoreCore(r) }
+
+// ScoreOpt grades the optimization quiz of a response.
+func ScoreOpt(r Response) Tally { return quiz.ScoreOpt(r) }
+
+// --- Population generation and the study pipeline ---
+
+// Population is a generated synthetic cohort.
+type Population = respondent.Population
+
+// GenerateMain generates the main cohort (the paper's 199 developers).
+func GenerateMain(seed int64, n int) *Population { return respondent.GenerateMain(seed, n) }
+
+// GenerateStudents generates the student cohort (suspicion quiz only).
+func GenerateStudents(seed int64, n int) *Dataset { return respondent.GenerateStudents(seed, n) }
+
+// Study configures a reproduction run.
+type Study = core.Study
+
+// Results holds a completed run with figure renderers.
+type Results = core.Results
+
+// Claim is one checked headline finding.
+type Claim = core.Claim
+
+// DefaultStudy mirrors the paper's cohort sizes (n=199 main, n=52
+// students) with the default seed.
+func DefaultStudy() Study { return core.DefaultStudy() }

@@ -1,0 +1,3 @@
+module fpstudy
+
+go 1.22

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCalibrationReport(t *testing.T) {
+	tab := paperResults.CalibrationReport()
+	if len(tab.Rows) != 15 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	s := tab.String()
+	if !strings.Contains(s, "bootstrap CI") {
+		t.Fatalf("missing CI note:\n%s", s)
+	}
+	// At n=199 with the calibrated model, the bulk of questions must
+	// sit inside the 5% chi-square band.
+	off := strings.Count(s, "  off")
+	if off > 3 {
+		t.Errorf("%d questions outside the chi-square band:\n%s", off, s)
+	}
+	// Paper mean inside the bootstrap CI for the default seed.
+	if !strings.Contains(s, "paper mean inside CI: true") {
+		t.Errorf("paper mean outside the CI:\n%s", s)
+	}
+}
+
+func TestFactorAssociation(t *testing.T) {
+	tab := bigResults.FactorAssociation()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	s := tab.String()
+	// The paper's finding: no factor is strong.
+	if strings.Contains(s, "strong") && !strings.Contains(s, "none has an outsize impact") {
+		// "strong" only appears in a row (not the note) if some factor
+		// exceeded 0.5 — which contradicts the paper's finding.
+		for _, row := range tab.Rows {
+			if row[3] == "strong" {
+				t.Errorf("factor %s unexpectedly strong (V=%s)", row[0], row[2])
+			}
+		}
+	}
+	// Codebase size should be at least weakly associated.
+	for _, row := range tab.Rows {
+		if row[0] == "Contributed Codebase Size" && row[3] == "negligible" {
+			t.Errorf("codebase size should not be negligible: V=%s", row[2])
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/stats"
+)
+
+// Claim is one of the paper's headline findings, checked against the
+// regenerated data.
+type Claim struct {
+	Name   string
+	Detail string
+	Pass   bool
+}
+
+// HeadlineClaims evaluates the paper's main textual findings (Section
+// IV) against this run's data. Every claim should pass on a calibrated
+// cohort; the benchmark harness prints them.
+func (r *Results) HeadlineClaims() []Claim {
+	var claims []Claim
+	add := func(name string, pass bool, detail string, args ...interface{}) {
+		claims = append(claims, Claim{Name: name, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	core := meanTally(r.CoreTallies)
+	opt := meanTally(r.OptTallies)
+
+	// "The score for the core quiz was 8.5/15, which is only slightly
+	// better than would be expected by chance (7.5/15)."
+	add("core-slightly-above-chance",
+		core.Correct > quiz.CoreChance && core.Correct < 10.5,
+		"mean core correct %.2f vs chance %.1f (paper: 8.5)", core.Correct, quiz.CoreChance)
+
+	// "The incidence of Don't Know was < 15% for the core quiz."
+	dkFrac := core.DontKnow / 15
+	add("core-dk-below-15pct", dkFrac < 0.17,
+		"core Don't Know rate %.1f%% (paper: <15%%)", 100*dkFrac)
+
+	// "In the optimization quiz, participants answered Don't Know over
+	// 2/3 of the time."
+	optDKFrac := opt.DontKnow / 3
+	add("opt-dk-over-two-thirds", optDKFrac > 0.6,
+		"optimization Don't Know rate %.1f%% (paper: >2/3)", 100*optDKFrac)
+
+	// Identity and Divide By Zero answered incorrectly by most
+	// participants.
+	for _, id := range []string{"core.identity", "core.divzero"} {
+		q, _ := quiz.CoreQuestionByID(id)
+		var c, inc int
+		for _, resp := range r.Main.Dataset.Responses {
+			switch quiz.ClassifyCore(resp, q) {
+			case quiz.OutcomeCorrect:
+				c++
+			case quiz.OutcomeIncorrect:
+				inc++
+			}
+		}
+		add("wrong-majority-"+q.Label, inc > c*2,
+			"%s: %d incorrect vs %d correct (paper: ~77%% incorrect)", q.Label, inc, c)
+	}
+
+	// Factor: codebase size is the most predictive factor, topping out
+	// around 11/15 for the largest codebases.
+	big, small := r.meanCoreByLevel(quiz.BGContribSize, ">1,000,000 lines of code"),
+		r.meanCoreByLevel(quiz.BGContribSize, "100 to 1,000 lines of code")
+	add("codebase-size-effect", big > small+1,
+		"mean core score: >1M LoC %.2f vs 100-1k LoC %.2f (paper: ~11 vs ~7.5)", big, small)
+
+	// Area: physical-science/engineering developers perform at chance.
+	var physEng []float64
+	for i, resp := range r.Main.Dataset.Responses {
+		a := resp.Answer(quiz.BGArea).Choice
+		if a == "Other Physical Science Field" || a == "Other Engineering Field" {
+			physEng = append(physEng, float64(r.CoreTallies[i].Correct))
+		}
+	}
+	pe := stats.Mean(physEng)
+	add("physsci-at-chance", pe > 6 && pe < 9,
+		"PhysSci/Eng mean %.2f vs chance 7.5 (paper: at chance)", pe)
+
+	// Suspicion: Invalid most suspicious, then Overflow, then the rest;
+	// ~1/3 under-rate Invalid.
+	inv := SuspicionDistribution(r.Main.Dataset, "susp.invalid")
+	ovf := SuspicionDistribution(r.Main.Dataset, "susp.overflow")
+	und := SuspicionDistribution(r.Main.Dataset, "susp.underflow")
+	add("suspicion-ordering",
+		inv.MeanLevel() > ovf.MeanLevel() && ovf.MeanLevel() > und.MeanLevel(),
+		"mean suspicion invalid %.2f > overflow %.2f > underflow %.2f",
+		inv.MeanLevel(), ovf.MeanLevel(), und.MeanLevel())
+	underRate := 100 - inv.Percent[4]
+	add("invalid-underrated-by-third", underRate > 20 && underRate < 50,
+		"%.1f%% rate Invalid below maximum suspicion (paper: ~1/3)", underRate)
+
+	// Students are less suspicious of Underflow and Denorm.
+	sUnd := SuspicionDistribution(r.Students, "susp.underflow")
+	sDen := SuspicionDistribution(r.Students, "susp.denorm")
+	mDen := SuspicionDistribution(r.Main.Dataset, "susp.denorm")
+	add("students-relaxed-underflow-denorm",
+		sUnd.MeanLevel() < und.MeanLevel() && sDen.MeanLevel() < mDen.MeanLevel(),
+		"students underflow %.2f < main %.2f; denorm %.2f < %.2f",
+		sUnd.MeanLevel(), und.MeanLevel(), sDen.MeanLevel(), mDen.MeanLevel())
+
+	// The per-question shape: the six chance-level questions stay in a
+	// chance band, per Figure 14.
+	badBand := 0
+	for i, q := range quiz.CoreQuestions() {
+		row := paperdata.Figure14Core[i]
+		if !row.ChanceLevel {
+			continue
+		}
+		var c int
+		for _, resp := range r.Main.Dataset.Responses {
+			if quiz.ClassifyCore(resp, q) == quiz.OutcomeCorrect {
+				c++
+			}
+		}
+		pc := 100 * float64(c) / float64(len(r.Main.Dataset.Responses))
+		if pc < 40 || pc > 68 {
+			badBand++
+		}
+	}
+	add("chance-level-questions-band", badBand == 0,
+		"%d of 6 chance-level questions left the 40-68%% band", badBand)
+
+	return claims
+}
+
+// meanCoreByLevel averages core scores over respondents with the given
+// background answer.
+func (r *Results) meanCoreByLevel(questionID, level string) float64 {
+	var scores []float64
+	for i, resp := range r.Main.Dataset.Responses {
+		if resp.Answer(questionID).Choice == level {
+			scores = append(scores, float64(r.CoreTallies[i].Correct))
+		}
+	}
+	return stats.Mean(scores)
+}
+
+// AllClaimsPass reports whether every headline claim held.
+func AllClaimsPass(claims []Claim) bool {
+	for _, c := range claims {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}

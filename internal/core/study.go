@@ -1,0 +1,456 @@
+// Package core orchestrates the full reproduction study: it generates
+// the calibrated synthetic cohorts, grades them with the oracle-backed
+// quiz, runs the statistical analysis, and renders every figure of the
+// paper (Figures 1-22) as a table, alongside the paper's published
+// values for comparison.
+package core
+
+import (
+	"fmt"
+
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/report"
+	"fpstudy/internal/respondent"
+	"fpstudy/internal/stats"
+	"fpstudy/internal/survey"
+)
+
+// Study configures one reproduction run.
+type Study struct {
+	// Seed drives all population generation deterministically.
+	Seed int64
+	// NMain is the main cohort size (the paper had 199).
+	NMain int
+	// NStudent is the student cohort size (the paper had 52).
+	NStudent int
+}
+
+// DefaultStudy mirrors the paper's cohort sizes.
+func DefaultStudy() Study {
+	return Study{Seed: 42, NMain: paperdata.NMain, NStudent: paperdata.NStudent}
+}
+
+// Results holds the generated cohorts and their grades.
+type Results struct {
+	Study    Study
+	Main     *respondent.Population
+	Students *survey.Dataset
+
+	// CoreTallies and OptTallies are per-respondent grades (OptTallies
+	// covers only the three T/F questions, the paper's Figure 12
+	// view; OptAllTallies covers all four).
+	CoreTallies   []quiz.Tally
+	OptTallies    []quiz.Tally
+	OptAllTallies []quiz.Tally
+
+	instrument *survey.Instrument
+}
+
+// Run executes the study.
+func (s Study) Run() *Results {
+	r := &Results{Study: s, instrument: quiz.Instrument()}
+	r.Main = respondent.GenerateMain(s.Seed, s.NMain)
+	r.Students = respondent.GenerateStudents(s.Seed+1, s.NStudent)
+	for _, resp := range r.Main.Dataset.Responses {
+		r.CoreTallies = append(r.CoreTallies, quiz.ScoreCore(resp))
+		r.OptTallies = append(r.OptTallies, quiz.ScoreOptScored(resp))
+		r.OptAllTallies = append(r.OptAllTallies, quiz.ScoreOpt(resp))
+	}
+	return r
+}
+
+// backgroundFigure describes one of Figures 1-11.
+type backgroundFigure struct {
+	num       int
+	title     string
+	question  string
+	paper     []paperdata.CountEntry
+	multi     bool
+	paperBase int // denominator for paper percentages
+}
+
+func (r *Results) backgroundFigures() []backgroundFigure {
+	return []backgroundFigure{
+		{1, "Positions of participants", quiz.BGPosition, paperdata.Figure1Positions, false, paperdata.NMain},
+		{2, "Areas of participants", quiz.BGArea, paperdata.Figure2Areas, false, paperdata.NMain},
+		{3, "Formal Training in floating point", quiz.BGFormalTraining, paperdata.Figure3FormalTraining, false, paperdata.NMain},
+		{4, "Informal Training in floating point (top 5)", quiz.BGInformal, paperdata.Figure4InformalTraining, true, paperdata.NMain},
+		{5, "Software Development Roles", quiz.BGRole, paperdata.Figure5Roles, false, paperdata.NMain},
+		{6, "Floating Point Language Experience (n>=5)", quiz.BGFPLanguages, paperdata.Figure6FPLanguages, true, paperdata.NMain},
+		{7, "Arbitrary Precision Language Experience (n>=5)", quiz.BGArbPrec, paperdata.Figure7ArbPrec, true, paperdata.NMain},
+		{8, "Contributed Codebase Sizes", quiz.BGContribSize, paperdata.Figure8ContribSize, false, paperdata.NMain},
+		{9, "Contributed Codebase Floating Point Extent", quiz.BGContribExtent, paperdata.Figure9ContribExtent, false, paperdata.NMain},
+		{10, "Involved Codebase Sizes", quiz.BGInvolvedSize, paperdata.Figure10InvolvedSize, false, paperdata.NMain},
+		{11, "Involved Codebase Floating Point Extent", quiz.BGInvolvedExtent, paperdata.Figure11InvolvedExtent, false, paperdata.NMain},
+	}
+}
+
+// FigureBackground renders one of Figures 1-11: the generated cohort's
+// distribution with the paper's values alongside.
+func (r *Results) FigureBackground(num int) report.Table {
+	var bf backgroundFigure
+	found := false
+	for _, c := range r.backgroundFigures() {
+		if c.num == num {
+			bf = c
+			found = true
+			break
+		}
+	}
+	if !found {
+		return report.Table{Title: fmt.Sprintf("unknown background figure %d", num)}
+	}
+	tal, err := r.instrument.Tally(r.Main.Dataset, bf.question)
+	t := report.Table{
+		Title:  fmt.Sprintf("Figure %d: %s", bf.num, bf.title),
+		Header: []string{"Level", "n", "%", "paper n", "paper %"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	n := len(r.Main.Dataset.Responses)
+	for _, e := range bf.paper {
+		got := tal[e.Label]
+		t.AddRow(e.Label,
+			report.I(got), report.Pct(100*float64(got)/float64(n)),
+			report.I(e.N), report.Pct(paperdata.Percent(e, bf.paperBase)))
+	}
+	if un := tal["unanswered"]; un > 0 && !bf.multi {
+		t.AddRow("(unanswered)", report.I(un), report.Pct(100*float64(un)/float64(n)), "-", "-")
+	}
+	return t
+}
+
+// Figure12 renders the average quiz performance table.
+func (r *Results) Figure12() report.Table {
+	t := report.Table{
+		Title: "Figure 12: Average (expected) performance on the core and optimization quizzes",
+		Header: []string{"Quiz", "# Correct", "# Incorrect", "# Don't Know", "# No Answer", "# Chance",
+			"paper Correct", "paper Chance"},
+	}
+	core := meanTally(r.CoreTallies)
+	opt := meanTally(r.OptTallies)
+	t.AddRow("Core",
+		report.F(core.Correct), report.F(core.Incorrect), report.F(core.DontKnow), report.F(core.Unanswered),
+		report.F(quiz.CoreChance),
+		report.F(paperdata.Figure12Core.Correct), report.F(paperdata.Figure12Core.Chance))
+	t.AddRow("Optimization",
+		report.F(opt.Correct), report.F(opt.Incorrect), report.F(opt.DontKnow), report.F(opt.Unanswered),
+		report.F(quiz.OptChance),
+		report.F(paperdata.Figure12Opt.Correct), report.F(paperdata.Figure12Opt.Chance))
+	t.Notes = append(t.Notes,
+		"optimization row covers the three T/F questions; Standard-compliant Level is excluded (not T/F)")
+	return t
+}
+
+type meanTallyResult struct {
+	Correct, Incorrect, DontKnow, Unanswered float64
+}
+
+func meanTally(ts []quiz.Tally) meanTallyResult {
+	var m meanTallyResult
+	if len(ts) == 0 {
+		return m
+	}
+	for _, t := range ts {
+		m.Correct += float64(t.Correct)
+		m.Incorrect += float64(t.Incorrect)
+		m.DontKnow += float64(t.DontKnow)
+		m.Unanswered += float64(t.Unanswered)
+	}
+	n := float64(len(ts))
+	m.Correct /= n
+	m.Incorrect /= n
+	m.DontKnow /= n
+	m.Unanswered /= n
+	return m
+}
+
+// CoreScoreHistogram returns the distribution of core-quiz scores.
+func (r *Results) CoreScoreHistogram() stats.Histogram {
+	scores := make([]float64, len(r.CoreTallies))
+	for i, t := range r.CoreTallies {
+		scores[i] = float64(t.Correct)
+	}
+	return stats.NewHistogram(scores, 15)
+}
+
+// Figure13 renders the histogram of core quiz scores.
+func (r *Results) Figure13() report.Table {
+	h := r.CoreScoreHistogram()
+	t := report.Table{
+		Title:  "Figure 13: Histogram of core quiz scores (15 questions; chance mean 7.5)",
+		Header: []string{"Score", "Count", ""},
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for score, count := range h.Counts {
+		t.AddRow(report.I(score), report.I(count), report.Bar(float64(count), float64(maxC), 40))
+	}
+	scores := make([]float64, len(r.CoreTallies))
+	for i, tl := range r.CoreTallies {
+		scores[i] = float64(tl.Correct)
+	}
+	s := stats.Summarize(scores)
+	t.Notes = append(t.Notes, fmt.Sprintf("mean %.2f, sd %.2f, median %.1f (paper mean 8.5, chance 7.5)",
+		s.Mean, s.StdDev, s.Median))
+	return t
+}
+
+// Figure14 renders the per-question core quiz breakdown.
+func (r *Results) Figure14() report.Table {
+	t := report.Table{
+		Title: "Figure 14: Core quiz question breakdown",
+		Header: []string{"Question", "% Correct", "% Incorrect", "% Don't Know", "% Unanswered",
+			"paper %C", "flags"},
+	}
+	qs := quiz.CoreQuestions()
+	n := float64(len(r.Main.Dataset.Responses))
+	for i, q := range qs {
+		var c, inc, dk, un int
+		for _, resp := range r.Main.Dataset.Responses {
+			switch quiz.ClassifyCore(resp, q) {
+			case quiz.OutcomeCorrect:
+				c++
+			case quiz.OutcomeIncorrect:
+				inc++
+			case quiz.OutcomeDontKnow:
+				dk++
+			case quiz.OutcomeUnanswered:
+				un++
+			}
+		}
+		row := paperdata.Figure14Core[i]
+		flags := ""
+		pc := 100 * float64(c) / n
+		if pc >= 44 && pc <= 62 {
+			flags += "chance "
+		}
+		if float64(inc)+float64(dk) > float64(c)*2 && float64(inc) > float64(c) {
+			flags += "wrong-majority"
+		}
+		t.AddRow(q.Label,
+			report.Pct(pc),
+			report.Pct(100*float64(inc)/n),
+			report.Pct(100*float64(dk)/n),
+			report.Pct(100*float64(un)/n),
+			report.Pct(row.Correct),
+			flags)
+	}
+	return t
+}
+
+// Figure15 renders the per-question optimization quiz breakdown.
+func (r *Results) Figure15() report.Table {
+	t := report.Table{
+		Title: "Figure 15: Optimization quiz question breakdown",
+		Header: []string{"Question", "% Correct", "% Incorrect", "% Don't Know", "% Unanswered",
+			"paper %C", "paper %DK"},
+	}
+	n := float64(len(r.Main.Dataset.Responses))
+	for i, q := range quiz.OptQuestions() {
+		var c, inc, dk, un int
+		for _, resp := range r.Main.Dataset.Responses {
+			switch quiz.ClassifyOpt(resp, q) {
+			case quiz.OutcomeCorrect:
+				c++
+			case quiz.OutcomeIncorrect:
+				inc++
+			case quiz.OutcomeDontKnow:
+				dk++
+			case quiz.OutcomeUnanswered:
+				un++
+			}
+		}
+		row := paperdata.Figure15Opt[i]
+		t.AddRow(q.Label,
+			report.Pct(100*float64(c)/n),
+			report.Pct(100*float64(inc)/n),
+			report.Pct(100*float64(dk)/n),
+			report.Pct(100*float64(un)/n),
+			report.Pct(row.Correct), report.Pct(row.DontKnow))
+	}
+	return t
+}
+
+// factorFigure renders a grouped-means figure (16-21).
+func (r *Results) factorFigure(num int, title, questionID string, core bool,
+	paperEffect paperdata.FactorEffect, levelOrder []string) report.Table {
+	t := report.Table{
+		Title:  fmt.Sprintf("Figure %d: %s", num, title),
+		Header: []string{"Level", "n", "mean correct", "sd", "paper mean"},
+	}
+	paperMeans := map[string]float64{}
+	for _, lm := range paperEffect.Means {
+		paperMeans[lm.Level] = lm.Mean
+	}
+	groups := map[string][]float64{}
+	for i, resp := range r.Main.Dataset.Responses {
+		level := resp.Answer(questionID).Choice
+		if level == "" {
+			level = "(unanswered)"
+		}
+		var score float64
+		if core {
+			score = float64(r.CoreTallies[i].Correct)
+		} else {
+			score = float64(r.OptTallies[i].Correct)
+		}
+		groups[level] = append(groups[level], score)
+	}
+	for _, level := range levelOrder {
+		vs, ok := groups[level]
+		if !ok {
+			continue
+		}
+		pm := "-"
+		if v, ok := paperMeans[level]; ok {
+			pm = report.F(v)
+		} else if v, ok := paperMeans["Other"]; ok {
+			pm = report.F(v) + " (other)"
+		}
+		t.AddRow(level, report.I(len(vs)), report.F2(stats.Mean(vs)), report.F2(stats.StdDev(vs)), pm)
+	}
+	return t
+}
+
+func labels(entries []paperdata.CountEntry) []string {
+	out := make([]string, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Label)
+	}
+	return out
+}
+
+// Figure16 renders the effect of Contributed Codebase Size on core quiz
+// scores.
+func (r *Results) Figure16() report.Table {
+	order := []string{
+		"<100 lines of code",
+		"100 to 1,000 lines of code",
+		"1,001 to 10,000 lines of code",
+		"10,001 to 100,000 lines of code",
+		"100,001 to 1,000,000 lines of code",
+		">1,000,000 lines of code",
+	}
+	return r.factorFigure(16, "Effect of Contributed Codebase Size on core quiz scores",
+		quiz.BGContribSize, true, paperdata.Figure16ContribSizeEffect, order)
+}
+
+// Figure17 renders the effect of Area on core quiz scores.
+func (r *Results) Figure17() report.Table {
+	return r.factorFigure(17, "Effect of Area on core quiz scores",
+		quiz.BGArea, true, paperdata.Figure17AreaEffect, labels(paperdata.Figure2Areas))
+}
+
+// Figure18 renders the effect of Software Development Role on core quiz
+// scores.
+func (r *Results) Figure18() report.Table {
+	return r.factorFigure(18, "Effect of Software Development Role on core quiz scores",
+		quiz.BGRole, true, paperdata.Figure18RoleEffect, labels(paperdata.Figure5Roles))
+}
+
+// Figure19 renders the effect of Formal Training on core quiz scores.
+func (r *Results) Figure19() report.Table {
+	return r.factorFigure(19, "Effect of Formal Training (in floating point) on core quiz scores",
+		quiz.BGFormalTraining, true, paperdata.Figure19TrainingEffect, labels(paperdata.Figure3FormalTraining))
+}
+
+// Figure20 renders the effect of Area on optimization quiz scores.
+func (r *Results) Figure20() report.Table {
+	return r.factorFigure(20, "Effect of Area on optimization quiz scores",
+		quiz.BGArea, false, paperdata.Figure20OptAreaEffect, labels(paperdata.Figure2Areas))
+}
+
+// Figure21 renders the effect of Software Development Role on
+// optimization quiz scores.
+func (r *Results) Figure21() report.Table {
+	return r.factorFigure(21, "Effect of Software Development Role on optimization quiz scores",
+		quiz.BGRole, false, paperdata.Figure21OptRoleEffect, labels(paperdata.Figure5Roles))
+}
+
+// SuspicionDistribution tabulates the Likert distribution of one
+// suspicion item over a dataset.
+func SuspicionDistribution(ds *survey.Dataset, itemID string) stats.LikertDist {
+	var levels []int
+	for _, r := range ds.Responses {
+		if a := r.Answer(itemID); a.Level > 0 {
+			levels = append(levels, a.Level)
+		}
+	}
+	return stats.NewLikertDist(levels, 5)
+}
+
+// Figure22 renders the suspicion distributions for both cohorts.
+func (r *Results) Figure22() report.Table {
+	t := report.Table{
+		Title:  "Figure 22: Distribution of suspicion for exceptional conditions (percent reporting each level)",
+		Header: []string{"Group", "Condition", "1", "2", "3", "4", "5", "mean", "paper@5"},
+	}
+	for gi, grp := range []struct {
+		name  string
+		ds    *survey.Dataset
+		paper []paperdata.SuspicionDist
+	}{
+		{"main", r.Main.Dataset, paperdata.Figure22Main},
+		{"student", r.Students, paperdata.Figure22Student},
+	} {
+		for i, it := range quiz.SuspicionItems() {
+			d := SuspicionDistribution(grp.ds, it.ID)
+			t.AddRow(grp.name, it.Condition.String(),
+				report.Pct(d.Percent[0]), report.Pct(d.Percent[1]), report.Pct(d.Percent[2]),
+				report.Pct(d.Percent[3]), report.Pct(d.Percent[4]),
+				report.F2(d.MeanLevel()), report.Pct(grp.paper[i].Percent[4]))
+		}
+		_ = gi
+	}
+	t.Notes = append(t.Notes,
+		"ground-truth ranking (monitor): Invalid(5) > Overflow(4) > Underflow(2) = Denorm(2) > Precision(1)")
+	return t
+}
+
+// Figure renders any figure 1-22 by number.
+func (r *Results) Figure(num int) report.Table {
+	switch {
+	case num >= 1 && num <= 11:
+		return r.FigureBackground(num)
+	case num == 12:
+		return r.Figure12()
+	case num == 13:
+		return r.Figure13()
+	case num == 14:
+		return r.Figure14()
+	case num == 15:
+		return r.Figure15()
+	case num == 16:
+		return r.Figure16()
+	case num == 17:
+		return r.Figure17()
+	case num == 18:
+		return r.Figure18()
+	case num == 19:
+		return r.Figure19()
+	case num == 20:
+		return r.Figure20()
+	case num == 21:
+		return r.Figure21()
+	case num == 22:
+		return r.Figure22()
+	}
+	return report.Table{Title: fmt.Sprintf("unknown figure %d", num)}
+}
+
+// AllFigures renders every figure in order.
+func (r *Results) AllFigures() []report.Table {
+	out := make([]report.Table, 0, 22)
+	for i := 1; i <= 22; i++ {
+		out = append(out, r.Figure(i))
+	}
+	return out
+}

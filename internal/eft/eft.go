@@ -1,0 +1,148 @@
+// Package eft implements error-free transformations on the ieee754
+// softfloat: algorithms that compute both the rounded result of an
+// operation and, exactly, the rounding error it committed.
+//
+// These are the classical tools of the "numeric correctness" work the
+// paper's background section asks participants about (Knuth/Møller
+// TwoSum, Dekker's split product, FMA-based TwoProduct, Neumaier
+// compensated summation, Ogita-Rump-Oishi compensated dot product).
+// They make the paper's "Operation Precision" quiz fact constructive:
+// the precision an operation loses is itself a representable number you
+// can compute and carry.
+package eft
+
+import "fpstudy/internal/ieee754"
+
+// TwoSum returns s = round(a+b) and err such that a + b == s + err
+// exactly (Knuth). Valid for any rounding mode and any finite inputs
+// whose sum does not overflow.
+func TwoSum(e *ieee754.Env, f ieee754.Format, a, b uint64) (s, err uint64) {
+	s = f.Add(e, a, b)
+	bb := f.Sub(e, s, a)
+	errA := f.Sub(e, a, f.Sub(e, s, bb))
+	errB := f.Sub(e, b, bb)
+	err = f.Add(e, errA, errB)
+	return s, err
+}
+
+// FastTwoSum returns s = round(a+b) and the exact error, requiring
+// |a| >= |b| (Dekker). One operation cheaper than TwoSum.
+func FastTwoSum(e *ieee754.Env, f ieee754.Format, a, b uint64) (s, err uint64) {
+	s = f.Add(e, a, b)
+	err = f.Sub(e, b, f.Sub(e, s, a))
+	return s, err
+}
+
+// TwoProduct returns p = round(a*b) and err with a*b == p + err exactly,
+// using a fused multiply-add (the cheap modern formulation enabled by
+// the 2008 standard's FMA).
+func TwoProduct(e *ieee754.Env, f ieee754.Format, a, b uint64) (p, err uint64) {
+	p = f.Mul(e, a, b)
+	err = f.FMA(e, a, b, f.Neg(p))
+	return p, err
+}
+
+// split returns hi, lo with a == hi + lo, each holding at most
+// ceil(p/2) significant bits (Dekker/Veltkamp splitting).
+func split(e *ieee754.Env, f ieee754.Format, a uint64) (hi, lo uint64) {
+	// factor = 2^ceil(p/2) + 1.
+	shift := (f.Precision() + 1) / 2
+	var scratch ieee754.Env
+	factor := f.FromFloat64(&scratch, 1)
+	factor = f.ScaleB(&scratch, factor, int(shift))
+	factor = f.Add(&scratch, factor, f.One(false))
+
+	c := f.Mul(e, factor, a)
+	hi = f.Sub(e, c, f.Sub(e, c, a))
+	lo = f.Sub(e, a, hi)
+	return hi, lo
+}
+
+// TwoProductDekker is the pre-FMA formulation of TwoProduct, using
+// Veltkamp splitting — what numeric-correctness code did before fused
+// multiply-add hardware. Exact when no intermediate overflow occurs.
+func TwoProductDekker(e *ieee754.Env, f ieee754.Format, a, b uint64) (p, err uint64) {
+	p = f.Mul(e, a, b)
+	ahi, alo := split(e, f, a)
+	bhi, blo := split(e, f, b)
+	// err = ((ahi*bhi - p) + ahi*blo + alo*bhi) + alo*blo
+	t1 := f.Sub(e, f.Mul(e, ahi, bhi), p)
+	t2 := f.Add(e, t1, f.Mul(e, ahi, blo))
+	t3 := f.Add(e, t2, f.Mul(e, alo, bhi))
+	err = f.Add(e, t3, f.Mul(e, alo, blo))
+	return p, err
+}
+
+// SumNeumaier computes the sum of xs with Neumaier's improved
+// Kahan-Babuska compensation: the running error term is itself summed,
+// making the result nearly as accurate as doubled precision.
+func SumNeumaier(e *ieee754.Env, f ieee754.Format, xs []uint64) uint64 {
+	sum := f.Zero(false)
+	comp := f.Zero(false)
+	for _, x := range xs {
+		t := f.Add(e, sum, x)
+		if f.Ge(e, f.Abs(sum), f.Abs(x)) {
+			comp = f.Add(e, comp, f.Add(e, f.Sub(e, sum, t), x))
+		} else {
+			comp = f.Add(e, comp, f.Add(e, f.Sub(e, x, t), sum))
+		}
+		sum = t
+	}
+	return f.Add(e, sum, comp)
+}
+
+// SumNaive is the plain left-to-right sum, for comparison.
+func SumNaive(e *ieee754.Env, f ieee754.Format, xs []uint64) uint64 {
+	sum := f.Zero(false)
+	for _, x := range xs {
+		sum = f.Add(e, sum, x)
+	}
+	return sum
+}
+
+// Sum2 computes the sum with full error-free transformation cascading
+// (Ogita-Rump-Oishi Sum2): result is the correctly rounded sum of the
+// exact pairwise errors plus the naive sum — accuracy as if computed in
+// twice the working precision.
+func Sum2(e *ieee754.Env, f ieee754.Format, xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return f.Zero(false)
+	}
+	sum := xs[0]
+	comp := f.Zero(false)
+	for _, x := range xs[1:] {
+		var err uint64
+		sum, err = TwoSum(e, f, sum, x)
+		comp = f.Add(e, comp, err)
+	}
+	return f.Add(e, sum, comp)
+}
+
+// Dot2 computes a dot product with compensated accumulation
+// (Ogita-Rump-Oishi Dot2): as accurate as evaluating in doubled
+// precision then rounding.
+func Dot2(e *ieee754.Env, f ieee754.Format, xs, ys []uint64) uint64 {
+	if len(xs) != len(ys) {
+		panic("eft: length mismatch")
+	}
+	if len(xs) == 0 {
+		return f.Zero(false)
+	}
+	p, s := TwoProduct(e, f, xs[0], ys[0])
+	for i := 1; i < len(xs); i++ {
+		h, r := TwoProduct(e, f, xs[i], ys[i])
+		var q uint64
+		p, q = TwoSum(e, f, p, h)
+		s = f.Add(e, s, f.Add(e, q, r))
+	}
+	return f.Add(e, p, s)
+}
+
+// DotNaive is the uncompensated dot product, for comparison.
+func DotNaive(e *ieee754.Env, f ieee754.Format, xs, ys []uint64) uint64 {
+	acc := f.Zero(false)
+	for i := range xs {
+		acc = f.Add(e, acc, f.Mul(e, xs[i], ys[i]))
+	}
+	return acc
+}

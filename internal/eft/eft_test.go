@@ -1,0 +1,230 @@
+package eft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/mpfloat"
+)
+
+var f64 = ieee754.Binary64
+
+func randVal(rng *rand.Rand) uint64 {
+	var e ieee754.Env
+	switch rng.Intn(3) {
+	case 0:
+		return f64.FromFloat64(&e, (rng.Float64()*2-1)*math.Ldexp(1, rng.Intn(60)-30))
+	case 1:
+		return f64.FromFloat64(&e, float64(rng.Intn(2001)-1000))
+	default:
+		return f64.FromFloat64(&e, rng.NormFloat64())
+	}
+}
+
+// exactSum checks a + b == s + err with exact (arbitrary precision)
+// arithmetic.
+func exactPairEqual(a, b, s, err uint64) bool {
+	ctx := mpfloat.NewContext(300)
+	lhs := ctx.Add(mpfloat.FromBits(f64, a), mpfloat.FromBits(f64, b))
+	rhs := ctx.Add(mpfloat.FromBits(f64, s), mpfloat.FromBits(f64, err))
+	return lhs.Cmp(rhs) == 0
+}
+
+func exactProdEqual(a, b, p, err uint64) bool {
+	ctx := mpfloat.NewContext(300)
+	lhs := ctx.Mul(mpfloat.FromBits(f64, a), mpfloat.FromBits(f64, b))
+	rhs := ctx.Add(mpfloat.FromBits(f64, p), mpfloat.FromBits(f64, err))
+	return lhs.Cmp(rhs) == 0
+}
+
+func TestTwoSumExact(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		a, b := randVal(rng), randVal(rng)
+		s, err := TwoSum(&e, f64, a, b)
+		if !exactPairEqual(a, b, s, err) {
+			t.Fatalf("TwoSum(%v, %v) = %v + %v: not exact",
+				f64.ToFloat64(a), f64.ToFloat64(b), f64.ToFloat64(s), f64.ToFloat64(err))
+		}
+	}
+}
+
+func TestFastTwoSumExactWhenOrdered(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30000; i++ {
+		a, b := randVal(rng), randVal(rng)
+		if f64.Lt(&e, f64.Abs(a), f64.Abs(b)) {
+			a, b = b, a
+		}
+		s, err := FastTwoSum(&e, f64, a, b)
+		if !exactPairEqual(a, b, s, err) {
+			t.Fatalf("FastTwoSum(%v, %v): not exact", f64.ToFloat64(a), f64.ToFloat64(b))
+		}
+	}
+}
+
+func TestTwoProductExact(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		a, b := randVal(rng), randVal(rng)
+		p, err := TwoProduct(&e, f64, a, b)
+		if f64.IsSubnormal(err) || f64.IsSubnormal(p) {
+			continue // underflow voids the exactness guarantee
+		}
+		if !exactProdEqual(a, b, p, err) {
+			t.Fatalf("TwoProduct(%v, %v): not exact", f64.ToFloat64(a), f64.ToFloat64(b))
+		}
+	}
+}
+
+func TestTwoProductDekkerMatchesFMA(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30000; i++ {
+		a, b := randVal(rng), randVal(rng)
+		p1, e1 := TwoProduct(&e, f64, a, b)
+		p2, e2 := TwoProductDekker(&e, f64, a, b)
+		if f64.IsSubnormal(e1) {
+			continue
+		}
+		if p1 != p2 || e1 != e2 {
+			t.Fatalf("Dekker(%v, %v) = (%v, %v), FMA form (%v, %v)",
+				f64.ToFloat64(a), f64.ToFloat64(b),
+				f64.ToFloat64(p2), f64.ToFloat64(e2),
+				f64.ToFloat64(p1), f64.ToFloat64(e1))
+		}
+	}
+}
+
+// illConditionedSum builds a series whose naive sum is garbage: huge
+// cancellations around tiny residuals.
+func illConditionedSum(rng *rand.Rand, n int) []uint64 {
+	var e ieee754.Env
+	out := make([]uint64, 0, 2*n+1)
+	for i := 0; i < n; i++ {
+		big := math.Ldexp(rng.Float64()+1, 40+rng.Intn(12))
+		out = append(out, f64.FromFloat64(&e, big), f64.FromFloat64(&e, -big))
+		out = append(out, f64.FromFloat64(&e, rng.Float64()))
+	}
+	return out
+}
+
+// exactSumOf computes the exact sum via arbitrary precision.
+func exactSumOf(xs []uint64) mpfloat.Float {
+	ctx := mpfloat.NewContext(400)
+	s := mpfloat.Zero(false)
+	for _, x := range xs {
+		s = ctx.Add(s, mpfloat.FromBits(f64, x))
+	}
+	return s
+}
+
+func TestSum2BeatsNaiveOnIllConditioned(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(5))
+	worseCount := 0
+	for trial := 0; trial < 20; trial++ {
+		xs := illConditionedSum(rng, 100)
+		exact := exactSumOf(xs).Float64()
+		naive := f64.ToFloat64(SumNaive(&e, f64, xs))
+		sum2 := f64.ToFloat64(Sum2(&e, f64, xs))
+		neumaier := f64.ToFloat64(SumNeumaier(&e, f64, xs))
+		errNaive := math.Abs(naive - exact)
+		errSum2 := math.Abs(sum2 - exact)
+		errNeu := math.Abs(neumaier - exact)
+		if errSum2 > errNaive {
+			worseCount++
+		}
+		// Sum2 should essentially nail it.
+		if errSum2 > math.Abs(exact)*1e-12+1e-9 {
+			t.Fatalf("trial %d: Sum2 err %g (exact %g)", trial, errSum2, exact)
+		}
+		if errNeu > math.Abs(exact)*1e-12+1e-9 {
+			t.Fatalf("trial %d: Neumaier err %g", trial, errNeu)
+		}
+	}
+	if worseCount > 2 {
+		t.Fatalf("Sum2 worse than naive in %d/20 trials", worseCount)
+	}
+}
+
+func TestDot2BeatsNaive(t *testing.T) {
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(6))
+	// Ill-conditioned dot product: x·y ~ 0 with large components.
+	n := 50
+	xs := make([]uint64, 2*n)
+	ys := make([]uint64, 2*n)
+	for i := 0; i < n; i++ {
+		a := math.Ldexp(rng.Float64()+1, 30)
+		b := rng.Float64() + 1
+		xs[2*i] = f64.FromFloat64(&e, a)
+		ys[2*i] = f64.FromFloat64(&e, b)
+		xs[2*i+1] = f64.FromFloat64(&e, -a)
+		ys[2*i+1] = f64.FromFloat64(&e, b*(1+1e-13))
+	}
+	ctx := mpfloat.NewContext(400)
+	exact := mpfloat.Zero(false)
+	for i := range xs {
+		exact = ctx.Add(exact, ctx.Mul(mpfloat.FromBits(f64, xs[i]), mpfloat.FromBits(f64, ys[i])))
+	}
+	want := exact.Float64()
+	naive := f64.ToFloat64(DotNaive(&e, f64, xs, ys))
+	dot2 := f64.ToFloat64(Dot2(&e, f64, xs, ys))
+	if math.Abs(dot2-want) >= math.Abs(naive-want) {
+		t.Fatalf("dot2 err %g not better than naive err %g (want %g)",
+			math.Abs(dot2-want), math.Abs(naive-want), want)
+	}
+	if want != 0 && math.Abs(dot2-want)/math.Abs(want) > 1e-10 {
+		t.Fatalf("dot2 = %g, exact %g", dot2, want)
+	}
+}
+
+func TestEFTInOtherFormats(t *testing.T) {
+	// TwoSum exactness is format-generic; verify in binary32 and
+	// binary16 against exact arithmetic.
+	var e ieee754.Env
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range []ieee754.Format{ieee754.Binary32, ieee754.Binary16} {
+		for i := 0; i < 5000; i++ {
+			var s ieee754.Env
+			a := f.FromFloat64(&s, (rng.Float64()*2-1)*math.Ldexp(1, rng.Intn(10)))
+			b := f.FromFloat64(&s, (rng.Float64()*2-1)*math.Ldexp(1, rng.Intn(10)))
+			sum, err := TwoSum(&e, f, a, b)
+			ctx := mpfloat.NewContext(200)
+			lhs := ctx.Add(mpfloat.FromBits(f, a), mpfloat.FromBits(f, b))
+			rhs := ctx.Add(mpfloat.FromBits(f, sum), mpfloat.FromBits(f, err))
+			if lhs.Cmp(rhs) != 0 {
+				t.Fatalf("%s TwoSum not exact: %v + %v", f.Name, f.ToFloat64(a), f.ToFloat64(b))
+			}
+		}
+	}
+}
+
+func TestDotLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var e ieee754.Env
+	Dot2(&e, f64, make([]uint64, 2), make([]uint64, 3))
+}
+
+func TestEmptyInputs(t *testing.T) {
+	var e ieee754.Env
+	if Sum2(&e, f64, nil) != f64.Zero(false) {
+		t.Fatal("empty Sum2")
+	}
+	if Dot2(&e, f64, nil, nil) != f64.Zero(false) {
+		t.Fatal("empty Dot2")
+	}
+	if SumNeumaier(&e, f64, nil) != f64.Zero(false) {
+		t.Fatal("empty Neumaier")
+	}
+}

@@ -1,0 +1,114 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"fpstudy/internal/ieee754"
+)
+
+// Attribution links one operation node of an expression to the
+// exception flags its evaluation raised — the expression-level version
+// of the paper's proposed tool that "points developers to potentially
+// suspicious code".
+type Attribution struct {
+	// Path locates the node from the root, e.g. "/", "/lhs", or
+	// "/rhs/lhs".
+	Path string
+	// Source is the subexpression's source form.
+	Source string
+	// Result is the node's computed encoding.
+	Result uint64
+	// Raised holds the flags raised by this node's own operation
+	// (not its children).
+	Raised ieee754.Flags
+}
+
+// EvalAttributed evaluates n like Eval while recording, for every
+// operation node, the exception flags that specific operation raised.
+// Attributions are returned in evaluation (post-order) order; entries
+// with no raised flags are included so callers see the full op stream.
+func EvalAttributed(f ieee754.Format, fe *ieee754.Env, n Node, vars Env) (uint64, []Attribution) {
+	var out []Attribution
+	var walk func(n Node, path string) uint64
+	record := func(n Node, path string, result uint64) uint64 {
+		out = append(out, Attribution{
+			Path:   path,
+			Source: n.String(),
+			Result: result,
+			Raised: fe.LastRaised,
+		})
+		return result
+	}
+	walk = func(n Node, path string) uint64 {
+		switch t := n.(type) {
+		case Lit:
+			var scratch ieee754.Env
+			scratch.Rounding = fe.Rounding
+			return f.FromFloat64(&scratch, t.V)
+		case Var:
+			if b, ok := vars[t.Name]; ok {
+				return b
+			}
+			return f.QNaN()
+		case Unary:
+			x := walk(t.X, path+"/x")
+			switch t.Op {
+			case OpNeg:
+				return f.Neg(x) // sign ops raise nothing; not recorded
+			case OpSqrt:
+				return record(n, path, f.Sqrt(fe, x))
+			}
+		case Binary:
+			x := walk(t.X, path+"/lhs")
+			y := walk(t.Y, path+"/rhs")
+			var r uint64
+			switch t.Op {
+			case OpAdd:
+				r = f.Add(fe, x, y)
+			case OpSub:
+				r = f.Sub(fe, x, y)
+			case OpMul:
+				r = f.Mul(fe, x, y)
+			case OpDiv:
+				r = f.Div(fe, x, y)
+			}
+			return record(n, path, r)
+		case FMA:
+			x := walk(t.X, path+"/x")
+			y := walk(t.Y, path+"/y")
+			z := walk(t.Z, path+"/z")
+			return record(n, path, f.FMA(fe, x, y, z))
+		}
+		return f.QNaN()
+	}
+	root := walk(n, "")
+	return root, out
+}
+
+// Suspicious filters an attribution list to entries raising any of the
+// watched flags.
+func Suspicious(attrs []Attribution, watch ieee754.Flags) []Attribution {
+	var out []Attribution
+	for _, a := range attrs {
+		if a.Raised&watch != 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FormatAttributions renders an attribution list as an annotated
+// listing for format f.
+func FormatAttributions(f ieee754.Format, attrs []Attribution) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		path := a.Path
+		if path == "" {
+			path = "/"
+		}
+		fmt.Fprintf(&b, "%-14s %-28s = %-16s %s\n",
+			path, a.Source, f.String(a.Result), a.Raised)
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+func TestEvalAttributedLocatesDivZero(t *testing.T) {
+	f := ieee754.Binary64
+	var fe ieee754.Env
+	var se ieee754.Env
+	n := MustParse("1/(a - a) + b")
+	vars := Env{
+		"a": f.FromFloat64(&se, 42),
+		"b": f.FromFloat64(&se, 1),
+	}
+	root, attrs := EvalAttributed(f, &fe, n, vars)
+	if !f.IsInf(root, +1) {
+		t.Fatalf("root = %v", f.ToFloat64(root))
+	}
+	// Three op nodes: a-a, 1/(a-a), (..)+b.
+	if len(attrs) != 3 {
+		t.Fatalf("attrs: %d", len(attrs))
+	}
+	sus := Suspicious(attrs, ieee754.FlagDivByZero)
+	if len(sus) != 1 {
+		t.Fatalf("suspicious: %+v", sus)
+	}
+	if sus[0].Path != "/lhs" || !strings.Contains(sus[0].Source, "1/") {
+		t.Fatalf("located at %q (%q)", sus[0].Path, sus[0].Source)
+	}
+	listing := FormatAttributions(f, attrs)
+	if !strings.Contains(listing, "divbyzero") || !strings.Contains(listing, "/lhs") {
+		t.Fatalf("listing:\n%s", listing)
+	}
+}
+
+func TestEvalAttributedMatchesEval(t *testing.T) {
+	f := ieee754.Binary64
+	var se ieee754.Env
+	vars := Env{
+		"a": f.FromFloat64(&se, 0.1),
+		"b": f.FromFloat64(&se, 3),
+		"c": f.FromFloat64(&se, -7),
+	}
+	for _, src := range []string{
+		"a*b + c", "sqrt(a)*sqrt(a)", "fma(a, b, c)", "(a + b)/(b - c)", "-a",
+	} {
+		n := MustParse(src)
+		var e1, e2 ieee754.Env
+		want := Eval(f, &e1, n, vars)
+		got, _ := EvalAttributed(f, &e2, n, vars)
+		if got != want {
+			t.Errorf("%q: attributed %x vs eval %x", src, got, want)
+		}
+		if e1.Flags != e2.Flags {
+			t.Errorf("%q: flags %v vs %v", src, e2.Flags, e1.Flags)
+		}
+	}
+}
+
+func TestEvalAttributedCleanExpression(t *testing.T) {
+	f := ieee754.Binary64
+	var fe ieee754.Env
+	_, attrs := EvalAttributed(f, &fe, MustParse("1 + 2"), nil)
+	if len(attrs) != 1 || attrs[0].Raised != 0 {
+		t.Fatalf("attrs: %+v", attrs)
+	}
+	if len(Suspicious(attrs, ieee754.AllFlags)) != 0 {
+		t.Fatal("clean expression flagged")
+	}
+}
+
+func TestEvalAttributedSqrtNegative(t *testing.T) {
+	f := ieee754.Binary64
+	var fe ieee754.Env
+	var se ieee754.Env
+	vars := Env{"x": f.FromFloat64(&se, -4)}
+	_, attrs := EvalAttributed(f, &fe, MustParse("sqrt(x) + 1"), vars)
+	sus := Suspicious(attrs, ieee754.FlagInvalid)
+	if len(sus) != 1 || sus[0].Source != "sqrt(x)" {
+		t.Fatalf("suspicious: %+v", sus)
+	}
+}

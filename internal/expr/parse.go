@@ -1,0 +1,244 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse converts source text like "a*(b + c) - sqrt(d)/2" into an
+// expression tree. The grammar is conventional:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | primary
+//	primary:= number | ident | ident '(' args ')' | '(' expr ')'
+//
+// Recognized functions are sqrt(x) and fma(x, y, z).
+func Parse(src string) (Node, error) {
+	p := &parser{src: src}
+	p.next()
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.lit, p.off)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for static expressions in
+// tests and tables.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type token uint8
+
+const (
+	tokEOF token = iota
+	tokNum
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokBad
+)
+
+type parser struct {
+	src string
+	off int
+	tok token
+	lit string
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && (p.src[p.off] == ' ' || p.src[p.off] == '\t' || p.src[p.off] == '\n') {
+		p.off++
+	}
+	if p.off >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.off]
+	switch {
+	case c == '(':
+		p.tok, p.lit = tokLParen, "("
+		p.off++
+	case c == ')':
+		p.tok, p.lit = tokRParen, ")"
+		p.off++
+	case c == ',':
+		p.tok, p.lit = tokComma, ","
+		p.off++
+	case c == '+':
+		p.tok, p.lit = tokPlus, "+"
+		p.off++
+	case c == '-':
+		p.tok, p.lit = tokMinus, "-"
+		p.off++
+	case c == '*':
+		p.tok, p.lit = tokStar, "*"
+		p.off++
+	case c == '/':
+		p.tok, p.lit = tokSlash, "/"
+		p.off++
+	case c >= '0' && c <= '9' || c == '.':
+		start := p.off
+		for p.off < len(p.src) {
+			c := p.src[p.off]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+				p.off++
+				continue
+			}
+			// exponent sign
+			if (c == '+' || c == '-') && p.off > start &&
+				(p.src[p.off-1] == 'e' || p.src[p.off-1] == 'E') {
+				p.off++
+				continue
+			}
+			break
+		}
+		p.tok, p.lit = tokNum, p.src[start:p.off]
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.off
+		for p.off < len(p.src) {
+			c := rune(p.src[p.off])
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				p.off++
+				continue
+			}
+			break
+		}
+		p.tok, p.lit = tokIdent, p.src[start:p.off]
+	default:
+		p.tok, p.lit = tokBad, string(c)
+		p.off++
+	}
+}
+
+func (p *parser) parseExpr() (Node, error) {
+	n, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokPlus || p.tok == tokMinus {
+		op := OpAdd
+		if p.tok == tokMinus {
+			op = OpSub
+		}
+		p.next()
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{op, n, rhs}
+	}
+	return n, nil
+}
+
+func (p *parser) parseTerm() (Node, error) {
+	n, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == tokStar || p.tok == tokSlash {
+		op := OpMul
+		if p.tok == tokSlash {
+			op = OpDiv
+		}
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		n = Binary{op, n, rhs}
+	}
+	return n, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.tok == tokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{OpNeg, x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch p.tok {
+	case tokNum:
+		v, err := strconv.ParseFloat(p.lit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q: %w", p.lit, err)
+		}
+		p.next()
+		return Lit{v}, nil
+	case tokIdent:
+		name := p.lit
+		p.next()
+		if p.tok != tokLParen {
+			return Var{name}, nil
+		}
+		// Function call.
+		p.next()
+		var args []Node
+		if p.tok != tokRParen {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok != tokComma {
+					break
+				}
+				p.next()
+			}
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("expr: missing ) after %s(", name)
+		}
+		p.next()
+		switch strings.ToLower(name) {
+		case "sqrt":
+			if len(args) != 1 {
+				return nil, fmt.Errorf("expr: sqrt takes 1 argument, got %d", len(args))
+			}
+			return Unary{OpSqrt, args[0]}, nil
+		case "fma":
+			if len(args) != 3 {
+				return nil, fmt.Errorf("expr: fma takes 3 arguments, got %d", len(args))
+			}
+			return FMA{args[0], args[1], args[2]}, nil
+		default:
+			return nil, fmt.Errorf("expr: unknown function %q", name)
+		}
+	case tokLParen:
+		p.next()
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, fmt.Errorf("expr: missing )")
+		}
+		p.next()
+		return n, nil
+	}
+	return nil, fmt.Errorf("expr: unexpected %q at offset %d", p.lit, p.off)
+}

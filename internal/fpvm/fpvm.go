@@ -1,0 +1,398 @@
+// Package fpvm implements a small stack-based virtual machine for
+// floating point programs, executing on the ieee754 softfloat. It gives
+// the exception monitor a real "unmodified program" to spy on — the
+// paper's conclusions describe exactly such a runtime tool — and gives
+// the precision tuner a representation with loops and mutable state,
+// which pure expression trees lack.
+//
+// Programs are written in a tiny assembly:
+//
+//	; harmonic sum of n terms
+//	loadc 0        ; sum
+//	store sum
+//	loadc 1        ; k
+//	store k
+//	label loop
+//	loadc 1
+//	load  k
+//	div            ; 1/k
+//	load  sum
+//	add
+//	store sum
+//	load  k
+//	loadc 1
+//	add
+//	store k
+//	load  k
+//	load  n
+//	jle   loop     ; while k <= n
+//	load  sum
+//	ret
+//
+// Values on the stack and in variables are encodings of the VM's
+// format. Comparisons follow IEEE semantics (NaN unordered: all
+// conditional jumps fall through on unordered, except jne).
+package fpvm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fpstudy/internal/ieee754"
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+const (
+	OpNop Op = iota
+	OpLoadConst
+	OpLoad
+	OpStore
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpSqrt
+	OpFMA
+	OpNeg
+	OpAbs
+	OpDup
+	OpSwap
+	OpPop
+	OpJmp
+	OpJlt // jump if a < b   (pops b, then a)
+	OpJle
+	OpJgt
+	OpJge
+	OpJeq
+	OpJne
+	OpRet
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpLoadConst: "loadc", OpLoad: "load", OpStore: "store",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpSqrt: "sqrt",
+	OpFMA: "fma", OpNeg: "neg", OpAbs: "abs", OpDup: "dup", OpSwap: "swap",
+	OpPop: "pop", OpJmp: "jmp", OpJlt: "jlt", OpJle: "jle", OpJgt: "jgt",
+	OpJge: "jge", OpJeq: "jeq", OpJne: "jne", OpRet: "ret",
+}
+
+// Instr is one instruction. Operand use depends on the opcode:
+// loadc uses Const (a float64 materialized in the VM's format at run
+// time); load/store use Name; jumps use Target (an instruction index
+// resolved by the assembler).
+type Instr struct {
+	Op     Op
+	Const  float64
+	Name   string
+	Target int
+}
+
+// Program is an executable instruction sequence.
+type Program struct {
+	Name   string
+	Code   []Instr
+	labels map[string]int
+}
+
+// ErrLimit is returned when execution exceeds the step budget.
+var ErrLimit = fmt.Errorf("fpvm: step limit exceeded")
+
+// Assemble parses the textual assembly into a Program. Comments start
+// with ';'. Labels are declared as "label name" and referenced by jump
+// instructions.
+func Assemble(name, src string) (*Program, error) {
+	p := &Program{Name: name, labels: map[string]int{}}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		mnemonic := strings.ToLower(fields[0])
+		arg := ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("fpvm: line %d: too many operands", ln+1)
+		}
+		if mnemonic == "label" {
+			if arg == "" {
+				return nil, fmt.Errorf("fpvm: line %d: label needs a name", ln+1)
+			}
+			if _, dup := p.labels[arg]; dup {
+				return nil, fmt.Errorf("fpvm: line %d: duplicate label %q", ln+1, arg)
+			}
+			p.labels[arg] = len(p.Code)
+			continue
+		}
+		var op Op
+		found := false
+		for o, n := range opNames {
+			if n == mnemonic {
+				op, found = o, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("fpvm: line %d: unknown mnemonic %q", ln+1, mnemonic)
+		}
+		in := Instr{Op: op}
+		switch op {
+		case OpLoadConst:
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fpvm: line %d: bad constant %q", ln+1, arg)
+			}
+			in.Const = v
+		case OpLoad, OpStore:
+			if arg == "" {
+				return nil, fmt.Errorf("fpvm: line %d: %s needs a variable name", ln+1, mnemonic)
+			}
+			in.Name = arg
+		case OpJmp, OpJlt, OpJle, OpJgt, OpJge, OpJeq, OpJne:
+			if arg == "" {
+				return nil, fmt.Errorf("fpvm: line %d: jump needs a label", ln+1)
+			}
+			fixups = append(fixups, fixup{len(p.Code), arg, ln + 1})
+		default:
+			if arg != "" {
+				return nil, fmt.Errorf("fpvm: line %d: %s takes no operand", ln+1, mnemonic)
+			}
+		}
+		p.Code = append(p.Code, in)
+	}
+	for _, f := range fixups {
+		t, ok := p.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("fpvm: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Code[f.instr].Target = t
+	}
+	return p, nil
+}
+
+// MustAssemble panics on assembly errors; for static programs.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders the program back to assembly (labels
+// synthesized as L<index>).
+func (p *Program) Disassemble() string {
+	targets := map[int]bool{}
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpJmp, OpJlt, OpJle, OpJgt, OpJge, OpJeq, OpJne:
+			targets[in.Target] = true
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Code {
+		if targets[i] {
+			fmt.Fprintf(&b, "label L%d\n", i)
+		}
+		switch in.Op {
+		case OpLoadConst:
+			fmt.Fprintf(&b, "  loadc %g\n", in.Const)
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, "  %s %s\n", opNames[in.Op], in.Name)
+		case OpJmp, OpJlt, OpJle, OpJgt, OpJge, OpJeq, OpJne:
+			fmt.Fprintf(&b, "  %s L%d\n", opNames[in.Op], in.Target)
+		default:
+			fmt.Fprintf(&b, "  %s\n", opNames[in.Op])
+		}
+	}
+	return b.String()
+}
+
+// VM executes programs in a fixed format under an environment.
+type VM struct {
+	F ieee754.Format
+	E *ieee754.Env
+	// StepLimit bounds execution (default 10 million).
+	StepLimit int
+}
+
+// New creates a VM over format f with a fresh default environment.
+func New(f ieee754.Format) *VM {
+	return &VM{F: f, E: &ieee754.Env{}, StepLimit: 10_000_000}
+}
+
+// Run executes the program with the given variable bindings (encodings
+// in the VM's format) and returns the value returned by ret (or the top
+// of stack at program end; 0 if empty).
+func (vm *VM) Run(p *Program, vars map[string]uint64) (uint64, error) {
+	f, e := vm.F, vm.E
+	limit := vm.StepLimit
+	if limit <= 0 {
+		limit = 10_000_000
+	}
+	locals := map[string]uint64{}
+	for k, v := range vars {
+		locals[k] = v
+	}
+	var stack []uint64
+	push := func(v uint64) { stack = append(stack, v) }
+	pop := func() (uint64, error) {
+		if len(stack) == 0 {
+			return 0, fmt.Errorf("fpvm: stack underflow")
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v, nil
+	}
+	pop2 := func() (a, b uint64, err error) {
+		b, err = pop()
+		if err != nil {
+			return
+		}
+		a, err = pop()
+		return
+	}
+
+	pc := 0
+	steps := 0
+	var scratch ieee754.Env
+	for pc < len(p.Code) {
+		steps++
+		if steps > limit {
+			return 0, ErrLimit
+		}
+		in := p.Code[pc]
+		pc++
+		switch in.Op {
+		case OpNop:
+		case OpLoadConst:
+			scratch.Rounding = e.Rounding
+			push(f.FromFloat64(&scratch, in.Const))
+		case OpLoad:
+			v, ok := locals[in.Name]
+			if !ok {
+				v = f.QNaN()
+			}
+			push(v)
+		case OpStore:
+			v, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			locals[in.Name] = v
+		case OpAdd, OpSub, OpMul, OpDiv:
+			a, b, err := pop2()
+			if err != nil {
+				return 0, err
+			}
+			switch in.Op {
+			case OpAdd:
+				push(f.Add(e, a, b))
+			case OpSub:
+				push(f.Sub(e, a, b))
+			case OpMul:
+				push(f.Mul(e, a, b))
+			case OpDiv:
+				push(f.Div(e, a, b))
+			}
+		case OpSqrt:
+			a, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			push(f.Sqrt(e, a))
+		case OpFMA:
+			c, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			a, b, err := pop2()
+			if err != nil {
+				return 0, err
+			}
+			push(f.FMA(e, a, b, c))
+		case OpNeg:
+			a, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			push(f.Neg(a))
+		case OpAbs:
+			a, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			push(f.Abs(a))
+		case OpDup:
+			a, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			push(a)
+			push(a)
+		case OpSwap:
+			a, b, err := pop2()
+			if err != nil {
+				return 0, err
+			}
+			push(b)
+			push(a)
+		case OpPop:
+			if _, err := pop(); err != nil {
+				return 0, err
+			}
+		case OpJmp:
+			pc = in.Target
+		case OpJlt, OpJle, OpJgt, OpJge, OpJeq, OpJne:
+			a, b, err := pop2()
+			if err != nil {
+				return 0, err
+			}
+			o := f.CompareQuiet(e, a, b)
+			take := false
+			switch in.Op {
+			case OpJlt:
+				take = o == ieee754.Less
+			case OpJle:
+				take = o == ieee754.Less || o == ieee754.Equal
+			case OpJgt:
+				take = o == ieee754.Greater
+			case OpJge:
+				take = o == ieee754.Greater || o == ieee754.Equal
+			case OpJeq:
+				take = o == ieee754.Equal
+			case OpJne:
+				take = o != ieee754.Equal // includes unordered, like C's !=
+			}
+			if take {
+				pc = in.Target
+			}
+		case OpRet:
+			v, err := pop()
+			if err != nil {
+				return 0, err
+			}
+			return v, nil
+		}
+	}
+	if len(stack) > 0 {
+		return stack[len(stack)-1], nil
+	}
+	return f.Zero(false), nil
+}

@@ -1,0 +1,254 @@
+package fpvm
+
+import (
+	"math"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+	"fpstudy/internal/monitor"
+)
+
+var f64 = ieee754.Binary64
+
+func bindings(vm *VM, vars map[string]float64) map[string]uint64 {
+	out := map[string]uint64{}
+	var e ieee754.Env
+	for k, v := range vars {
+		out[k] = vm.F.FromFloat64(&e, v)
+	}
+	return out
+}
+
+func TestHarmonicSum(t *testing.T) {
+	vm := New(f64)
+	res, err := vm.Run(HarmonicSum, bindings(vm, map[string]float64{"n": 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f64.ToFloat64(res)
+	if math.Abs(got-5.187377517639621) > 1e-12 {
+		t.Fatalf("H_100 = %v", got)
+	}
+}
+
+func TestNewtonSqrt(t *testing.T) {
+	vm := New(f64)
+	for _, x := range []float64{2, 9, 1e6, 0.25} {
+		res, err := vm.Run(NewtonSqrt, bindings(vm, map[string]float64{"x": x}))
+		if err != nil {
+			t.Fatalf("x=%v: %v", x, err)
+		}
+		got := f64.ToFloat64(res)
+		if math.Abs(got-math.Sqrt(x)) > math.Sqrt(x)*1e-14 {
+			t.Fatalf("newton sqrt(%v) = %v", x, got)
+		}
+	}
+}
+
+func TestQuadraticRootCancellation(t *testing.T) {
+	vm := New(f64)
+	// Roots of x^2 + 1e8 x + 1: the small root is ~-1e-8; the naive
+	// formula cancels badly. Compare against the stable formula.
+	res, err := vm.Run(QuadraticRoot, bindings(vm, map[string]float64{"b": 1e8, "c": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f64.ToFloat64(res)
+	exact := -1e-8 // to first order
+	rel := math.Abs(got-exact) / 1e-8
+	// With b = 1e8 the subtraction -b + sqrt(b^2-4c) cancels all but a
+	// couple of bits: the naive formula is catastrophically wrong
+	// (tens of percent off), while remaining the right order of
+	// magnitude. Both facts are the point of the program.
+	if rel < 1e-3 {
+		t.Fatalf("naive formula unexpectedly accurate (rel %g) — cancellation missing", rel)
+	}
+	if got >= 0 || got < -1e-7 {
+		t.Fatalf("naive root %v lost even the magnitude", got)
+	}
+}
+
+func TestGeometricDecayWalksSubnormals(t *testing.T) {
+	m := monitor.New()
+	vm := &VM{F: f64, E: m.Env(), StepLimit: 100000}
+	res, err := vm.Run(GeometricDecay, bindings(vm, map[string]float64{"x": 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f64.IsZero(res) {
+		t.Fatalf("decay result %v", f64.ToFloat64(res))
+	}
+	rep := m.Report()
+	occurred := map[monitor.Condition]bool{}
+	for _, c := range rep.Occurred() {
+		occurred[c] = true
+	}
+	if !occurred[monitor.Underflow] || !occurred[monitor.Denorm] {
+		t.Fatalf("decay should raise underflow+denorm:\n%s", rep)
+	}
+}
+
+func TestMonitorSeesVMOps(t *testing.T) {
+	m := monitor.New()
+	vm := &VM{F: f64, E: m.Env(), StepLimit: 1 << 20}
+	_, err := vm.Run(HarmonicSum, bindings(vm, map[string]float64{"n": 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Report()
+	if rep.TotalOps < 100 {
+		t.Fatalf("monitor saw %d ops", rep.TotalOps)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	infinite := MustAssemble("spin", `
+label top
+	jmp top
+`)
+	vm := New(f64)
+	vm.StepLimit = 1000
+	if _, err := vm.Run(infinite, nil); err != ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus",
+		"loadc",
+		"loadc xyz",
+		"load",
+		"jmp",
+		"jmp nowhere",
+		"label",
+		"label a\nlabel a",
+		"add extra",
+		"loadc 1 2",
+	}
+	for _, src := range bad {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("assembled %q without error", src)
+		}
+	}
+}
+
+func TestStackErrors(t *testing.T) {
+	vm := New(f64)
+	for _, src := range []string{"add", "pop", "ret", "store x", "sqrt", "fma", "swap", "jeq l\nlabel l"} {
+		p := MustAssemble("t", src)
+		if _, err := vm.Run(p, nil); err == nil {
+			t.Errorf("%q ran without stack underflow", src)
+		}
+	}
+}
+
+func TestStackOpsAndFMA(t *testing.T) {
+	vm := New(f64)
+	p := MustAssemble("t", `
+	loadc 2
+	loadc 3
+	loadc 4
+	fma        ; 2*3 + 4 = 10
+	loadc 5
+	swap       ; stack: 5, 10
+	sub        ; 5 - 10 = -5
+	abs
+	dup
+	mul        ; 25
+	neg
+	ret
+`)
+	res, err := vm.Run(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f64.ToFloat64(res); got != -25 {
+		t.Fatalf("result %v, want -25", got)
+	}
+}
+
+func TestUnboundVariableIsNaN(t *testing.T) {
+	vm := New(f64)
+	res, err := vm.Run(MustAssemble("t", "load nothing\nret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f64.IsNaN(res) {
+		t.Fatalf("unbound load = %x", res)
+	}
+}
+
+func TestImplicitReturnAndEmptyStack(t *testing.T) {
+	vm := New(f64)
+	res, err := vm.Run(MustAssemble("t", "loadc 7"), nil)
+	if err != nil || f64.ToFloat64(res) != 7 {
+		t.Fatalf("implicit return: %v %v", res, err)
+	}
+	res, err = vm.Run(MustAssemble("t", "nop"), nil)
+	if err != nil || !f64.IsZero(res) {
+		t.Fatalf("empty program: %v %v", res, err)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	for _, p := range SamplePrograms() {
+		asm := p.Disassemble()
+		back, err := Assemble(p.Name, asm)
+		if err != nil {
+			t.Fatalf("%s: reassemble: %v\n%s", p.Name, err, asm)
+		}
+		if len(back.Code) != len(p.Code) {
+			t.Fatalf("%s: code length changed", p.Name)
+		}
+		// Behavioural check on harmonic.
+		if p.Name == "harmonic-sum" {
+			vm := New(f64)
+			a, _ := vm.Run(p, bindings(vm, map[string]float64{"n": 20}))
+			b, _ := vm.Run(back, bindings(vm, map[string]float64{"n": 20}))
+			if a != b {
+				t.Fatalf("disassembly changed behaviour")
+			}
+		}
+	}
+}
+
+func TestVMHarmonicMatchesKernel(t *testing.T) {
+	// The VM program and the Go-coded kernel implement the same
+	// algorithm; on the same softfloat they must agree bit for bit in
+	// every format.
+	for _, f := range []ieee754.Format{ieee754.Binary16, ieee754.Binary32, ieee754.Binary64} {
+		vm := New(f)
+		var e ieee754.Env
+		n := 500
+		vmRes, err := vm.Run(HarmonicSum, map[string]uint64{
+			"n": f.FromFloat64(&e, float64(n)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ke ieee754.Env
+		kernelRes := kernels.SumNaive(n).Run(&ke, f)
+		if vmRes != kernelRes {
+			t.Fatalf("%s: VM %x vs kernel %x", f.Name, vmRes, kernelRes)
+		}
+	}
+}
+
+func TestVMInBinary16(t *testing.T) {
+	// The harmonic sum in binary16 stalls early from absorption —
+	// distinctly below the binary64 value.
+	vm16 := New(ieee754.Binary16)
+	res16, err := vm16.Run(HarmonicSum, bindings(vm16, map[string]float64{"n": 2000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm64 := New(f64)
+	res64, _ := vm64.Run(HarmonicSum, bindings(vm64, map[string]float64{"n": 2000}))
+	h16 := ieee754.Binary16.ToFloat64(res16)
+	h64 := f64.ToFloat64(res64)
+	if !(h16 < h64-0.3) {
+		t.Fatalf("binary16 harmonic %v vs binary64 %v: expected visible loss", h16, h64)
+	}
+}

@@ -1,0 +1,94 @@
+package fpvm
+
+// Library of sample programs: the monitored-workload story of the
+// paper, but as "binaries" the VM runs unmodified.
+
+// HarmonicSum sums 1/k for k = 1..n (expects variable n).
+var HarmonicSum = MustAssemble("harmonic-sum", `
+	loadc 0
+	store sum
+	loadc 1
+	store k
+label loop
+	loadc 1
+	load  k
+	div
+	load  sum
+	add
+	store sum
+	load  k
+	loadc 1
+	add
+	store k
+	load  k
+	load  n
+	jle   loop
+	load  sum
+	ret
+`)
+
+// NewtonSqrt computes sqrt(x) by Newton iteration until the estimate
+// stops changing (expects variable x; demonstrates an equality-based
+// convergence loop, which the step limit protects).
+var NewtonSqrt = MustAssemble("newton-sqrt", `
+	load  x
+	store g           ; initial guess g = x
+label iter
+	load  x
+	load  g
+	div               ; x/g
+	load  g
+	add
+	loadc 0.5
+	mul               ; g' = (g + x/g)/2
+	store gnew
+	load  gnew
+	load  g
+	jeq   done        ; converged when g' == g
+	load  gnew
+	store g
+	jmp   iter
+label done
+	load  g
+	ret
+`)
+
+// QuadraticRoot computes the smaller-magnitude root of x^2 + bx + c via
+// the naive formula (-b + sqrt(b^2 - 4c)) / 2 — cancellation-prone for
+// large b (expects variables b and c).
+var QuadraticRoot = MustAssemble("quadratic-root", `
+	load  b
+	load  b
+	mul               ; b^2
+	loadc 4
+	load  c
+	mul
+	sub               ; b^2 - 4c
+	sqrt
+	load  b
+	neg
+	add               ; -b + sqrt(...)
+	loadc 2
+	div
+	ret
+`)
+
+// GeometricDecay halves x until it reaches zero, walking through the
+// entire subnormal range (expects variable x).
+var GeometricDecay = MustAssemble("geometric-decay", `
+label loop
+	load  x
+	loadc 0.5
+	mul
+	store x
+	load  x
+	loadc 0
+	jne   loop
+	load  x
+	ret
+`)
+
+// SamplePrograms lists the library for tools that sweep it.
+func SamplePrograms() []*Program {
+	return []*Program{HarmonicSum, NewtonSqrt, QuadraticRoot, GeometricDecay}
+}

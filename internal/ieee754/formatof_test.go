@@ -1,0 +1,164 @@
+package ieee754
+
+import (
+	"math"
+	"testing"
+
+	"math/rand"
+)
+
+// Reference for formatOf ops: compute in float64 hardware (exact for
+// binary32 operand add/mul since they're exactly representable; for the
+// wide->narrow result the theorem about 2p+2 guarantees single-rounding
+// equivalence only when p_dst is small enough, so for binary64->binary32
+// we instead verify against explicit exact reasoning on directed cases
+// and consistency properties on random ones).
+
+func TestAddToMatchesSingleRounding32(t *testing.T) {
+	// Operands binary32, result binary32: must equal ordinary add.
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < 100000; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.AddTo(&e, Binary32, a, b)
+		want := Binary32.Add(&e, a, b)
+		if !sameFloat32(got, want) {
+			t.Fatalf("AddTo self (%x, %x): %x vs %x", a, b, got, want)
+		}
+	}
+}
+
+func TestAddToWideningIsExactSum(t *testing.T) {
+	// binary32 operands, binary64 result: the sum of two binary32
+	// values is exactly representable in binary64, so AddTo equals the
+	// hardware double sum of the widened operands.
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < 100000; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.AddTo(&e, Binary64, a, b)
+		want := b64(float64(f32(a)) + float64(f32(b)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("AddTo widening (%v, %v): %x vs %x", f32(a), f32(b), got, want)
+		}
+	}
+}
+
+func TestMulToWideningIsExactProduct(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < 100000; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.MulTo(&e, Binary64, a, b)
+		want := b64(float64(f32(a)) * float64(f32(b)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("MulTo widening (%v, %v): %x vs %x", f32(a), f32(b), got, want)
+		}
+	}
+}
+
+func TestNarrowingAddToAvoidsDoubleRounding(t *testing.T) {
+	// Construct a binary64 pair whose exact sum lies in the
+	// double-rounding sliver: rounding first to binary64 then to
+	// binary32 gives a different answer than rounding the exact sum
+	// once to binary32.
+	//
+	// a = 1 + 2^-24 (the binary32 tie point between 1.0 and 1+2^-23;
+	// exact in binary64), b = 2^-54 (below binary64's round bit for
+	// this exponent). Exact sum s = 1 + 2^-24 + 2^-54.
+	//   - Single rounding to binary32: s is strictly above the tie,
+	//     so it rounds UP to 1 + 2^-23.
+	//   - Two-step: binary64 sees round bit (2^-53) = 0 with sticky
+	//     2^-54, rounds DOWN to exactly 1 + 2^-24; converting that to
+	//     binary32 is now an exact tie, and ties-to-even picks 1.0.
+	var e Env
+	a := b64(1 + math.Ldexp(1, -24))
+	b := b64(math.Ldexp(1, -54))
+
+	direct := Binary64.AddTo(&e, Binary32, a, b)
+	twoStep64 := Binary64.Add(&e, a, b)
+	twoStep := Binary64.Convert(&e, Binary32, twoStep64)
+
+	wantDirect := b32(float32(1 + math.Ldexp(1, -23)))
+	wantTwoStep := b32(1.0)
+	if direct != wantDirect {
+		t.Fatalf("single-rounded AddTo = %x (%v), want %x", direct, f32(direct), wantDirect)
+	}
+	if twoStep != wantTwoStep {
+		t.Fatalf("double-rounded path = %x (%v), want %x", twoStep, f32(twoStep), wantTwoStep)
+	}
+	if direct == twoStep {
+		t.Fatal("expected the two paths to differ (double rounding)")
+	}
+}
+
+func TestFormatOfSpecials(t *testing.T) {
+	var e Env
+	if r := Binary64.AddTo(&e, Binary32, Binary64.Inf(false), Binary64.Inf(true)); !Binary32.IsNaN(r) {
+		t.Fatal("inf + -inf")
+	}
+	if !e.LastRaised.Has(FlagInvalid) {
+		t.Fatal("invalid flag")
+	}
+	if r := Binary64.MulTo(&e, Binary32, b64(0), Binary64.Inf(false)); !Binary32.IsNaN(r) {
+		t.Fatal("0*inf")
+	}
+	if r := Binary64.DivTo(&e, Binary32, b64(1), b64(0)); !Binary32.IsInf(r, +1) {
+		t.Fatal("1/0")
+	}
+	if !e.LastRaised.Has(FlagDivByZero) {
+		t.Fatal("divzero flag")
+	}
+	if r := Binary64.SubTo(&e, Binary32, b64(2.5), b64(2.5)); r != 0 {
+		t.Fatalf("x-x = %x", r)
+	}
+	if r := Binary64.AddTo(&e, Binary32, Binary64.QNaN(), b64(1)); !Binary32.IsNaN(r) {
+		t.Fatal("NaN propagation")
+	}
+	// Zero + finite passes through a single rounding.
+	if r := Binary64.AddTo(&e, Binary32, b64(0), b64(0.1)); r != b32(float32(0.1)) {
+		t.Fatalf("0 + 0.1 -> %x", r)
+	}
+}
+
+func TestDivToConsistent(t *testing.T) {
+	// DivTo with dst == src equals plain Div.
+	var e Env
+	rng := rand.New(rand.NewSource(0xd1f))
+	for i := 0; i < 50000; i++ {
+		a, b := randBits64(rng), randBits64(rng)
+		got := Binary64.DivTo(&e, Binary64, a, b)
+		want := Binary64.Div(&e, a, b)
+		if !sameFloat64(got, want) {
+			t.Fatalf("DivTo self (%x, %x): %x vs %x", a, b, got, want)
+		}
+	}
+}
+
+func TestFormatOfFP8Narrowing(t *testing.T) {
+	// binary64 operands straight into FP8: exhaustive over FP8-valued
+	// operands must match FP8's own arithmetic when inputs are exact
+	// FP8 values (operations on exact values round once either way).
+	var e Env
+	for a := uint64(0); a < 1<<8; a++ {
+		if fp8.IsNaN(a) {
+			continue
+		}
+		for b := uint64(0); b < 1<<8; b++ {
+			if fp8.IsNaN(b) {
+				continue
+			}
+			wa := fp8.Convert(&e, Binary64, a)
+			wb := fp8.Convert(&e, Binary64, b)
+			got := Binary64.AddTo(&e, fp8, wa, wb)
+			want := fp8.Add(&e, a, b)
+			if got != want && !(fp8.IsNaN(got) && fp8.IsNaN(want)) {
+				t.Fatalf("AddTo fp8 (%v, %v): %#02x vs %#02x",
+					fp8.ToFloat64(a), fp8.ToFloat64(b), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package ieee754
+
+// Cross-validation of the softfloat against Go's hardware IEEE 754
+// arithmetic. Go's float64/float32 operations are required by the spec
+// to be correctly rounded (round-to-nearest-even), so under the default
+// environment every binary64/binary32 operation must match bit-for-bit
+// (modulo NaN payloads, which hardware varies).
+
+import (
+	"math"
+	"testing"
+)
+
+const crossIters = 200000
+
+func TestAddMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		got := Binary64.Add(&e, a, b)
+		want := b64(f64(a) + f64(b))
+		if !sameFloat64(got, want) {
+			t.Fatalf("add(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestSubMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		got := Binary64.Sub(&e, a, b)
+		want := b64(f64(a) - f64(b))
+		if !sameFloat64(got, want) {
+			t.Fatalf("sub(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestMulMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		got := Binary64.Mul(&e, a, b)
+		want := b64(f64(a) * f64(b))
+		if !sameFloat64(got, want) {
+			t.Fatalf("mul(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestDivMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		got := Binary64.Div(&e, a, b)
+		want := b64(f64(a) / f64(b))
+		if !sameFloat64(got, want) {
+			t.Fatalf("div(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestSqrtMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for _, a := range specials64() {
+		got := Binary64.Sqrt(&e, a)
+		want := b64(math.Sqrt(f64(a)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("sqrt(%x): got %x (%v) want %x (%v)",
+				a, got, f64(got), want, f64(want))
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		a := randBits64(rng)
+		got := Binary64.Sqrt(&e, a)
+		want := b64(math.Sqrt(f64(a)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("sqrt(%x): got %x (%v) want %x (%v)",
+				a, got, f64(got), want, f64(want))
+		}
+	}
+}
+
+func TestFMAMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b, c uint64) {
+		got := Binary64.FMA(&e, a, b, c)
+		want := b64(math.FMA(f64(a), f64(b), f64(c)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("fma(%x, %x, %x): got %x (%v) want %x (%v)",
+				a, b, c, got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			for _, c := range sp {
+				check(a, b, c)
+			}
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestRemMatchesHardware64(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		got := Binary64.Rem(&e, a, b)
+		want := b64(math.Remainder(f64(a), f64(b)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("rem(%x~%v, %x~%v): got %x (%v) want %x (%v)",
+				a, f64(a), b, f64(b), got, f64(got), want, f64(want))
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}
+
+func TestMul32MatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.Mul(&e, a, b)
+		want := b32(f32(a) * f32(b))
+		if !sameFloat32(got, want) {
+			t.Fatalf("mul32(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f32(got), want, f32(want))
+		}
+	}
+}
+
+func TestAdd32MatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.Add(&e, a, b)
+		want := b32(f32(a) + f32(b))
+		if !sameFloat32(got, want) {
+			t.Fatalf("add32(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f32(got), want, f32(want))
+		}
+	}
+}
+
+func TestDiv32MatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		b := uint64(uint32(rng.Uint64()))
+		got := Binary32.Div(&e, a, b)
+		want := b32(f32(a) / f32(b))
+		if !sameFloat32(got, want) {
+			t.Fatalf("div32(%x, %x): got %x (%v) want %x (%v)",
+				a, b, got, f32(got), want, f32(want))
+		}
+	}
+}
+
+func TestConvert64To32MatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for _, a := range specials64() {
+		got := Binary64.Convert(&e, Binary32, a)
+		want := b32(float32(f64(a)))
+		if !sameFloat32(got, want) {
+			t.Fatalf("cvt64to32(%x~%v): got %x (%v) want %x (%v)",
+				a, f64(a), got, f32(got), want, f32(want))
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		a := randBits64(rng)
+		got := Binary64.Convert(&e, Binary32, a)
+		want := b32(float32(f64(a)))
+		if !sameFloat32(got, want) {
+			t.Fatalf("cvt64to32(%x~%v): got %x (%v) want %x (%v)",
+				a, f64(a), got, f32(got), want, f32(want))
+		}
+	}
+}
+
+func TestConvert32To64Exact(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		a := uint64(uint32(rng.Uint64()))
+		got := Binary32.Convert(&e, Binary64, a)
+		want := b64(float64(f32(a)))
+		if !sameFloat64(got, want) {
+			t.Fatalf("cvt32to64(%x): got %x want %x", a, got, want)
+		}
+	}
+}
+
+func TestFromInt64MatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		v := int64(rng.Uint64())
+		got := Binary64.FromInt64(&e, v)
+		want := b64(float64(v))
+		if got != want {
+			t.Fatalf("fromInt64(%d): got %x (%v) want %x (%v)",
+				v, got, f64(got), want, f64(want))
+		}
+	}
+}
+
+func TestToInt64MatchesHardware(t *testing.T) {
+	var e Env
+	e.Rounding = TowardZero // Go's int64(f) truncates
+	rng := newRng(t)
+	for i := 0; i < crossIters; i++ {
+		a := randBits64(rng)
+		v := f64(a)
+		// Only compare where Go's conversion is defined (in-range).
+		if math.IsNaN(v) || v >= math.MaxInt64 || v <= math.MinInt64 {
+			continue
+		}
+		got := Binary64.ToInt64(&e, a)
+		want := int64(v)
+		if got != want {
+			t.Fatalf("toInt64(%v): got %d want %d", v, got, want)
+		}
+	}
+}
+
+func TestRoundToIntegralMatchesHardware(t *testing.T) {
+	rng := newRng(t)
+	modes := []struct {
+		m  RoundingMode
+		fn func(float64) float64
+	}{
+		{NearestEven, math.RoundToEven},
+		{NearestAway, math.Round},
+		{TowardZero, math.Trunc},
+		{TowardPositive, math.Ceil},
+		{TowardNegative, math.Floor},
+	}
+	for _, mode := range modes {
+		e := Env{Rounding: mode.m}
+		for i := 0; i < 40000; i++ {
+			a := randBits64(rng)
+			got := Binary64.RoundToIntegral(&e, a)
+			want := b64(mode.fn(f64(a)))
+			if !sameFloat64(got, want) {
+				t.Fatalf("rint[%v](%x~%v): got %x (%v) want %x (%v)",
+					mode.m, a, f64(a), got, f64(got), want, f64(want))
+			}
+		}
+	}
+}
+
+func TestCompareMatchesHardware(t *testing.T) {
+	var e Env
+	rng := newRng(t)
+	sp := specials64()
+	check := func(a, b uint64) {
+		va, vb := f64(a), f64(b)
+		if got, want := Binary64.Eq(&e, a, b), va == vb; got != want {
+			t.Fatalf("eq(%v, %v): got %v want %v", va, vb, got, want)
+		}
+		if got, want := Binary64.Lt(&e, a, b), va < vb; got != want {
+			t.Fatalf("lt(%v, %v): got %v want %v", va, vb, got, want)
+		}
+		if got, want := Binary64.Le(&e, a, b), va <= vb; got != want {
+			t.Fatalf("le(%v, %v): got %v want %v", va, vb, got, want)
+		}
+		if got, want := Binary64.Gt(&e, a, b), va > vb; got != want {
+			t.Fatalf("gt(%v, %v): got %v want %v", va, vb, got, want)
+		}
+		if got, want := Binary64.Ge(&e, a, b), va >= vb; got != want {
+			t.Fatalf("ge(%v, %v): got %v want %v", va, vb, got, want)
+		}
+	}
+	for _, a := range sp {
+		for _, b := range sp {
+			check(a, b)
+		}
+	}
+	for i := 0; i < crossIters; i++ {
+		check(randBits64(rng), randBits64(rng))
+	}
+}

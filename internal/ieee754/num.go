@@ -1,0 +1,68 @@
+package ieee754
+
+import "fmt"
+
+// Num is a convenience wrapper pairing an encoding with its format, for
+// code that wants value-like ergonomics instead of raw bit patterns.
+// Arithmetic methods take the environment explicitly, like the Format
+// API, and panic on format mismatches (a programming error, not a
+// numeric condition).
+type Num struct {
+	F Format
+	B uint64
+}
+
+// N constructs a Num in format f from a Go float64.
+func N(f Format, v float64) Num {
+	var e Env
+	return Num{f, f.FromFloat64(&e, v)}
+}
+
+func (n Num) check(m Num) {
+	if n.F != m.F {
+		panic(fmt.Sprintf("ieee754: format mismatch %s vs %s", n.F.Name, m.F.Name))
+	}
+}
+
+// Add returns n + m.
+func (n Num) Add(e *Env, m Num) Num { n.check(m); return Num{n.F, n.F.Add(e, n.B, m.B)} }
+
+// Sub returns n - m.
+func (n Num) Sub(e *Env, m Num) Num { n.check(m); return Num{n.F, n.F.Sub(e, n.B, m.B)} }
+
+// Mul returns n * m.
+func (n Num) Mul(e *Env, m Num) Num { n.check(m); return Num{n.F, n.F.Mul(e, n.B, m.B)} }
+
+// Div returns n / m.
+func (n Num) Div(e *Env, m Num) Num { n.check(m); return Num{n.F, n.F.Div(e, n.B, m.B)} }
+
+// FMA returns n*m + c with a single rounding.
+func (n Num) FMA(e *Env, m, c Num) Num {
+	n.check(m)
+	n.check(c)
+	return Num{n.F, n.F.FMA(e, n.B, m.B, c.B)}
+}
+
+// Sqrt returns the square root of n.
+func (n Num) Sqrt(e *Env) Num { return Num{n.F, n.F.Sqrt(e, n.B)} }
+
+// Neg returns -n (sign-bit flip; applies to NaNs too).
+func (n Num) Neg() Num { return Num{n.F, n.F.Neg(n.B)} }
+
+// Abs returns |n|.
+func (n Num) Abs() Num { return Num{n.F, n.F.Abs(n.B)} }
+
+// Eq reports n == m with IEEE semantics.
+func (n Num) Eq(e *Env, m Num) bool { n.check(m); return n.F.Eq(e, n.B, m.B) }
+
+// Lt reports n < m with IEEE semantics.
+func (n Num) Lt(e *Env, m Num) bool { n.check(m); return n.F.Lt(e, n.B, m.B) }
+
+// IsNaN reports whether n is a NaN.
+func (n Num) IsNaN() bool { return n.F.IsNaN(n.B) }
+
+// Float64 returns the value widened to a Go float64.
+func (n Num) Float64() float64 { return n.F.ToFloat64(n.B) }
+
+// String renders the value in decimal.
+func (n Num) String() string { return n.F.String(n.B) }

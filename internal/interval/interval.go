@@ -1,0 +1,270 @@
+// Package interval implements interval arithmetic on the ieee754
+// softfloat, using the directed rounding modes to maintain rigorous
+// enclosures: every operation rounds the lower endpoint toward -inf and
+// the upper endpoint toward +inf, so the true real-arithmetic result is
+// always contained in the computed interval.
+//
+// This is the third remediation style the paper's conclusions gesture
+// at (alongside exception monitoring and arbitrary-precision shadowing):
+// instead of asking developers to *know* where rounding hurts, the
+// interval width measures it. A wide interval is machine-checkable
+// suspicion.
+package interval
+
+import (
+	"fmt"
+	"math"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+// Interval is a closed interval [Lo, Hi] of format-f values, stored as
+// encodings. An interval containing any NaN endpoint is "entire"
+// (unconstrained) — the arithmetic degrades safely rather than lying.
+type Interval struct {
+	Lo, Hi uint64
+}
+
+// Arith performs interval operations in a fixed format. It owns two
+// directed-rounding environments.
+type Arith struct {
+	F    ieee754.Format
+	down ieee754.Env
+	up   ieee754.Env
+}
+
+// New creates interval arithmetic over format f.
+func New(f ieee754.Format) *Arith {
+	return &Arith{
+		F:    f,
+		down: ieee754.Env{Rounding: ieee754.TowardNegative},
+		up:   ieee754.Env{Rounding: ieee754.TowardPositive},
+	}
+}
+
+// Point returns the degenerate interval [x, x].
+func (a *Arith) Point(x uint64) Interval { return Interval{x, x} }
+
+// FromFloat64 returns the tightest interval containing v.
+func (a *Arith) FromFloat64(v float64) Interval {
+	lo := a.F.FromFloat64(&a.down, v)
+	hi := a.F.FromFloat64(&a.up, v)
+	return Interval{lo, hi}
+}
+
+// Entire returns the unconstrained interval [-inf, +inf].
+func (a *Arith) Entire() Interval {
+	return Interval{a.F.Inf(true), a.F.Inf(false)}
+}
+
+// IsEntire reports whether the interval is unconstrained.
+func (a *Arith) IsEntire(x Interval) bool {
+	return a.F.IsInf(x.Lo, -1) && a.F.IsInf(x.Hi, +1)
+}
+
+// valid reports whether both endpoints are non-NaN.
+func (a *Arith) valid(x Interval) bool {
+	return !a.F.IsNaN(x.Lo) && !a.F.IsNaN(x.Hi)
+}
+
+// Contains reports whether the scalar v lies in x.
+func (a *Arith) Contains(x Interval, v uint64) bool {
+	if !a.valid(x) || a.F.IsNaN(v) {
+		return !a.valid(x) // entire-by-NaN contains everything non-NaN
+	}
+	var e ieee754.Env
+	return a.F.Le(&e, x.Lo, v) && a.F.Le(&e, v, x.Hi)
+}
+
+// Width returns Hi - Lo rounded up (an upper bound on the diameter).
+func (a *Arith) Width(x Interval) uint64 {
+	if !a.valid(x) {
+		return a.F.Inf(false)
+	}
+	return a.F.Sub(&a.up, x.Hi, x.Lo)
+}
+
+// Add returns the enclosure of x + y.
+func (a *Arith) Add(x, y Interval) Interval {
+	if !a.valid(x) || !a.valid(y) {
+		return a.Entire()
+	}
+	return Interval{
+		Lo: a.F.Add(&a.down, x.Lo, y.Lo),
+		Hi: a.F.Add(&a.up, x.Hi, y.Hi),
+	}
+}
+
+// Sub returns the enclosure of x - y.
+func (a *Arith) Sub(x, y Interval) Interval {
+	if !a.valid(x) || !a.valid(y) {
+		return a.Entire()
+	}
+	return Interval{
+		Lo: a.F.Sub(&a.down, x.Lo, y.Hi),
+		Hi: a.F.Sub(&a.up, x.Hi, y.Lo),
+	}
+}
+
+// Neg returns -x.
+func (a *Arith) Neg(x Interval) Interval {
+	if !a.valid(x) {
+		return a.Entire()
+	}
+	return Interval{Lo: a.F.Neg(x.Hi), Hi: a.F.Neg(x.Lo)}
+}
+
+// Mul returns the enclosure of x * y (four-corner rule with directed
+// rounding; 0*inf corners collapse to the entire interval for safety).
+func (a *Arith) Mul(x, y Interval) Interval {
+	if !a.valid(x) || !a.valid(y) {
+		return a.Entire()
+	}
+	los := []uint64{
+		a.F.Mul(&a.down, x.Lo, y.Lo), a.F.Mul(&a.down, x.Lo, y.Hi),
+		a.F.Mul(&a.down, x.Hi, y.Lo), a.F.Mul(&a.down, x.Hi, y.Hi),
+	}
+	his := []uint64{
+		a.F.Mul(&a.up, x.Lo, y.Lo), a.F.Mul(&a.up, x.Lo, y.Hi),
+		a.F.Mul(&a.up, x.Hi, y.Lo), a.F.Mul(&a.up, x.Hi, y.Hi),
+	}
+	return a.hull(los, his)
+}
+
+// Div returns the enclosure of x / y. When y contains zero the result
+// is the entire interval (division is then unbounded).
+func (a *Arith) Div(x, y Interval) Interval {
+	if !a.valid(x) || !a.valid(y) {
+		return a.Entire()
+	}
+	if a.Contains(y, a.F.Zero(false)) || a.Contains(y, a.F.Zero(true)) {
+		return a.Entire()
+	}
+	los := []uint64{
+		a.F.Div(&a.down, x.Lo, y.Lo), a.F.Div(&a.down, x.Lo, y.Hi),
+		a.F.Div(&a.down, x.Hi, y.Lo), a.F.Div(&a.down, x.Hi, y.Hi),
+	}
+	his := []uint64{
+		a.F.Div(&a.up, x.Lo, y.Lo), a.F.Div(&a.up, x.Lo, y.Hi),
+		a.F.Div(&a.up, x.Hi, y.Lo), a.F.Div(&a.up, x.Hi, y.Hi),
+	}
+	return a.hull(los, his)
+}
+
+// Sqrt returns the enclosure of sqrt(x); negative parts make the result
+// entire (the real sqrt is undefined there).
+func (a *Arith) Sqrt(x Interval) Interval {
+	if !a.valid(x) || a.F.SignBit(x.Lo) && !a.F.IsZero(x.Lo) {
+		return a.Entire()
+	}
+	return Interval{
+		Lo: a.F.Sqrt(&a.down, x.Lo),
+		Hi: a.F.Sqrt(&a.up, x.Hi),
+	}
+}
+
+// hull returns [min(los), max(his)], treating NaN corners as entire.
+func (a *Arith) hull(los, his []uint64) Interval {
+	var e ieee754.Env
+	lo, hi := los[0], his[0]
+	for _, v := range los[1:] {
+		if a.F.IsNaN(v) {
+			return a.Entire()
+		}
+		if a.F.Lt(&e, v, lo) {
+			lo = v
+		}
+	}
+	if a.F.IsNaN(los[0]) || a.F.IsNaN(his[0]) {
+		return a.Entire()
+	}
+	for _, v := range his[1:] {
+		if a.F.IsNaN(v) {
+			return a.Entire()
+		}
+		if a.F.Gt(&e, v, hi) {
+			hi = v
+		}
+	}
+	return Interval{lo, hi}
+}
+
+// String renders the interval.
+func (a *Arith) String(x Interval) string {
+	return fmt.Sprintf("[%s, %s]", a.F.String(x.Lo), a.F.String(x.Hi))
+}
+
+// EvalExpr evaluates an expression tree over intervals, binding each
+// variable to an interval. The result encloses every possible real
+// evaluation with inputs drawn from the bound intervals (conservatively:
+// interval dependency effects widen, never narrow).
+func (a *Arith) EvalExpr(n expr.Node, vars map[string]Interval) Interval {
+	switch t := n.(type) {
+	case expr.Lit:
+		return a.FromFloat64(t.V)
+	case expr.Var:
+		if iv, ok := vars[t.Name]; ok {
+			return iv
+		}
+		return a.Entire()
+	case expr.Unary:
+		x := a.EvalExpr(t.X, vars)
+		switch t.Op {
+		case expr.OpNeg:
+			return a.Neg(x)
+		case expr.OpSqrt:
+			return a.Sqrt(x)
+		}
+	case expr.Binary:
+		x := a.EvalExpr(t.X, vars)
+		y := a.EvalExpr(t.Y, vars)
+		switch t.Op {
+		case expr.OpAdd:
+			return a.Add(x, y)
+		case expr.OpSub:
+			return a.Sub(x, y)
+		case expr.OpMul:
+			return a.Mul(x, y)
+		case expr.OpDiv:
+			return a.Div(x, y)
+		}
+	case expr.FMA:
+		// Conservative: evaluate as mul then add.
+		p := a.Mul(a.EvalExpr(t.X, vars), a.EvalExpr(t.Y, vars))
+		return a.Add(p, a.EvalExpr(t.Z, vars))
+	}
+	return a.Entire()
+}
+
+// RelativeWidth returns Width / max(|Lo|, |Hi|) as a float64, a scale-
+// free suspicion score for a computed enclosure (0 = exactly known,
+// +Inf = unbounded).
+func (a *Arith) RelativeWidth(x Interval) float64 {
+	if !a.valid(x) {
+		return 1
+	}
+	if a.F.IsInf(x.Lo, 0) || a.F.IsInf(x.Hi, 0) {
+		return math.Inf(1) // unbounded enclosure
+	}
+	w := a.F.ToFloat64(a.Width(x))
+	lo, hi := a.F.ToFloat64(x.Lo), a.F.ToFloat64(x.Hi)
+	m := lo
+	if m < 0 {
+		m = -m
+	}
+	if h := abs(hi); h > m {
+		m = h
+	}
+	if m == 0 {
+		return w // absolute width near zero
+	}
+	return w / m
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

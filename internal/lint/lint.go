@@ -1,0 +1,217 @@
+// Package lint implements static analysis for floating point hazards —
+// the paper's proposed "static ... analysis tools that can examine
+// existing codebases and point developers to potentially suspicious
+// code". It inspects expression trees and VM programs without running
+// them, flagging the patterns behind the quiz questions most developers
+// miss:
+//
+//   - equality comparison of computed floating point values (the
+//     Identity/Associativity traps);
+//   - division by a difference (potential 1/0 -> hidden infinity, the
+//     Divide-by-Zero trap);
+//   - sqrt of a difference (potential sqrt(negative) -> NaN);
+//   - subtraction of structurally similar operands (cancellation);
+//   - long naive accumulation chains (absorption; suggests compensated
+//     summation);
+//   - convergence loops guarded by float equality (may never
+//     terminate).
+package lint
+
+import (
+	"fmt"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/fpvm"
+)
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Danger
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Danger:
+		return "danger"
+	}
+	return "unknown"
+}
+
+// Finding is one reported hazard.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	// Where locates the hazard: an expression path or an instruction
+	// index rendered as "pc=N".
+	Where string
+	// Detail is the human explanation.
+	Detail string
+}
+
+// String renders the finding as a diagnostic line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s: %s", f.Severity, f.Rule, f.Where, f.Detail)
+}
+
+// CheckExpr statically analyzes an expression tree.
+func CheckExpr(n expr.Node) []Finding {
+	var out []Finding
+	var walk func(n expr.Node, path string)
+	add := func(rule string, sev Severity, path, detail string) {
+		if path == "" {
+			path = "/"
+		}
+		out = append(out, Finding{Rule: rule, Severity: sev, Where: path, Detail: detail})
+	}
+	walk = func(n expr.Node, path string) {
+		switch t := n.(type) {
+		case expr.Unary:
+			if t.Op == expr.OpSqrt {
+				if b, ok := t.X.(expr.Binary); ok && b.Op == expr.OpSub {
+					add("sqrt-of-difference", Warning, path,
+						fmt.Sprintf("sqrt(%s) is NaN whenever the difference goes negative", t.X.String()))
+				}
+			}
+			walk(t.X, path+"/x")
+		case expr.Binary:
+			switch t.Op {
+			case expr.OpDiv:
+				if b, ok := t.Y.(expr.Binary); ok && (b.Op == expr.OpSub || b.Op == expr.OpAdd) {
+					add("division-by-difference", Danger, path,
+						fmt.Sprintf("dividing by %s: an exact cancellation gives 1/0 = infinity with no NaN to warn you", t.Y.String()))
+				}
+			case expr.OpSub:
+				if expr.Equal(t.X, t.Y) {
+					add("self-subtraction", Warning, path,
+						"x - x is 0 only for finite x; NaN/Inf operands poison it (and fast-math folds it)")
+				} else if similar(t.X, t.Y) {
+					add("cancellation-risk", Warning, path,
+						fmt.Sprintf("subtracting structurally similar values (%s vs %s) cancels leading digits", t.X.String(), t.Y.String()))
+				}
+			case expr.OpAdd:
+				if depth := chainDepth(n, expr.OpAdd); depth >= 8 {
+					add("long-sum-chain", Info, path,
+						fmt.Sprintf("%d-term naive accumulation: consider compensated summation", depth))
+				}
+			}
+			walk(t.X, path+"/lhs")
+			walk(t.Y, path+"/rhs")
+		case expr.FMA:
+			walk(t.X, path+"/x")
+			walk(t.Y, path+"/y")
+			walk(t.Z, path+"/z")
+		}
+	}
+	walk(n, "")
+	return out
+}
+
+// similar is a structural heuristic: the operands share the same shape
+// and at least one variable.
+func similar(a, b expr.Node) bool {
+	if !sameShape(a, b) {
+		return false
+	}
+	av := expr.Vars(a)
+	bv := map[string]bool{}
+	for _, v := range expr.Vars(b) {
+		bv[v] = true
+	}
+	for _, v := range av {
+		if bv[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func sameShape(a, b expr.Node) bool {
+	switch x := a.(type) {
+	case expr.Lit:
+		_, ok := b.(expr.Lit)
+		return ok
+	case expr.Var:
+		_, ok := b.(expr.Var)
+		return ok
+	case expr.Unary:
+		y, ok := b.(expr.Unary)
+		return ok && x.Op == y.Op && sameShape(x.X, y.X)
+	case expr.Binary:
+		y, ok := b.(expr.Binary)
+		return ok && x.Op == y.Op && sameShape(x.X, y.X) && sameShape(x.Y, y.Y)
+	case expr.FMA:
+		y, ok := b.(expr.FMA)
+		return ok && sameShape(x.X, y.X) && sameShape(x.Y, y.Y) && sameShape(x.Z, y.Z)
+	}
+	return false
+}
+
+// chainDepth counts the left-leaning chain length of op at n.
+func chainDepth(n expr.Node, op expr.BinOp) int {
+	b, ok := n.(expr.Binary)
+	if !ok || b.Op != op {
+		return 0
+	}
+	return 1 + chainDepth(b.X, op)
+}
+
+// CheckProgram statically analyzes a VM program.
+func CheckProgram(p *fpvm.Program) []Finding {
+	var out []Finding
+	add := func(rule string, sev Severity, pc int, detail string) {
+		out = append(out, Finding{
+			Rule: rule, Severity: sev,
+			Where:  fmt.Sprintf("pc=%d", pc),
+			Detail: detail,
+		})
+	}
+	// Rule: float equality as control flow. Backward jumps guarded by
+	// equality are convergence loops that may never terminate; forward
+	// ones are still the == trap.
+	for pc, in := range p.Code {
+		switch in.Op {
+		case fpvm.OpJeq, fpvm.OpJne:
+			if in.Target <= pc {
+				add("equality-convergence-loop", Danger, pc,
+					"loop guarded by floating point equality may never terminate (oscillating last bits); compare against a tolerance")
+			} else {
+				add("float-equality-branch", Warning, pc,
+					"branching on floating point equality: values that 'should' be equal often differ in the last bits")
+			}
+		case fpvm.OpDiv:
+			// Division right after a subtraction computing the
+			// divisor: the stack top (divisor) came from a sub.
+			if pc > 0 && p.Code[pc-1].Op == fpvm.OpSub {
+				add("division-by-difference", Danger, pc,
+					"divisor produced by a subtraction: exact cancellation yields division by zero")
+			}
+		case fpvm.OpSqrt:
+			if pc > 0 && p.Code[pc-1].Op == fpvm.OpSub {
+				add("sqrt-of-difference", Warning, pc,
+					"sqrt of a subtraction result: NaN when the difference is negative")
+			}
+		}
+	}
+	return out
+}
+
+// WorstSeverity returns the maximum severity among findings (Info when
+// empty).
+func WorstSeverity(fs []Finding) Severity {
+	worst := Info
+	for _, f := range fs {
+		if f.Severity > worst {
+			worst = f.Severity
+		}
+	}
+	return worst
+}

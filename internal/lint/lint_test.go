@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/fpvm"
+)
+
+func rules(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Rule]++
+	}
+	return out
+}
+
+func TestDivisionByDifference(t *testing.T) {
+	fs := CheckExpr(expr.MustParse("1/(a - b)"))
+	r := rules(fs)
+	if r["division-by-difference"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	if WorstSeverity(fs) != Danger {
+		t.Fatalf("severity: %v", WorstSeverity(fs))
+	}
+	// Division by a plain variable is fine.
+	if len(CheckExpr(expr.MustParse("1/b"))) != 0 {
+		t.Fatal("1/b flagged")
+	}
+}
+
+func TestSqrtOfDifference(t *testing.T) {
+	fs := CheckExpr(expr.MustParse("sqrt(b*b - 4*a*c)"))
+	if rules(fs)["sqrt-of-difference"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	if len(CheckExpr(expr.MustParse("sqrt(a*a + b*b)"))) != 0 {
+		t.Fatal("benign hypot flagged")
+	}
+}
+
+func TestSelfSubtractionAndCancellation(t *testing.T) {
+	fs := CheckExpr(expr.MustParse("a - a"))
+	if rules(fs)["self-subtraction"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	// (a+b) - (a+c): same shape, shared variable -> cancellation risk.
+	fs = CheckExpr(expr.MustParse("(a + b) - (a + c)"))
+	if rules(fs)["cancellation-risk"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	// a - b: different but same shape (two vars)... shares no common
+	// structure beyond being vars; flagged only if they share a
+	// variable — they don't.
+	if len(CheckExpr(expr.MustParse("a - b"))) != 0 {
+		t.Fatal("a - b flagged")
+	}
+}
+
+func TestLongSumChain(t *testing.T) {
+	terms := make([]expr.Node, 12)
+	for i := range terms {
+		terms[i] = expr.V("x")
+	}
+	fs := CheckExpr(expr.SumChain(terms...))
+	if rules(fs)["long-sum-chain"] == 0 {
+		t.Fatalf("findings: %v", fs)
+	}
+	short := CheckExpr(expr.SumChain(expr.V("a"), expr.V("b"), expr.V("c")))
+	if rules(short)["long-sum-chain"] != 0 {
+		t.Fatal("short chain flagged")
+	}
+}
+
+func TestCheckProgramEqualityLoop(t *testing.T) {
+	fs := CheckProgram(fpvm.NewtonSqrt)
+	r := rules(fs)
+	// NewtonSqrt converges via jeq to a *forward* label (done), so it
+	// is the equality-branch warning, not the loop danger.
+	if r["float-equality-branch"] == 0 && r["equality-convergence-loop"] == 0 {
+		t.Fatalf("newton-sqrt not flagged: %v", fs)
+	}
+	// A backward equality loop is the dangerous form.
+	spin := fpvm.MustAssemble("spin", `
+label top
+	load x
+	loadc 1
+	jeq top
+	loadc 0
+	ret
+`)
+	fs = CheckProgram(spin)
+	if rules(fs)["equality-convergence-loop"] != 1 {
+		t.Fatalf("backward jeq not flagged: %v", fs)
+	}
+}
+
+func TestCheckProgramDivAfterSub(t *testing.T) {
+	p := fpvm.MustAssemble("t", `
+	loadc 1
+	load a
+	load b
+	sub
+	div
+	ret
+`)
+	fs := CheckProgram(p)
+	if rules(fs)["division-by-difference"] != 1 {
+		t.Fatalf("findings: %v", fs)
+	}
+	// Quadratic root: sqrt right after sub.
+	fs = CheckProgram(fpvm.QuadraticRoot)
+	if rules(fs)["sqrt-of-difference"] != 1 {
+		t.Fatalf("quadratic findings: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	fs := CheckExpr(expr.MustParse("1/(a - b)"))
+	s := fs[0].String()
+	for _, want := range []string{"danger", "division-by-difference", "infinity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("finding %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHarmonicSumClean(t *testing.T) {
+	// The harmonic program divides by a loop counter (not a
+	// difference) and loops on jle, not equality: no danger findings.
+	fs := CheckProgram(fpvm.HarmonicSum)
+	if WorstSeverity(fs) >= Danger {
+		t.Fatalf("harmonic-sum flagged dangerous: %v", fs)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Danger.String() != "danger" {
+		t.Fatal("severity strings")
+	}
+}

@@ -1,0 +1,237 @@
+// Package monitor implements the runtime floating point exception
+// monitor sketched in the paper's suspicion quiz and conclusions: it
+// wraps a computation, watches the environment's per-operation exception
+// reports, and produces an audit of which exceptional conditions
+// occurred, how often, and where first — the information a developer
+// would use to decide how suspicious to be of the results.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpstudy/internal/ieee754"
+)
+
+// Condition identifies one of the five monitored exceptional conditions,
+// in the paper's suspicion-quiz order.
+type Condition int
+
+const (
+	Overflow Condition = iota
+	Underflow
+	Precision // the IEEE inexact exception
+	Invalid
+	Denorm
+	numConditions
+)
+
+// Conditions lists all monitored conditions in quiz order.
+func Conditions() []Condition {
+	return []Condition{Overflow, Underflow, Precision, Invalid, Denorm}
+}
+
+// String returns the paper's name for the condition.
+func (c Condition) String() string {
+	switch c {
+	case Overflow:
+		return "Overflow"
+	case Underflow:
+		return "Underflow"
+	case Precision:
+		return "Precision"
+	case Invalid:
+		return "Invalid"
+	case Denorm:
+		return "Denorm"
+	}
+	return "invalidCondition"
+}
+
+// Flag maps the condition to its ieee754 exception flag.
+func (c Condition) Flag() ieee754.Flags {
+	switch c {
+	case Overflow:
+		return ieee754.FlagOverflow
+	case Underflow:
+		return ieee754.FlagUnderflow
+	case Precision:
+		return ieee754.FlagInexact
+	case Invalid:
+		return ieee754.FlagInvalid
+	case Denorm:
+		return ieee754.FlagDenormal
+	}
+	return 0
+}
+
+// GroundTruthSuspicion is the paper's "arguably reasonable ranking" of
+// how suspicious each condition should make a developer, on the quiz's
+// 1-5 Likert scale: Invalid (NaN) by far the most suspicious, then
+// Overflow, then the remaining three.
+func (c Condition) GroundTruthSuspicion() int {
+	switch c {
+	case Invalid:
+		return 5
+	case Overflow:
+		return 4
+	case Underflow:
+		return 2
+	case Denorm:
+		return 2
+	case Precision:
+		return 1
+	}
+	return 0
+}
+
+// Monitor wraps an ieee754 environment and counts exception occurrences
+// per condition. Install it, run a computation with Env(), then call
+// Report.
+type Monitor struct {
+	env     ieee754.Env
+	ops     uint64
+	counts  [numConditions]uint64
+	first   [numConditions]*ieee754.OpEvent
+	divZero uint64 // divide-by-zero occurrences (reported separately)
+}
+
+// New creates a monitor whose environment uses the default IEEE
+// settings.
+func New() *Monitor {
+	m := &Monitor{}
+	m.env.Observer = m.observe
+	return m
+}
+
+// NewWithEnv creates a monitor with a caller-configured environment
+// template (rounding mode, FTZ/DAZ); the observer is installed on the
+// internal copy.
+func NewWithEnv(template ieee754.Env) *Monitor {
+	m := &Monitor{env: template}
+	m.env.Observer = m.observe
+	return m
+}
+
+// Env returns the monitored environment to run computations under.
+func (m *Monitor) Env() *ieee754.Env { return &m.env }
+
+func (m *Monitor) observe(ev ieee754.OpEvent) {
+	m.ops++
+	for _, c := range Conditions() {
+		if ev.Raised.Has(c.Flag()) {
+			m.counts[c]++
+			if m.first[c] == nil {
+				evc := ev
+				m.first[c] = &evc
+			}
+		}
+	}
+	if ev.Raised.Has(ieee754.FlagDivByZero) {
+		m.divZero++
+	}
+}
+
+// Report summarizes the monitored execution.
+func (m *Monitor) Report() Report {
+	r := Report{
+		TotalOps:  m.ops,
+		DivByZero: m.divZero,
+		Sticky:    m.env.Flags,
+	}
+	for _, c := range Conditions() {
+		e := Entry{Condition: c, Count: m.counts[c]}
+		if f := m.first[c]; f != nil {
+			e.First = f
+		}
+		r.Entries = append(r.Entries, e)
+	}
+	return r
+}
+
+// Reset clears counters and sticky flags for a fresh run.
+func (m *Monitor) Reset() {
+	m.ops = 0
+	m.divZero = 0
+	m.counts = [numConditions]uint64{}
+	m.first = [numConditions]*ieee754.OpEvent{}
+	m.env.ClearFlags()
+}
+
+// Entry is the per-condition audit line.
+type Entry struct {
+	Condition Condition
+	Count     uint64
+	First     *ieee754.OpEvent // nil if the condition never occurred
+}
+
+// Occurred reports whether the condition happened at least once.
+func (e Entry) Occurred() bool { return e.Count > 0 }
+
+// Report is the audit of one monitored execution, in the structure of
+// the paper's suspicion quiz: for each possible exception, whether it
+// occurred one or more times during the run.
+type Report struct {
+	TotalOps  uint64
+	DivByZero uint64
+	Sticky    ieee754.Flags
+	Entries   []Entry
+}
+
+// Occurred returns the conditions that happened, most suspicious first.
+func (r Report) Occurred() []Condition {
+	var out []Condition
+	for _, e := range r.Entries {
+		if e.Occurred() {
+			out = append(out, e.Condition)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].GroundTruthSuspicion() > out[j].GroundTruthSuspicion()
+	})
+	return out
+}
+
+// SuspicionScore is the maximum ground-truth suspicion level among the
+// conditions that occurred: how suspicious a well-calibrated developer
+// should be of this run's output (1 = relaxed, 5 = alarmed).
+func (r Report) SuspicionScore() int {
+	s := 1
+	for _, e := range r.Entries {
+		if e.Occurred() && e.Condition.GroundTruthSuspicion() > s {
+			s = e.Condition.GroundTruthSuspicion()
+		}
+	}
+	return s
+}
+
+// String renders a human-readable audit table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "monitored operations: %d\n", r.TotalOps)
+	for _, e := range r.Entries {
+		status := "did not occur"
+		if e.Occurred() {
+			status = fmt.Sprintf("occurred %d time(s)", e.Count)
+			if e.First != nil {
+				status += fmt.Sprintf("; first in %s", e.First.Op)
+			}
+		}
+		fmt.Fprintf(&b, "  %-9s (suspicion %d/5): %s\n",
+			e.Condition, e.Condition.GroundTruthSuspicion(), status)
+	}
+	if r.DivByZero > 0 {
+		fmt.Fprintf(&b, "  divide-by-zero occurred %d time(s)\n", r.DivByZero)
+	}
+	fmt.Fprintf(&b, "  overall suspicion: %d/5\n", r.SuspicionScore())
+	return b.String()
+}
+
+// Run executes fn under a fresh monitor in format f and returns the
+// result bits and the report — the one-call version of the audit.
+func Run(f ieee754.Format, fn func(*ieee754.Env, ieee754.Format) uint64) (uint64, Report) {
+	m := New()
+	res := fn(m.Env(), f)
+	return res, m.Report()
+}

@@ -1,0 +1,218 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+)
+
+func TestMonitorCountsConditions(t *testing.T) {
+	m := New()
+	e := m.Env()
+	f := ieee754.Binary64
+	var s ieee754.Env
+	one := f.FromFloat64(&s, 1)
+	zero := f.Zero(false)
+	three := f.FromFloat64(&s, 3)
+
+	f.Div(e, one, three)                               // inexact
+	f.Div(e, zero, zero)                               // invalid
+	f.Div(e, one, zero)                                // divbyzero
+	f.Mul(e, f.MaxFinite(false), f.FromFloat64(&s, 2)) // overflow+inexact
+	f.Div(e, f.MinSubnormal(), f.FromFloat64(&s, 2))   // underflow+inexact
+	f.Add(e, f.MinSubnormal(), zero)                   // denormal operand
+
+	r := m.Report()
+	if r.TotalOps != 6 {
+		t.Fatalf("ops = %d", r.TotalOps)
+	}
+	want := map[Condition]uint64{
+		Precision: 3, Invalid: 1, Overflow: 1, Underflow: 1, Denorm: 2,
+	}
+	for _, e := range r.Entries {
+		if e.Count != want[e.Condition] {
+			t.Errorf("%v count = %d, want %d", e.Condition, e.Count, want[e.Condition])
+		}
+	}
+	if r.DivByZero != 1 {
+		t.Errorf("divzero = %d", r.DivByZero)
+	}
+	if r.SuspicionScore() != 5 {
+		t.Errorf("suspicion = %d, want 5 (invalid occurred)", r.SuspicionScore())
+	}
+}
+
+func TestMonitorFirstEvent(t *testing.T) {
+	m := New()
+	e := m.Env()
+	f := ieee754.Binary64
+	var s ieee754.Env
+	f.Add(e, f.FromFloat64(&s, 1), f.FromFloat64(&s, 2)) // exact
+	f.Sqrt(e, f.FromFloat64(&s, -1))                     // invalid
+	r := m.Report()
+	for _, en := range r.Entries {
+		if en.Condition == Invalid {
+			if en.First == nil || en.First.Op != "sqrt" {
+				t.Fatalf("first invalid event: %+v", en.First)
+			}
+		}
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := New()
+	f := ieee754.Binary64
+	var s ieee754.Env
+	f.Div(m.Env(), f.FromFloat64(&s, 1), f.FromFloat64(&s, 3))
+	if m.Report().TotalOps == 0 {
+		t.Fatal("no ops recorded")
+	}
+	m.Reset()
+	r := m.Report()
+	if r.TotalOps != 0 || r.Sticky != 0 {
+		t.Fatalf("reset left state: %+v", r)
+	}
+}
+
+func TestGroundTruthRanking(t *testing.T) {
+	// Invalid >> Overflow >> {Underflow, Denorm} >= Precision.
+	if !(Invalid.GroundTruthSuspicion() > Overflow.GroundTruthSuspicion()) {
+		t.Fatal("invalid should outrank overflow")
+	}
+	if !(Overflow.GroundTruthSuspicion() > Underflow.GroundTruthSuspicion()) {
+		t.Fatal("overflow should outrank underflow")
+	}
+	if !(Underflow.GroundTruthSuspicion() >= Precision.GroundTruthSuspicion()) {
+		t.Fatal("underflow should not rank below precision")
+	}
+}
+
+func TestKernelExceptionProfiles(t *testing.T) {
+	f := ieee754.Binary64
+	cases := []struct {
+		k          kernels.Kernel
+		mustRaise  []Condition
+		mustAvoid  []Condition
+		wantNaNOut bool
+	}{
+		{kernels.GrowthOverflow(), []Condition{Overflow, Precision}, []Condition{Invalid}, false},
+		{kernels.DecayUnderflow(), []Condition{Underflow, Denorm}, []Condition{Invalid, Overflow}, false},
+		{kernels.NaNCascade(), []Condition{Overflow, Invalid}, nil, true},
+		{kernels.SumNaive(1000), []Condition{Precision}, []Condition{Invalid, Overflow}, false},
+		{kernels.Lorenz(500, 0.005), []Condition{Precision}, []Condition{Invalid}, false},
+	}
+	for _, c := range cases {
+		res, rep := Run(f, c.k.Run)
+		occurred := map[Condition]bool{}
+		for _, cond := range rep.Occurred() {
+			occurred[cond] = true
+		}
+		for _, cond := range c.mustRaise {
+			if !occurred[cond] {
+				t.Errorf("%s: expected %v to occur; report:\n%s", c.k.Name, cond, rep)
+			}
+		}
+		for _, cond := range c.mustAvoid {
+			if occurred[cond] {
+				t.Errorf("%s: %v occurred unexpectedly", c.k.Name, cond)
+			}
+		}
+		if got := f.IsNaN(res); got != c.wantNaNOut {
+			t.Errorf("%s: NaN output = %v, want %v", c.k.Name, got, c.wantNaNOut)
+		}
+	}
+}
+
+func TestHiddenInfinityDisguisesError(t *testing.T) {
+	// The paper's Divide-by-Zero motif: the output looks ordinary
+	// (zero), but the monitor catches the divide-by-zero.
+	f := ieee754.Binary64
+	res, rep := Run(f, kernels.HiddenInfinity().Run)
+	if f.IsNaN(res) {
+		t.Fatal("output should NOT be a NaN — that is the point")
+	}
+	if !f.IsZero(res) {
+		t.Fatalf("output = %v, want 0", f.ToFloat64(res))
+	}
+	if rep.DivByZero == 0 {
+		t.Fatal("monitor missed the divide-by-zero")
+	}
+}
+
+func TestKahanBeatsNaive(t *testing.T) {
+	// Ablation: Kahan summation is closer to the binary64 reference
+	// than naive summation when run in binary32.
+	f := ieee754.Binary32
+	ref64, _ := Run(ieee754.Binary64, kernels.SumNaive(20000).Run)
+	want := ieee754.Binary64.ToFloat64(ref64)
+	naive, _ := Run(f, kernels.SumNaive(20000).Run)
+	kahan, _ := Run(f, kernels.SumKahan(20000).Run)
+	errNaive := abs(ieee754.Binary32.ToFloat64(naive) - want)
+	errKahan := abs(ieee754.Binary32.ToFloat64(kahan) - want)
+	if errKahan >= errNaive {
+		t.Fatalf("kahan err %g >= naive err %g", errKahan, errNaive)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestReportString(t *testing.T) {
+	_, rep := Run(ieee754.Binary64, kernels.NaNCascade().Run)
+	s := rep.String()
+	for _, want := range []string{"Invalid", "Overflow", "suspicion", "occurred"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllKernelsRunInAllFormats(t *testing.T) {
+	for _, f := range []ieee754.Format{ieee754.Binary16, ieee754.Binary32, ieee754.Binary64} {
+		for _, k := range kernels.All() {
+			_, rep := Run(f, k.Run)
+			if rep.TotalOps == 0 {
+				t.Errorf("%s in %s: no operations", k.Name, f.Name)
+			}
+		}
+	}
+}
+
+func TestMonitorWithFTZEnv(t *testing.T) {
+	// A monitor over an FTZ environment shows different underflow
+	// behaviour than the IEEE default for the decay kernel.
+	ieeeRes, _ := Run(ieee754.Binary64, kernels.DecayUnderflow().Run)
+	m := NewWithEnv(ieee754.Env{FTZ: true, DAZ: true})
+	ftzRes := kernels.DecayUnderflow().Run(m.Env(), ieee754.Binary64)
+	rep := m.Report()
+	_ = ieeeRes
+	if !ieee754.Binary64.IsZero(ftzRes) {
+		t.Fatalf("FTZ decay result: %v", ieee754.Binary64.ToFloat64(ftzRes))
+	}
+	// FTZ flushes instead of producing subnormal results, so the path
+	// to zero is abrupt; underflow is still reported.
+	found := false
+	for _, e := range rep.Entries {
+		if e.Condition == Underflow && e.Occurred() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("FTZ run did not report underflow")
+	}
+}
+
+func TestConditionsOrderMatchesPaper(t *testing.T) {
+	want := []string{"Overflow", "Underflow", "Precision", "Invalid", "Denorm"}
+	for i, c := range Conditions() {
+		if c.String() != want[i] {
+			t.Fatalf("condition %d = %v, want %v", i, c, want[i])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"fpstudy/internal/ieee754"
+)
+
+// TraceEntry records one exceptional operation: where in the operation
+// stream it happened and what it computed.
+type TraceEntry struct {
+	// Index is the 0-based position in the monitored operation stream.
+	Index uint64
+	Event ieee754.OpEvent
+}
+
+// String renders the entry like a debugger line.
+func (t TraceEntry) String() string {
+	f := t.Event.Format
+	args := make([]string, 0, 3)
+	operands := []uint64{t.Event.A, t.Event.B, t.Event.C}
+	for i := 0; i < t.Event.NArgs && i < 3; i++ {
+		args = append(args, f.String(operands[i]))
+	}
+	return fmt.Sprintf("op %d: %s(%s) = %s raised %s",
+		t.Index, t.Event.Op, strings.Join(args, ", "),
+		f.String(t.Event.Result), t.Event.Raised)
+}
+
+// Tracer extends Monitor with a bounded log of exceptional operations —
+// the "point developers to potentially suspicious code" tool from the
+// paper's conclusions, at the operation level.
+type Tracer struct {
+	*Monitor
+	// Watch selects which flags are traced.
+	Watch ieee754.Flags
+	// Limit bounds the number of retained entries (default 32).
+	Limit int
+
+	entries []TraceEntry
+	dropped uint64
+	index   uint64
+}
+
+// NewTracer creates a tracer watching the given flags (0 means all
+// conditions including divide-by-zero).
+func NewTracer(watch ieee754.Flags, limit int) *Tracer {
+	if watch == 0 {
+		watch = ieee754.AllFlags
+	}
+	if limit <= 0 {
+		limit = 32
+	}
+	t := &Tracer{Monitor: New(), Watch: watch, Limit: limit}
+	// Chain the observers: the monitor counts, the tracer logs.
+	inner := t.Monitor.Env().Observer
+	t.Monitor.Env().Observer = func(ev ieee754.OpEvent) {
+		inner(ev)
+		t.observe(ev)
+	}
+	return t
+}
+
+func (t *Tracer) observe(ev ieee754.OpEvent) {
+	idx := t.index
+	t.index++
+	if ev.Raised&t.Watch == 0 {
+		return
+	}
+	if len(t.entries) >= t.Limit {
+		t.dropped++
+		return
+	}
+	t.entries = append(t.entries, TraceEntry{Index: idx, Event: ev})
+}
+
+// Entries returns the retained exceptional operations in order.
+func (t *Tracer) Entries() []TraceEntry { return t.entries }
+
+// Dropped reports how many exceptional operations exceeded the limit.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// TraceReport renders the trace below the standard audit.
+func (t *Tracer) TraceReport() string {
+	var b strings.Builder
+	b.WriteString(t.Report().String())
+	if len(t.entries) == 0 {
+		b.WriteString("  trace: no watched exceptions\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  trace (%d shown, %d dropped):\n", len(t.entries), t.dropped)
+	for _, e := range t.entries {
+		fmt.Fprintf(&b, "    %s\n", e)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+)
+
+func TestTracerCapturesFirstExceptions(t *testing.T) {
+	tr := NewTracer(ieee754.FlagInvalid|ieee754.FlagDivByZero, 8)
+	f := ieee754.Binary64
+	e := tr.Env()
+	var s ieee754.Env
+	one := f.FromFloat64(&s, 1)
+	three := f.FromFloat64(&s, 3)
+	zero := f.Zero(false)
+
+	f.Div(e, one, three) // inexact: not watched
+	f.Div(e, one, zero)  // divzero: watched, op index 1
+	f.Div(e, zero, zero) // invalid: watched, op index 2
+
+	entries := tr.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries: %d", len(entries))
+	}
+	if entries[0].Index != 1 || entries[0].Event.Op != "div" {
+		t.Fatalf("first entry: %+v", entries[0])
+	}
+	if !entries[1].Event.Raised.Has(ieee754.FlagInvalid) {
+		t.Fatalf("second entry raised %v", entries[1].Event.Raised)
+	}
+	line := entries[0].String()
+	if !strings.Contains(line, "div(1, 0)") || !strings.Contains(line, "+Inf") {
+		t.Fatalf("trace line: %q", line)
+	}
+}
+
+func TestTracerLimitAndDropped(t *testing.T) {
+	tr := NewTracer(ieee754.FlagInexact, 3)
+	f := ieee754.Binary64
+	var s ieee754.Env
+	one := f.FromFloat64(&s, 1)
+	three := f.FromFloat64(&s, 3)
+	for i := 0; i < 10; i++ {
+		f.Div(tr.Env(), one, three)
+	}
+	if len(tr.Entries()) != 3 {
+		t.Fatalf("entries %d", len(tr.Entries()))
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("dropped %d", tr.Dropped())
+	}
+	rep := tr.TraceReport()
+	if !strings.Contains(rep, "7 dropped") {
+		t.Fatalf("report:\n%s", rep)
+	}
+}
+
+func TestTracerDefaultsWatchAll(t *testing.T) {
+	tr := NewTracer(0, 0)
+	if tr.Watch != ieee754.AllFlags || tr.Limit != 32 {
+		t.Fatalf("defaults: %v %d", tr.Watch, tr.Limit)
+	}
+	// Run the NaN cascade: the trace must include the inf-inf sub.
+	res := kernels.NaNCascade().Run(tr.Env(), ieee754.Binary64)
+	if !ieee754.Binary64.IsNaN(res) {
+		t.Fatal("cascade did not NaN")
+	}
+	found := false
+	for _, e := range tr.Entries() {
+		if e.Event.Op == "sub" && e.Event.Raised.Has(ieee754.FlagInvalid) {
+			found = true
+		}
+	}
+	// The sub may be beyond the 32-entry limit since overflow ops come
+	// first; in that case dropped must be nonzero and the monitor still
+	// counted it.
+	if !found && tr.Dropped() == 0 {
+		t.Fatal("inf-inf sub neither traced nor dropped")
+	}
+	rep := tr.Report()
+	occurred := map[Condition]bool{}
+	for _, c := range rep.Occurred() {
+		occurred[c] = true
+	}
+	if !occurred[Invalid] {
+		t.Fatal("monitor missed the invalid")
+	}
+}
+
+func TestTracerCleanRun(t *testing.T) {
+	tr := NewTracer(ieee754.FlagInvalid, 4)
+	f := ieee754.Binary64
+	var s ieee754.Env
+	f.Add(tr.Env(), f.FromFloat64(&s, 1), f.FromFloat64(&s, 2))
+	if len(tr.Entries()) != 0 {
+		t.Fatal("clean run traced something")
+	}
+	if !strings.Contains(tr.TraceReport(), "no watched exceptions") {
+		t.Fatal("clean report text")
+	}
+}

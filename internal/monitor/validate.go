@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/kernels"
+)
+
+// SuspicionEvidence is the empirical backing for one condition's
+// ground-truth suspicion level, gathered by running the kernel corpus
+// in reduced precisions against binary64 references.
+//
+// Two views are tabulated. "Any" counts runs where the condition fired
+// at all; "Novel" counts runs where it fired although the binary64
+// reference run of the same kernel did not raise it — the genuinely
+// surprising occurrences a monitoring tool would alert on.
+type SuspicionEvidence struct {
+	Condition Condition
+
+	Occurrences int // runs where the condition fired
+	BadOutcomes int // ... of those, runs with a bad output
+
+	Novel    int // runs where it fired but not in the reference
+	NovelBad int // ... of those, runs with a bad output
+}
+
+// Precision reports P(bad | condition occurred).
+func (ev SuspicionEvidence) Precision() float64 {
+	if ev.Occurrences == 0 {
+		return 0
+	}
+	return float64(ev.BadOutcomes) / float64(ev.Occurrences)
+}
+
+// NovelPrecision reports P(bad | condition occurred novelly).
+func (ev SuspicionEvidence) NovelPrecision() float64 {
+	if ev.Novel == 0 {
+		return 0
+	}
+	return float64(ev.NovelBad) / float64(ev.Novel)
+}
+
+// ValidateSuspicionRanking runs every kernel in several reduced
+// precisions, records which conditions occurred (and whether they were
+// novel relative to the kernel's own binary64 run), and whether the
+// output was bad (non-finite where the reference is finite, or
+// relative error above tol). The evidence grounds the paper's
+// "arguably reasonable ranking" empirically: novel Invalid is
+// near-certain trouble, novel Overflow is strong trouble, while
+// Precision (inexact) fires everywhere — including on perfectly good
+// runs — and so warrants little suspicion by itself.
+func ValidateSuspicionRanking(tol float64) []SuspicionEvidence {
+	suite := kernels.All()
+	formats := []ieee754.Format{ieee754.Binary16, ieee754.Bfloat16, ieee754.Binary32}
+
+	evidence := make([]SuspicionEvidence, numConditions)
+	for i := range evidence {
+		evidence[i].Condition = Condition(i)
+	}
+
+	for _, k := range suite {
+		refBits, refRep := Run(ieee754.Binary64, k.Run)
+		ref := ieee754.Binary64.ToFloat64(refBits)
+		refOccurred := map[Condition]bool{}
+		for _, e := range refRep.Entries {
+			if e.Occurred() {
+				refOccurred[e.Condition] = true
+			}
+		}
+		for _, f := range formats {
+			resBits, rep := Run(f, k.Run)
+			res := f.ToFloat64(resBits)
+			bad := isBadOutcome(res, ref, tol)
+			for _, e := range rep.Entries {
+				if !e.Occurred() {
+					continue
+				}
+				ev := &evidence[e.Condition]
+				ev.Occurrences++
+				if bad {
+					ev.BadOutcomes++
+				}
+				if !refOccurred[e.Condition] {
+					ev.Novel++
+					if bad {
+						ev.NovelBad++
+					}
+				}
+			}
+		}
+	}
+	return evidence
+}
+
+// isBadOutcome decides whether a reduced-precision result counts as
+// "wrong" relative to the reference.
+func isBadOutcome(res, ref float64, tol float64) bool {
+	if math.IsNaN(res) {
+		return !math.IsNaN(ref) // NaN where the reference is a number
+	}
+	if math.IsInf(res, 0) {
+		return !math.IsInf(ref, 0)
+	}
+	if math.IsNaN(ref) || math.IsInf(ref, 0) {
+		return true // number where the reference is exceptional
+	}
+	if ref == 0 {
+		return math.Abs(res) > tol
+	}
+	return math.Abs(res-ref)/math.Abs(ref) > tol
+}
+
+// FormatEvidence renders the evidence table with the asserted
+// ground-truth levels alongside the measured precisions.
+func FormatEvidence(evs []SuspicionEvidence) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %14s %7s %14s %s\n",
+		"condition", "any", "bad", "P(bad|any)", "novel", "P(bad|novel)", "asserted")
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "%-10s %6d %6d %13.0f%% %7d %13.0f%% %d/5\n",
+			ev.Condition, ev.Occurrences, ev.BadOutcomes, 100*ev.Precision(),
+			ev.Novel, 100*ev.NovelPrecision(), ev.Condition.GroundTruthSuspicion())
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateSuspicionRanking(t *testing.T) {
+	evs := ValidateSuspicionRanking(0.01)
+	byCondition := map[Condition]SuspicionEvidence{}
+	for _, ev := range evs {
+		byCondition[ev.Condition] = ev
+	}
+
+	inv := byCondition[Invalid]
+	prec := byCondition[Precision]
+	ovf := byCondition[Overflow]
+
+	// Every condition must actually occur somewhere in the corpus,
+	// otherwise the validation is vacuous.
+	for _, c := range Conditions() {
+		if byCondition[c].Occurrences == 0 {
+			t.Errorf("condition %v never occurred in the kernel corpus", c)
+		}
+	}
+
+	// A *novel* Invalid — a NaN where the double-precision run had
+	// none — is near-certain trouble, the top of the paper's ranking.
+	if inv.Novel < 2 {
+		t.Errorf("novel invalid occurred only %d times; corpus too thin", inv.Novel)
+	}
+	if inv.NovelPrecision() < 0.75 {
+		t.Errorf("P(bad|novel invalid)=%.2f, expected near 1", inv.NovelPrecision())
+	}
+	// A novel Overflow is strong evidence of trouble.
+	if ovf.Novel < 1 {
+		t.Errorf("novel overflow never occurred")
+	}
+	if ovf.NovelPrecision() < 0.5 {
+		t.Errorf("P(bad|novel overflow)=%.2f, expected high", ovf.NovelPrecision())
+	}
+	// Precision (inexact) fires on essentially every run including
+	// perfectly good ones: as a standalone signal it is weak, and in
+	// particular weaker than a novel Invalid.
+	if prec.Occurrences < 30 {
+		t.Errorf("precision fired only %d times; expected nearly every run", prec.Occurrences)
+	}
+	if prec.Precision() >= inv.NovelPrecision() {
+		t.Errorf("P(bad|precision)=%.2f should be below P(bad|novel invalid)=%.2f",
+			prec.Precision(), inv.NovelPrecision())
+	}
+
+	out := FormatEvidence(evs)
+	for _, want := range []string{"Invalid", "P(bad|any)", "P(bad|novel)", "asserted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("evidence table missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestIsBadOutcome(t *testing.T) {
+	nan := 0.0 / func() float64 { return 0 }()
+	inf := 1 / func() float64 { return 0 }()
+	cases := []struct {
+		res, ref float64
+		want     bool
+	}{
+		{1.0, 1.0, false},
+		{1.005, 1.0, false}, // within 1%
+		{1.05, 1.0, true},
+		{nan, 1.0, true},
+		{nan, nan, false}, // NaN expected
+		{inf, 1.0, true},
+		{inf, inf, false},
+		{1.0, inf, true},
+		{0.5, 0, true},
+		{0.0, 0, false},
+	}
+	for _, c := range cases {
+		if got := isBadOutcome(c.res, c.ref, 0.01); got != c.want {
+			t.Errorf("isBadOutcome(%v, %v) = %v, want %v", c.res, c.ref, got, c.want)
+		}
+	}
+}

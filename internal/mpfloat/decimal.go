@@ -1,0 +1,153 @@
+package mpfloat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DecimalString renders x in scientific decimal notation with the given
+// number of significant digits, correctly rounded (half to even) from
+// the exact binary value. This is the display path for the
+// "paranoid developer" mode: a 200-bit result can be shown to 60
+// digits without any double-rounding through float64.
+func (x Float) DecimalString(digits int) string {
+	if digits < 1 {
+		digits = 1
+	}
+	switch x.kind {
+	case nan:
+		return "NaN"
+	case inf:
+		if x.neg {
+			return "-Inf"
+		}
+		return "+Inf"
+	}
+	if x.mant.isZero() {
+		if x.neg {
+			return "-0"
+		}
+		return "0"
+	}
+	ds, dexp := x.decimalDigits(digits)
+	sign := ""
+	if x.neg {
+		sign = "-"
+	}
+	if len(ds) == 1 {
+		return fmt.Sprintf("%s%se%+d", sign, ds, dexp)
+	}
+	return fmt.Sprintf("%s%s.%se%+d", sign, ds[:1], ds[1:], dexp)
+}
+
+// decimalDigits returns exactly `digits` correctly rounded decimal
+// digits of |x| and the decimal exponent dexp such that the value is
+// d1.d2d3... * 10^dexp.
+func (x Float) decimalDigits(digits int) (string, int) {
+	// Estimate the decimal exponent: |x| = m * 2^e with m in
+	// [2^(b-1), 2^b), so log10|x| ~ (e + b) * log10(2). The estimate
+	// is within +-1; two guard digits absorb that plus the rounding.
+	b := x.mant.bitLen()
+	approx := float64(x.exp+int64(b)) * 0.30102999566398114
+	dexp := int(approx)
+	if approx < 0 && float64(dexp) != approx {
+		dexp--
+	}
+
+	s := digits + 2 - 1 - dexp // scale for digits+2 digit floor
+	for attempt := 0; ; attempt++ {
+		d, exact := x.floorScaled(s)
+		ds := natDecimal(d)
+		if len(ds) < digits+1 && attempt < 6 {
+			// Estimate was high: rescale to get enough digits.
+			s += digits + 1 - len(ds)
+			continue
+		}
+		// True decimal exponent from the exact digit count.
+		trueDexp := len(ds) - 1 - s
+		rounded, carried := roundDigitsSticky(ds, digits, !exact)
+		if carried {
+			trueDexp++
+		}
+		return rounded, trueDexp
+	}
+}
+
+// floorScaled computes floor(|x| * 10^s) as a nat, reporting exactness.
+func (x Float) floorScaled(s int) (nat, bool) {
+	num := append(nat(nil), x.mant...)
+	var den nat = nat{1}
+	if s >= 0 {
+		num = num.mul(pow10(s))
+	} else {
+		den = den.mul(pow10(-s))
+	}
+	if x.exp >= 0 {
+		num = num.shl(uint(x.exp))
+	} else {
+		den = den.shl(uint(-x.exp))
+	}
+	q, r := num.divmod(den)
+	return q, r.isZero()
+}
+
+// roundDigitsSticky rounds the digit string ds to n digits, half to
+// even, where sticky indicates nonzero discarded value below the
+// string. It reports whether rounding carried into a new leading digit
+// (in which case the returned string is still n digits, e.g. "999" ->
+// "100" with carry).
+func roundDigitsSticky(ds string, n int, sticky bool) (string, bool) {
+	if len(ds) <= n {
+		// Pad with zeros; only valid when nothing was discarded.
+		return ds + strings.Repeat("0", n-len(ds)), false
+	}
+	keep := []byte(ds[:n])
+	next := ds[n]
+	restNonzero := sticky || strings.TrimRight(ds[n+1:], "0") != ""
+	up := next > '5' || (next == '5' && (restNonzero || (keep[n-1]-'0')%2 == 1))
+	if !up {
+		return string(keep), false
+	}
+	for i := n - 1; i >= 0; i-- {
+		if keep[i] < '9' {
+			keep[i]++
+			return string(keep), false
+		}
+		keep[i] = '0'
+	}
+	// All nines: 999 -> 1000, reported as "100" + carry.
+	return "1" + string(keep[:n-1]), true
+}
+
+// pow10 returns 10^n as a nat.
+func pow10(n int) nat {
+	p := nat{1}
+	ten := nat{10}
+	for i := 0; i < n; i++ {
+		p = p.mul(ten)
+	}
+	return p
+}
+
+// natDecimal renders a nat in base 10.
+func natDecimal(x nat) string {
+	if x.isZero() {
+		return "0"
+	}
+	var sb strings.Builder
+	var digits []byte
+	ten := nat{10}
+	for !x.isZero() {
+		q, r := x.divmod(ten)
+		d := byte('0')
+		if !r.isZero() {
+			d = byte('0' + r[0])
+		}
+		digits = append(digits, d)
+		x = q
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		sb.WriteByte(digits[i])
+	}
+	return sb.String()
+}

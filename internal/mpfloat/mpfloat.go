@@ -1,0 +1,629 @@
+// Package mpfloat implements arbitrary-precision binary floating point
+// from scratch (no math/big): sign, arbitrary exponent, and an
+// arbitrary-length significand, with round-to-nearest-even at a
+// configurable precision.
+//
+// It exists to realize one of the paper's proposed remediations: a
+// system in which code written against floating point can be
+// "seamlessly compiled to use arbitrary precision" for sanity checking.
+// EvalExpr evaluates the same expression IR the optimizer and quiz use,
+// and Shadow compares a format evaluation against a high-precision one.
+package mpfloat
+
+import (
+	"fmt"
+	"math"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+// kind classifies a Float.
+type kind uint8
+
+const (
+	finite kind = iota // includes zero (mant empty)
+	inf
+	nan
+)
+
+// Float is an arbitrary-precision binary floating point number:
+// (-1)^neg * mant * 2^exp, with mant a big natural. A nil/zero Float is
+// +0. Floats are immutable; operations return new values.
+type Float struct {
+	neg  bool
+	mant nat
+	exp  int64
+	kind kind
+}
+
+// Context carries the working precision (in significand bits) for
+// arithmetic. Results are rounded to nearest-even at Prec bits.
+type Context struct {
+	Prec uint
+}
+
+// NewContext returns a context with the given precision (minimum 2).
+func NewContext(prec uint) Context {
+	if prec < 2 {
+		prec = 2
+	}
+	return Context{Prec: prec}
+}
+
+// Zero returns a signed zero.
+func Zero(negative bool) Float { return Float{neg: negative} }
+
+// Inf returns a signed infinity.
+func Inf(negative bool) Float { return Float{neg: negative, kind: inf} }
+
+// NaN returns a quiet NaN.
+func NaN() Float { return Float{kind: nan} }
+
+// IsNaN reports whether x is a NaN.
+func (x Float) IsNaN() bool { return x.kind == nan }
+
+// IsInf reports whether x is an infinity.
+func (x Float) IsInf() bool { return x.kind == inf }
+
+// IsZero reports whether x is a zero of either sign.
+func (x Float) IsZero() bool { return x.kind == finite && x.mant.isZero() }
+
+// Sign returns -1, 0, or +1 (NaN returns 0).
+func (x Float) Sign() int {
+	switch {
+	case x.kind == nan || x.IsZero():
+		return 0
+	case x.neg:
+		return -1
+	}
+	return 1
+}
+
+// Neg returns -x.
+func (x Float) Neg() Float {
+	if x.kind == nan {
+		return x
+	}
+	x.neg = !x.neg
+	return x
+}
+
+// Abs returns |x|.
+func (x Float) Abs() Float {
+	if x.kind == nan {
+		return x
+	}
+	x.neg = false
+	return x
+}
+
+// norm canonicalizes a finite value (strips trailing zero bits of the
+// significand so representations are unique).
+func (x Float) norm() Float {
+	if x.kind != finite || x.mant.isZero() {
+		x.mant = nil
+		if x.kind == finite {
+			x.exp = 0
+		}
+		return x
+	}
+	// Drop trailing zero bits.
+	tz := 0
+	for x.mant.bit(tz) == 0 {
+		tz++
+	}
+	if tz > 0 {
+		m, _ := x.mant.shr(uint(tz))
+		x.mant = m
+		x.exp += int64(tz)
+	}
+	return x
+}
+
+// round rounds x to the context precision (nearest even).
+func (c Context) round(x Float) Float {
+	if x.kind != finite || x.mant.isZero() {
+		return x
+	}
+	n := x.mant.bitLen()
+	if uint(n) <= c.Prec {
+		return x.norm()
+	}
+	drop := uint(n) - c.Prec
+	kept, _ := x.mant.shr(drop)
+	// Round bit is the highest dropped bit; sticky covers the rest.
+	roundBit := x.mant.bit(int(drop) - 1)
+	lowSticky := false
+	for i := 0; i < int(drop)-1; i++ {
+		if x.mant.bit(i) == 1 {
+			lowSticky = true
+			break
+		}
+	}
+	x.mant = kept
+	x.exp += int64(drop)
+	if roundBit == 1 && (lowSticky || kept.bit(0) == 1) {
+		x.mant = x.mant.add(nat{1})
+	}
+	return x.norm()
+}
+
+// FromFloat64 converts a Go float64 exactly (every float64 is exactly
+// representable).
+func FromFloat64(v float64) Float {
+	switch {
+	case math.IsNaN(v):
+		return NaN()
+	case math.IsInf(v, +1):
+		return Inf(false)
+	case math.IsInf(v, -1):
+		return Inf(true)
+	case v == 0:
+		return Zero(math.Signbit(v))
+	}
+	bits := math.Float64bits(v)
+	neg := bits>>63 == 1
+	e := int64(bits>>52) & 0x7ff
+	frac := bits & (1<<52 - 1)
+	var mant nat
+	var exp int64
+	if e == 0 {
+		mant = natFromUint64(frac)
+		exp = -1074
+	} else {
+		mant = natFromUint64(frac | 1<<52)
+		exp = e - 1075
+	}
+	return Float{neg: neg, mant: mant, exp: exp}.norm()
+}
+
+// FromBits converts an ieee754 encoding exactly.
+func FromBits(f ieee754.Format, x uint64) Float {
+	return FromFloat64(f.ToFloat64(x))
+}
+
+// FromInt64 converts an integer exactly.
+func FromInt64(v int64) Float {
+	if v == 0 {
+		return Zero(false)
+	}
+	neg := v < 0
+	var mag uint64
+	if neg {
+		mag = uint64(-v)
+	} else {
+		mag = uint64(v)
+	}
+	return Float{neg: neg, mant: natFromUint64(mag)}.norm()
+}
+
+// Float64 converts to the nearest float64 (round to nearest even),
+// overflowing to infinity.
+func (x Float) Float64() float64 {
+	switch x.kind {
+	case nan:
+		return math.NaN()
+	case inf:
+		return math.Inf(sign(x.neg))
+	}
+	if x.mant.isZero() {
+		return math.Copysign(0, signf(x.neg))
+	}
+	// Round to 53 bits, then assemble via Ldexp.
+	r := NewContext(53).round(x)
+	n := r.mant.bitLen()
+	var m uint64
+	for i := 0; i < n && i < 64; i++ {
+		m |= uint64(r.mant.bit(i)) << i
+	}
+	v := math.Ldexp(float64(m), clampInt(r.exp))
+	if r.neg {
+		v = -v
+	}
+	return v
+}
+
+func clampInt(e int64) int {
+	// Ldexp saturates anyway; clamp to avoid int overflow on 32-bit.
+	if e > 1<<20 {
+		return 1 << 20
+	}
+	if e < -(1 << 20) {
+		return -(1 << 20)
+	}
+	return int(e)
+}
+
+func sign(neg bool) int {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+func signf(neg bool) float64 {
+	if neg {
+		return -1
+	}
+	return 1
+}
+
+// ToBits rounds x to the given interchange format with a single
+// round-to-nearest-even step, saturating overflow to infinity and
+// applying gradual underflow into the subnormal range.
+func (x Float) ToBits(f ieee754.Format) uint64 {
+	switch x.kind {
+	case nan:
+		return f.QNaN()
+	case inf:
+		return f.Inf(x.neg)
+	}
+	if x.mant.isZero() {
+		return f.Zero(x.neg)
+	}
+	p := int64(f.Precision())
+	n := int64(x.mant.bitLen())
+	e := x.exp + n - 1 // unbiased exponent of the leading bit
+	emin, emax := int64(f.Emin()), int64(f.Emax())
+
+	// The representable lattice has its least significant bit at
+	// 2^(e-p+1) for normals and 2^(emin-p+1) in the subnormal range.
+	lsbScale := e - (p - 1)
+	if e < emin {
+		lsbScale = emin - (p - 1)
+	}
+	drop := lsbScale - x.exp
+	var kept nat
+	if drop <= 0 {
+		kept = x.mant.shl(uint(-drop))
+	} else {
+		if drop > n {
+			// The value is strictly below half of the smallest
+			// lattice step: it rounds to zero.
+			return f.Zero(x.neg)
+		}
+		roundBit := x.mant.bit(int(drop) - 1)
+		low := false
+		for i := 0; i < int(drop)-1; i++ {
+			if x.mant.bit(i) == 1 {
+				low = true
+				break
+			}
+		}
+		kept, _ = x.mant.shr(uint(drop))
+		if roundBit == 1 && (low || kept.bit(0) == 1) {
+			kept = kept.add(nat{1})
+		}
+	}
+	kn := int64(kept.bitLen())
+	if kn == 0 {
+		return f.Zero(x.neg)
+	}
+	e2 := lsbScale + kn - 1 // exponent after rounding (carry included)
+	if e2 > emax {
+		return f.Inf(x.neg)
+	}
+	var sigInt uint64
+	for i := int64(0); i < kn; i++ {
+		sigInt |= uint64(kept.bit(int(i))) << i
+	}
+	signBit := uint64(0)
+	if x.neg {
+		signBit = 1 << (f.ExpBits + f.FracBits)
+	}
+	if e2 < emin {
+		// Subnormal: kn <= p-1, fraction aligned at emin-(p-1).
+		return signBit | sigInt
+	}
+	frac := (sigInt << uint64(int64(f.Precision())-kn)) &^ (1 << f.FracBits)
+	biased := uint64(e2 + int64(f.Bias()))
+	return signBit | biased<<f.FracBits | frac
+}
+
+// Cmp compares x and y: -1, 0, +1; NaNs compare as 2 (unordered).
+func (x Float) Cmp(y Float) int {
+	if x.kind == nan || y.kind == nan {
+		return 2
+	}
+	if x.IsZero() && y.IsZero() {
+		return 0
+	}
+	sx, sy := x.Sign(), y.Sign()
+	if sx != sy {
+		if sx < sy {
+			return -1
+		}
+		return 1
+	}
+	if x.kind == inf || y.kind == inf {
+		switch {
+		case x.kind == inf && y.kind == inf:
+			return 0
+		case x.kind == inf:
+			return sx
+		default:
+			return -sy
+		}
+	}
+	c := x.cmpMag(y)
+	if sx < 0 {
+		return -c
+	}
+	return c
+}
+
+// cmpMag compares |x| and |y| for finite nonzero values.
+func (x Float) cmpMag(y Float) int {
+	// Compare by (bitLen + exp) first, then by aligned mantissa.
+	ex := x.exp + int64(x.mant.bitLen())
+	ey := y.exp + int64(y.mant.bitLen())
+	if ex != ey {
+		if ex < ey {
+			return -1
+		}
+		return 1
+	}
+	// Align to common exponent.
+	a, b := x.mant, y.mant
+	if x.exp > y.exp {
+		a = a.shl(uint(x.exp - y.exp))
+	} else if y.exp > x.exp {
+		b = b.shl(uint(y.exp - x.exp))
+	}
+	return a.cmp(b)
+}
+
+// String renders an approximate decimal form (via float64) plus the
+// exact bit length, for diagnostics.
+func (x Float) String() string {
+	switch x.kind {
+	case nan:
+		return "NaN"
+	case inf:
+		if x.neg {
+			return "-Inf"
+		}
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", x.Float64())
+}
+
+// Add returns x + y rounded to the context precision.
+func (c Context) Add(x, y Float) Float {
+	if x.kind == nan || y.kind == nan {
+		return NaN()
+	}
+	if x.kind == inf || y.kind == inf {
+		switch {
+		case x.kind == inf && y.kind == inf:
+			if x.neg != y.neg {
+				return NaN()
+			}
+			return x
+		case x.kind == inf:
+			return x
+		default:
+			return y
+		}
+	}
+	if x.IsZero() && y.IsZero() {
+		return Zero(x.neg && y.neg)
+	}
+	if x.IsZero() {
+		return c.round(y)
+	}
+	if y.IsZero() {
+		return c.round(x)
+	}
+	if x.neg == y.neg {
+		return c.round(addMag(x, y))
+	}
+	// Opposite signs: subtract smaller magnitude from larger.
+	switch x.cmpMag(y) {
+	case 0:
+		return Zero(false)
+	case 1:
+		return c.round(subMag(x, y)) // sign of x
+	default:
+		return c.round(subMag(y, x)) // sign of y
+	}
+}
+
+// Sub returns x - y.
+func (c Context) Sub(x, y Float) Float { return c.Add(x, y.Neg()) }
+
+// addMag adds magnitudes; result carries x's sign.
+func addMag(x, y Float) Float {
+	e := x.exp
+	if y.exp < e {
+		e = y.exp
+	}
+	// Bound the alignment shift: beyond prec it only matters as a tiny
+	// tail, but exactness is the point of this package, so align fully.
+	a := x.mant.shl(uint(x.exp - e))
+	b := y.mant.shl(uint(y.exp - e))
+	return Float{neg: x.neg, mant: a.add(b), exp: e}.norm()
+}
+
+// subMag computes |x| - |y| (|x| > |y|); result carries x's sign.
+func subMag(x, y Float) Float {
+	e := x.exp
+	if y.exp < e {
+		e = y.exp
+	}
+	a := x.mant.shl(uint(x.exp - e))
+	b := y.mant.shl(uint(y.exp - e))
+	return Float{neg: x.neg, mant: a.sub(b), exp: e}.norm()
+}
+
+// Mul returns x * y rounded to the context precision.
+func (c Context) Mul(x, y Float) Float {
+	if x.kind == nan || y.kind == nan {
+		return NaN()
+	}
+	neg := x.neg != y.neg
+	if x.kind == inf || y.kind == inf {
+		if x.IsZero() || y.IsZero() {
+			return NaN()
+		}
+		return Inf(neg)
+	}
+	if x.IsZero() || y.IsZero() {
+		return Zero(neg)
+	}
+	return c.round(Float{neg: neg, mant: x.mant.mul(y.mant), exp: x.exp + y.exp})
+}
+
+// Div returns x / y rounded to the context precision. x/0 returns a
+// signed infinity (0/0 returns NaN), mirroring IEEE.
+func (c Context) Div(x, y Float) Float {
+	if x.kind == nan || y.kind == nan {
+		return NaN()
+	}
+	neg := x.neg != y.neg
+	switch {
+	case x.kind == inf && y.kind == inf:
+		return NaN()
+	case x.kind == inf:
+		return Inf(neg)
+	case y.kind == inf:
+		return Zero(neg)
+	case y.IsZero():
+		if x.IsZero() {
+			return NaN()
+		}
+		return Inf(neg)
+	case x.IsZero():
+		return Zero(neg)
+	}
+	q, shift, inexact := x.mant.divBits(y.mant, int(c.Prec)+2)
+	r := Float{neg: neg, mant: q, exp: x.exp - y.exp - int64(shift)}
+	if inexact {
+		// Fold a sticky bit below the guard bits so nearest-even
+		// rounding at Prec is correct: q already has Prec+2 bits, so
+		// appending a sticky 1 two bits down is safe.
+		r.mant = r.mant.shl(1)
+		r.mant[0] |= 1
+		r.exp--
+	}
+	return c.round(r)
+}
+
+// Sqrt returns sqrt(x) rounded to the context precision; sqrt of a
+// negative value is NaN, sqrt(-0) is -0.
+func (c Context) Sqrt(x Float) Float {
+	if x.kind == nan {
+		return NaN()
+	}
+	if x.IsZero() {
+		return x
+	}
+	if x.neg {
+		return NaN()
+	}
+	if x.kind == inf {
+		return x
+	}
+	// Make exponent even by shifting the mantissa.
+	m := x.mant
+	e := x.exp
+	if e%2 != 0 {
+		m = m.shl(1)
+		e--
+	}
+	s, k, inexact := m.sqrtBits(int(c.Prec) + 2)
+	r := Float{mant: s, exp: e/2 - int64(k)}
+	if inexact {
+		r.mant = r.mant.shl(1)
+		r.mant[0] |= 1
+		r.exp--
+	}
+	return c.round(r)
+}
+
+// FMA returns x*y + z with a single rounding at the context precision
+// (the product is formed exactly).
+func (c Context) FMA(x, y, z Float) Float {
+	exact := Context{Prec: ^uint(0) >> 1} // no intermediate rounding
+	p := exact.Mul(x, y)
+	return c.Add(p, z)
+}
+
+// EvalExpr evaluates an expression tree in arbitrary precision.
+// Variables are bound to exact Float values.
+func (c Context) EvalExpr(n expr.Node, vars map[string]Float) Float {
+	switch t := n.(type) {
+	case expr.Lit:
+		return FromFloat64(t.V)
+	case expr.Var:
+		if v, ok := vars[t.Name]; ok {
+			return v
+		}
+		return NaN()
+	case expr.Unary:
+		x := c.EvalExpr(t.X, vars)
+		switch t.Op {
+		case expr.OpNeg:
+			return x.Neg()
+		case expr.OpSqrt:
+			return c.Sqrt(x)
+		}
+	case expr.Binary:
+		x := c.EvalExpr(t.X, vars)
+		y := c.EvalExpr(t.Y, vars)
+		switch t.Op {
+		case expr.OpAdd:
+			return c.Add(x, y)
+		case expr.OpSub:
+			return c.Sub(x, y)
+		case expr.OpMul:
+			return c.Mul(x, y)
+		case expr.OpDiv:
+			return c.Div(x, y)
+		}
+	case expr.FMA:
+		return c.FMA(c.EvalExpr(t.X, vars), c.EvalExpr(t.Y, vars), c.EvalExpr(t.Z, vars))
+	}
+	return NaN()
+}
+
+// ShadowReport compares a format evaluation of an expression against an
+// arbitrary-precision one.
+type ShadowReport struct {
+	FormatResult uint64
+	FormatValue  float64
+	ShadowValue  Float
+	// AbsError is |format - shadow| evaluated in the shadow precision.
+	AbsError Float
+	// RelError is AbsError / |shadow| (NaN when shadow is 0).
+	RelError Float
+}
+
+// Shadow evaluates n in format f and in arbitrary precision with the
+// given context and reports the deviation — the "paranoid developer"
+// workflow from the paper's conclusions.
+func (c Context) Shadow(f ieee754.Format, n expr.Node, vars map[string]uint64) ShadowReport {
+	var fe ieee754.Env
+	fres := expr.Eval(f, &fe, n, vars)
+
+	mpVars := map[string]Float{}
+	for k, v := range vars {
+		mpVars[k] = FromBits(f, v)
+	}
+	sres := c.EvalExpr(n, mpVars)
+
+	rep := ShadowReport{
+		FormatResult: fres,
+		FormatValue:  f.ToFloat64(fres),
+		ShadowValue:  sres,
+	}
+	fAsMP := FromBits(f, fres)
+	rep.AbsError = c.Sub(fAsMP, sres).Abs()
+	if !sres.IsZero() && sres.kind == finite {
+		rep.RelError = c.Div(rep.AbsError, sres.Abs())
+	} else {
+		rep.RelError = NaN()
+	}
+	return rep
+}

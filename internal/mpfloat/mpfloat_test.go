@@ -1,0 +1,395 @@
+package mpfloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+// At 53-bit precision, mpfloat arithmetic must agree with hardware
+// float64 bit-for-bit wherever the hardware result is in the normal
+// range (mpfloat has unbounded exponents, so float64 over/underflow is
+// out of scope for the comparison).
+
+func randFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return float64(rng.Intn(2001) - 1000)
+	case 1:
+		return (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(60)-30)
+	case 2:
+		return rng.NormFloat64()
+	default:
+		return rng.Float64()
+	}
+}
+
+func inNormalRange(v float64) bool {
+	a := math.Abs(v)
+	return v == 0 || (a >= 2.3e-308 && a <= 8.9e307)
+}
+
+func TestMatchesHardwareAt53Bits(t *testing.T) {
+	ctx := NewContext(53)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		a, b := randFloat(rng), randFloat(rng)
+		cases := []struct {
+			name string
+			got  Float
+			want float64
+		}{
+			{"add", ctx.Add(FromFloat64(a), FromFloat64(b)), a + b},
+			{"sub", ctx.Sub(FromFloat64(a), FromFloat64(b)), a - b},
+			{"mul", ctx.Mul(FromFloat64(a), FromFloat64(b)), a * b},
+			{"div", ctx.Div(FromFloat64(a), FromFloat64(b)), a / b},
+		}
+		for _, c := range cases {
+			if !inNormalRange(c.want) {
+				continue
+			}
+			if got := c.got.Float64(); got != c.want && !(math.IsNaN(got) && math.IsNaN(c.want)) {
+				t.Fatalf("%s(%v, %v) = %v, want %v", c.name, a, b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSqrtMatchesHardware(t *testing.T) {
+	ctx := NewContext(53)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		a := math.Abs(randFloat(rng))
+		want := math.Sqrt(a)
+		if !inNormalRange(want) {
+			continue
+		}
+		if got := ctx.Sqrt(FromFloat64(a)).Float64(); got != want {
+			t.Fatalf("sqrt(%v) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestFMAMatchesHardware(t *testing.T) {
+	ctx := NewContext(53)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		a, b, c := randFloat(rng), randFloat(rng), randFloat(rng)
+		want := math.FMA(a, b, c)
+		if !inNormalRange(want) {
+			continue
+		}
+		got := ctx.FMA(FromFloat64(a), FromFloat64(b), FromFloat64(c)).Float64()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("fma(%v, %v, %v) = %v, want %v", a, b, c, got, want)
+		}
+	}
+}
+
+func TestHigherPrecisionIsMoreAccurate(t *testing.T) {
+	// Summing 0.1 ten times: float64 accumulates error; 200-bit
+	// arithmetic starting from the same (inexact) constant does not
+	// drift further.
+	tenth := FromFloat64(0.1)
+	ctx := NewContext(200)
+	sum := Zero(false)
+	for i := 0; i < 10; i++ {
+		sum = ctx.Add(sum, tenth)
+	}
+	// sum == 10 * FromFloat64(0.1) exactly at this precision.
+	want := ctx.Mul(FromFloat64(10), tenth)
+	if sum.Cmp(want) != 0 {
+		t.Fatalf("200-bit 10x0.1 = %v, want %v", sum, want)
+	}
+	// Hardware drifts away from the exact 10*0.1 product.
+	var hw float64
+	for i := 0; i < 10; i++ {
+		hw += 0.1
+	}
+	if hw == 1.0*10*0.1 && hw == want.Float64() {
+		t.Log("hardware luckily exact here (unexpected but not fatal)")
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	ctx := NewContext(64)
+	if !ctx.Add(Inf(false), Inf(true)).IsNaN() {
+		t.Fatal("inf + -inf != NaN")
+	}
+	if !ctx.Mul(Zero(false), Inf(false)).IsNaN() {
+		t.Fatal("0*inf != NaN")
+	}
+	if !ctx.Div(Zero(false), Zero(false)).IsNaN() {
+		t.Fatal("0/0 != NaN")
+	}
+	if v := ctx.Div(FromInt64(1), Zero(false)); !v.IsInf() || v.Sign() != 1 {
+		t.Fatalf("1/0 = %v", v)
+	}
+	if v := ctx.Div(FromInt64(-1), Zero(false)); !v.IsInf() || v.Sign() != -1 {
+		t.Fatalf("-1/0 = %v", v)
+	}
+	if !ctx.Sqrt(FromInt64(-4)).IsNaN() {
+		t.Fatal("sqrt(-4) != NaN")
+	}
+	if v := ctx.Sqrt(Zero(true)); !v.IsZero() || !v.neg {
+		t.Fatal("sqrt(-0) != -0")
+	}
+	if ctx.Add(NaN(), FromInt64(1)).kind != nan {
+		t.Fatal("NaN + 1 != NaN")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {1, 1, 0}, {-1, 1, -1},
+		{0, 0, 0}, {-5, -3, -1}, {0.1, 0.1, 0},
+		{1e300, 1e-300, 1}, {-1e300, 1e-300, -1},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.a).Cmp(FromFloat64(c.b)); got != c.want {
+			t.Errorf("cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if FromFloat64(1).Cmp(NaN()) != 2 {
+		t.Error("cmp with NaN should be 2")
+	}
+	if FromFloat64(0).Cmp(Zero(true)) != 0 {
+		t.Error("+0 vs -0 should compare equal")
+	}
+}
+
+func TestToBitsRoundTrip(t *testing.T) {
+	// Every binary16 and a large sample of binary32/64 values must
+	// round-trip exactly through Float.
+	for x := uint64(0); x < 1<<16; x++ {
+		if ieee754.Binary16.IsNaN(x) {
+			continue
+		}
+		got := FromBits(ieee754.Binary16, x).ToBits(ieee754.Binary16)
+		if got != x {
+			t.Fatalf("binary16 roundtrip %#04x -> %#04x", x, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		b := rng.Uint64()
+		if ieee754.Binary64.IsNaN(b) {
+			continue
+		}
+		got := FromBits(ieee754.Binary64, b).ToBits(ieee754.Binary64)
+		if got != b {
+			t.Fatalf("binary64 roundtrip %#x -> %#x", b, got)
+		}
+	}
+}
+
+func TestToBitsRounding(t *testing.T) {
+	// A 200-bit value rounds correctly to binary64: compare against
+	// hardware-computed reference 1/3.
+	ctx := NewContext(200)
+	third := ctx.Div(FromInt64(1), FromInt64(3))
+	got := third.ToBits(ieee754.Binary64)
+	want := math.Float64bits(1.0 / 3.0)
+	if got != want {
+		t.Fatalf("1/3 to binary64: %#x want %#x", got, want)
+	}
+	// Overflow saturates to infinity.
+	huge := ctx.Mul(FromFloat64(1e308), FromFloat64(1e10))
+	if !ieee754.Binary64.IsInf(huge.ToBits(ieee754.Binary64), +1) {
+		t.Fatal("1e318 should round to +Inf in binary64")
+	}
+	// Tiny values round to subnormals and then to zero.
+	tiny := ctx.Div(FromFloat64(math.SmallestNonzeroFloat64), FromInt64(2))
+	if bits := tiny.ToBits(ieee754.Binary64); bits != 0 {
+		t.Fatalf("minSub/2 rounds to %#x, want +0 (ties to even)", bits)
+	}
+	tiny3q := ctx.Mul(FromFloat64(math.SmallestNonzeroFloat64), FromFloat64(0.75))
+	if bits := tiny3q.ToBits(ieee754.Binary64); bits != 1 {
+		t.Fatalf("0.75*minSub rounds to %#x, want minSub", bits)
+	}
+}
+
+func TestEvalExprMatchesFormatForExactCases(t *testing.T) {
+	ctx := NewContext(200)
+	n := expr.MustParse("a*b + c")
+	vars := map[string]Float{
+		"a": FromInt64(3), "b": FromInt64(7), "c": FromInt64(21),
+	}
+	if got := ctx.EvalExpr(n, vars).Float64(); got != 42 {
+		t.Fatalf("3*7+21 = %v", got)
+	}
+	if !ctx.EvalExpr(expr.MustParse("missing"), nil).IsNaN() {
+		t.Fatal("unbound var should be NaN")
+	}
+}
+
+func TestShadowDetectsCancellation(t *testing.T) {
+	// (a + b) - a with b tiny: binary32 loses b entirely; the shadow
+	// execution at 200 bits keeps it. RelError should be 1 (total).
+	ctx := NewContext(200)
+	var se ieee754.Env
+	f := ieee754.Binary32
+	vars := map[string]uint64{
+		"a": f.FromFloat64(&se, 1e10),
+		"b": f.FromFloat64(&se, 1e-10),
+	}
+	rep := ctx.Shadow(f, expr.MustParse("(a + b) - a"), vars)
+	if rep.FormatValue != 0 {
+		t.Fatalf("format value %v, want 0 (absorption)", rep.FormatValue)
+	}
+	if rep.ShadowValue.IsZero() {
+		t.Fatal("shadow lost the tiny term too")
+	}
+	if rel := rep.RelError.Float64(); math.Abs(rel-1) > 1e-9 {
+		t.Fatalf("relative error %v, want ~1", rel)
+	}
+}
+
+func TestShadowAgreesOnBenignExpr(t *testing.T) {
+	ctx := NewContext(200)
+	var se ieee754.Env
+	f := ieee754.Binary64
+	vars := map[string]uint64{
+		"a": f.FromFloat64(&se, 3),
+		"b": f.FromFloat64(&se, 4),
+	}
+	rep := ctx.Shadow(f, expr.MustParse("sqrt(a*a + b*b)"), vars)
+	if rep.FormatValue != 5 {
+		t.Fatalf("format hypot = %v", rep.FormatValue)
+	}
+	if !rep.AbsError.IsZero() {
+		t.Fatalf("abs error %v, want 0", rep.AbsError)
+	}
+}
+
+func TestNatDivmod(t *testing.T) {
+	cases := []struct{ x, y, q, r uint64 }{
+		{100, 7, 14, 2},
+		{1, 1, 1, 0},
+		{0, 5, 0, 0},
+		{6, 7, 0, 6},
+		{1 << 40, 1 << 20, 1 << 20, 0},
+	}
+	for _, c := range cases {
+		q, r := natFromUint64(c.x).divmod(natFromUint64(c.y))
+		wantQ, wantR := natFromUint64(c.q), natFromUint64(c.r)
+		if q.cmp(wantQ) != 0 || r.cmp(wantR) != 0 {
+			t.Errorf("%d/%d: got q=%v r=%v", c.x, c.y, q, r)
+		}
+	}
+}
+
+func TestNatMulWide(t *testing.T) {
+	// (2^64-1)^2 = 2^128 - 2^65 + 1.
+	x := nat{^uint64(0)}
+	p := x.mul(x)
+	want := nat{1, ^uint64(0) - 1} // low limb 1, high limb 2^64-2
+	if p.cmp(want) != 0 {
+		t.Fatalf("wide mul: %v", p)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		p := natFromUint64(a).mul(natFromUint64(b))
+		hi, lo := mulParts(a, b)
+		var want nat
+		if hi == 0 {
+			want = natFromUint64(lo)
+		} else {
+			want = nat{lo, hi}
+		}
+		if p.cmp(want) != 0 {
+			t.Fatalf("mul(%d, %d) mismatch", a, b)
+		}
+	}
+}
+
+func mulParts(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	alo, ahi := a&mask, a>>32
+	blo, bhi := b&mask, b>>32
+	ll := alo * blo
+	lh := alo * bhi
+	hl := ahi * blo
+	hh := ahi * bhi
+	mid := lh + (ll >> 32) + (hl & mask)
+	lo = (mid << 32) | (ll & mask)
+	hi = hh + (mid >> 32) + (hl >> 32)
+	return
+}
+
+func TestNatIsqrt(t *testing.T) {
+	for _, v := range []uint64{0, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 40, 1<<40 + 12345} {
+		s, r := natFromUint64(v).isqrt()
+		var si uint64
+		if !s.isZero() {
+			si = s[0]
+		}
+		root := uint64(math.Sqrt(float64(v)))
+		// Correct floor sqrt within the float error; verify exactly.
+		for root*root > v {
+			root--
+		}
+		for (root+1)*(root+1) <= v {
+			root++
+		}
+		if si != root {
+			t.Errorf("isqrt(%d) = %d, want %d", v, si, root)
+		}
+		var ri uint64
+		if !r.isZero() {
+			ri = r[0]
+		}
+		if ri != v-root*root {
+			t.Errorf("isqrt(%d) rem = %d, want %d", v, ri, v-root*root)
+		}
+	}
+}
+
+func TestNatShlShr(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		v := rng.Uint64()
+		n := uint(rng.Intn(130))
+		x := natFromUint64(v)
+		up := x.shl(n)
+		down, sticky := up.shr(n)
+		if down.cmp(x) != 0 {
+			t.Fatalf("shl/shr roundtrip failed: %d << %d >> %d", v, n, n)
+		}
+		if sticky {
+			t.Fatalf("roundtrip sticky set")
+		}
+	}
+	// shr sticky detection.
+	x := nat{0b1011}
+	_, st := x.shr(2)
+	if !st {
+		t.Fatal("sticky missed")
+	}
+	_, st = x.shr(200)
+	if !st {
+		t.Fatal("sticky missed for full shift-out")
+	}
+}
+
+func TestContextMinPrecision(t *testing.T) {
+	c := NewContext(0)
+	if c.Prec != 2 {
+		t.Fatalf("prec = %d", c.Prec)
+	}
+}
+
+func TestFromInt64(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64 + 1} {
+		if got := FromInt64(v).Float64(); got != float64(v) {
+			t.Errorf("FromInt64(%d) = %v", v, got)
+		}
+	}
+}

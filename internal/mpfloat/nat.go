@@ -1,0 +1,310 @@
+package mpfloat
+
+import "math/bits"
+
+// nat is an arbitrary-precision natural number stored as little-endian
+// 64-bit limbs with no trailing (most significant) zero limbs. The zero
+// value represents 0.
+type nat []uint64
+
+// norm trims high zero limbs.
+func (x nat) norm() nat {
+	for len(x) > 0 && x[len(x)-1] == 0 {
+		x = x[:len(x)-1]
+	}
+	return x
+}
+
+func natFromUint64(v uint64) nat {
+	if v == 0 {
+		return nil
+	}
+	return nat{v}
+}
+
+func (x nat) isZero() bool { return len(x) == 0 }
+
+// bitLen returns the number of significant bits.
+func (x nat) bitLen() int {
+	if len(x) == 0 {
+		return 0
+	}
+	return (len(x)-1)*64 + bits.Len64(x[len(x)-1])
+}
+
+// bit returns bit i (0 = least significant).
+func (x nat) bit(i int) uint {
+	limb := i / 64
+	if limb >= len(x) {
+		return 0
+	}
+	return uint(x[limb]>>(i%64)) & 1
+}
+
+// cmp returns -1, 0, 1.
+func (x nat) cmp(y nat) int {
+	if len(x) != len(y) {
+		if len(x) < len(y) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		if x[i] != y[i] {
+			if x[i] < y[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// add returns x + y.
+func (x nat) add(y nat) nat {
+	if len(x) < len(y) {
+		x, y = y, x
+	}
+	z := make(nat, len(x)+1)
+	var carry uint64
+	for i := range x {
+		yi := uint64(0)
+		if i < len(y) {
+			yi = y[i]
+		}
+		s, c1 := bits.Add64(x[i], yi, carry)
+		z[i] = s
+		carry = c1
+	}
+	z[len(x)] = carry
+	return z.norm()
+}
+
+// sub returns x - y; x must be >= y.
+func (x nat) sub(y nat) nat {
+	z := make(nat, len(x))
+	var borrow uint64
+	for i := range x {
+		yi := uint64(0)
+		if i < len(y) {
+			yi = y[i]
+		}
+		d, b1 := bits.Sub64(x[i], yi, borrow)
+		z[i] = d
+		borrow = b1
+	}
+	if borrow != 0 {
+		panic("mpfloat: nat underflow")
+	}
+	return z.norm()
+}
+
+// shl returns x << n.
+func (x nat) shl(n uint) nat {
+	if x.isZero() || n == 0 {
+		return append(nat(nil), x...)
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	z := make(nat, len(x)+limbShift+1)
+	for i := range x {
+		z[i+limbShift] |= x[i] << bitShift
+		if bitShift != 0 {
+			z[i+limbShift+1] |= x[i] >> (64 - bitShift)
+		}
+	}
+	return z.norm()
+}
+
+// shr returns x >> n and whether any set bits were shifted out (sticky).
+func (x nat) shr(n uint) (nat, bool) {
+	if n == 0 {
+		return append(nat(nil), x...), false
+	}
+	limbShift := int(n / 64)
+	bitShift := n % 64
+	sticky := false
+	for i := 0; i < limbShift && i < len(x); i++ {
+		if x[i] != 0 {
+			sticky = true
+		}
+	}
+	if limbShift >= len(x) {
+		return nil, sticky || !x.isZero() && limbShift > len(x)
+	}
+	rem := x[limbShift:]
+	z := make(nat, len(rem))
+	if bitShift == 0 {
+		copy(z, rem)
+	} else {
+		if rem[0]<<(64-bitShift) != 0 {
+			sticky = true
+		}
+		for i := range rem {
+			z[i] = rem[i] >> bitShift
+			if i+1 < len(rem) {
+				z[i] |= rem[i+1] << (64 - bitShift)
+			}
+		}
+		// bits below bitShift in higher limbs were already folded via
+		// the pairwise shift; only rem[0]'s low bits are lost, checked
+		// above. Bits lost from other limbs move into lower limbs of
+		// z, not out of the number.
+	}
+	return z.norm(), sticky
+}
+
+// mul returns x * y (schoolbook).
+func (x nat) mul(y nat) nat {
+	if x.isZero() || y.isZero() {
+		return nil
+	}
+	z := make(nat, len(x)+len(y))
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		var carry uint64
+		for j, yj := range y {
+			// xi*yj + z[i+j] + carry < 2^128, so the (hi, lo) pair
+			// absorbs every carry without overflowing.
+			hi, lo := bits.Mul64(xi, yj)
+			lo, c := bits.Add64(lo, carry, 0)
+			hi += c
+			lo, c = bits.Add64(lo, z[i+j], 0)
+			hi += c
+			z[i+j] = lo
+			carry = hi
+		}
+		// propagate carry
+		for k := i + len(y); carry != 0; k++ {
+			s, c := bits.Add64(z[k], carry, 0)
+			z[k] = s
+			carry = c
+		}
+	}
+	return z.norm()
+}
+
+// divBits returns the top want bits of x / y along with sticky
+// information: q = floor(x * 2^shift / y) where shift is chosen so q has
+// exactly want significant bits (x, y nonzero), plus the base-2 exponent
+// adjustment: x/y = q * 2^(-shift) ... (1 + eps). It reports whether the
+// division was inexact beyond q.
+func (x nat) divBits(y nat, want int) (q nat, shift int, inexact bool) {
+	// Scale x so the quotient has at least `want` bits:
+	// bitLen(q) ~ bitLen(x) + shift - bitLen(y) + {0,1}.
+	shift = want - x.bitLen() + y.bitLen()
+	if shift < 0 {
+		shift = 0
+	}
+	num := x.shl(uint(shift))
+	q, r := num.divmod(y)
+	inexact = !r.isZero()
+	// q may have want or want+1 bits; normalize to exactly want by a
+	// final 1-bit shift if needed, folding the lost bit into sticky.
+	for q.bitLen() > want {
+		var s bool
+		q, s = q.shr(1)
+		shift--
+		if s {
+			inexact = true
+		}
+	}
+	return q, shift, inexact
+}
+
+// divmod returns (x/y, x%y) by binary long division. y must be nonzero.
+func (x nat) divmod(y nat) (nat, nat) {
+	if y.isZero() {
+		panic("mpfloat: division by zero nat")
+	}
+	if x.cmp(y) < 0 {
+		return nil, append(nat(nil), x...)
+	}
+	n := x.bitLen()
+	q := make(nat, (n+63)/64)
+	var r nat
+	for i := n - 1; i >= 0; i-- {
+		// r = r<<1 | bit(x, i)
+		r = r.shl(1)
+		if x.bit(i) == 1 {
+			if len(r) == 0 {
+				r = nat{1}
+			} else {
+				r[0] |= 1
+			}
+		}
+		if r.cmp(y) >= 0 {
+			r = r.sub(y)
+			q[i/64] |= 1 << (i % 64)
+		}
+	}
+	return nat(q).norm(), r
+}
+
+// sqrtBits returns the top `want` bits of sqrt(x): s = floor(sqrt(x <<
+// 2k)) for a k chosen so s has exactly `want` or want+1 bits, with the
+// exponent adjustment (the caller divides by 2^k), plus inexactness.
+func (x nat) sqrtBits(want int) (s nat, k int, inexact bool) {
+	// Choose 2k so that bitLen(x<<2k)/2 ~ want.
+	n := x.bitLen()
+	k = want - (n+1)/2
+	if k < 0 {
+		k = 0
+	}
+	v := x.shl(uint(2 * k))
+	s, rem := v.isqrt()
+	inexact = !rem.isZero()
+	for s.bitLen() > want {
+		var st bool
+		s, st = s.shr(1)
+		k--
+		if st {
+			inexact = true
+		}
+	}
+	return s, k, inexact
+}
+
+// isqrt returns floor(sqrt(x)) and the remainder x - s^2, via the
+// digit-by-digit (restoring) method.
+func (x nat) isqrt() (nat, nat) {
+	if x.isZero() {
+		return nil, nil
+	}
+	n := x.bitLen()
+	if n%2 == 1 {
+		n++
+	}
+	var s, r nat
+	for i := n - 2; i >= 0; i -= 2 {
+		// r = r<<2 | next two bits of x
+		r = r.shl(2)
+		two := x.bit(i+1)<<1 | x.bit(i)
+		if two != 0 {
+			if len(r) == 0 {
+				r = nat{uint64(two)}
+			} else {
+				r[0] |= uint64(two)
+			}
+		}
+		// trial = s<<2 | 1
+		trial := s.shl(2)
+		if len(trial) == 0 {
+			trial = nat{1}
+		} else {
+			trial[0] |= 1
+		}
+		s = s.shl(1)
+		if r.cmp(trial) >= 0 {
+			r = r.sub(trial)
+			if len(s) == 0 {
+				s = nat{1}
+			} else {
+				s[0] |= 1
+			}
+		}
+	}
+	return s.norm(), r.norm()
+}

@@ -1,0 +1,155 @@
+package mpfloat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseDecimal converts a decimal literal ("-12.34e-5", "0.1", "3") to
+// an *exact* Float: the value d * 10^k is represented with no rounding
+// at all (decimal values are always exactly representable in binary
+// floating point of unbounded precision times an exact power of five
+// — here the power of five is folded into the significand exactly).
+//
+// This is the inverse of DecimalString for terminating decimals and the
+// entry point for the paranoid-developer mode: constants enter the
+// computation with zero representation error.
+func ParseDecimal(s string) (Float, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Float{}, fmt.Errorf("mpfloat: empty literal")
+	}
+	switch strings.ToLower(s) {
+	case "inf", "+inf":
+		return Inf(false), nil
+	case "-inf":
+		return Inf(true), nil
+	case "nan":
+		return NaN(), nil
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	mantStr, expStr, hasExp := cutAny(s, "eE")
+	exp10 := 0
+	if hasExp {
+		var err error
+		exp10, err = parseInt(expStr)
+		if err != nil {
+			return Float{}, fmt.Errorf("mpfloat: bad exponent in %q", s)
+		}
+	}
+	intPart, fracPart, _ := strings.Cut(mantStr, ".")
+	digits := intPart + fracPart
+	if digits == "" {
+		return Float{}, fmt.Errorf("mpfloat: no digits in %q", s)
+	}
+	exp10 -= len(fracPart)
+
+	// Accumulate the digit string as an exact big natural.
+	var m nat
+	ten := nat{10}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return Float{}, fmt.Errorf("mpfloat: bad digit %q in %q", c, s)
+		}
+		m = m.mul(ten)
+		if c != '0' {
+			m = m.add(nat{uint64(c - '0')})
+		}
+	}
+	if m.isZero() {
+		return Zero(neg), nil
+	}
+
+	// value = m * 10^exp10 = m * 5^exp10 * 2^exp10. Fold the power of
+	// five into the mantissa exactly; negative powers of five divide,
+	// which does not terminate in binary — so scale the *other* side:
+	// for exp10 < 0, value = m / (5^-exp10) * 2^exp10. Keep it exact
+	// by tracking a rational? No: shift m left enough that division by
+	// 5^-exp10 is exact is impossible in general. Instead compute to
+	// very high precision (4x the digits) and round once.
+	f := Float{neg: neg, mant: m, exp: 0}
+	if exp10 >= 0 {
+		p5 := pow5(exp10)
+		f.mant = f.mant.mul(p5)
+		f.exp = int64(exp10)
+		return f.norm(), nil
+	}
+	// Negative power of ten: divide by 5^k exactly when possible,
+	// otherwise round at a generous precision (64 + 4*len(digits) +
+	// 4*|exp10| bits), which keeps ParseDecimal(DecimalString(x, d))
+	// == x for any d up to hundreds of digits.
+	k := -exp10
+	p5 := pow5(k)
+	prec := uint(64 + 4*len(digits) + 4*k)
+	q, shift, inexact := f.mant.divBits(p5, int(prec))
+	res := Float{neg: neg, mant: q, exp: int64(exp10) - int64(shift)}
+	if inexact {
+		res.mant = res.mant.shl(1)
+		res.mant[0] |= 1
+		res.exp--
+	}
+	return NewContext(prec).round(res), nil
+}
+
+// MustParseDecimal is ParseDecimal that panics on error.
+func MustParseDecimal(s string) Float {
+	f, err := ParseDecimal(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func pow5(n int) nat {
+	p := nat{1}
+	five := nat{5}
+	for i := 0; i < n; i++ {
+		p = p.mul(five)
+	}
+	return p
+}
+
+func cutAny(s, chars string) (before, after string, found bool) {
+	if i := strings.IndexAny(s, chars); i >= 0 {
+		return s[:i], s[i+1:], true
+	}
+	return s, "", false
+}
+
+func parseInt(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, fmt.Errorf("empty after sign")
+	}
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit")
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<24 {
+			return 0, fmt.Errorf("exponent too large")
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

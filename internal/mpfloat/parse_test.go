@@ -1,0 +1,124 @@
+package mpfloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+func TestParseDecimalExactIntegers(t *testing.T) {
+	cases := []struct {
+		s    string
+		want float64
+	}{
+		{"0", 0}, {"1", 1}, {"-1", -1}, {"42", 42}, {"1e3", 1000},
+		{"1.5", 1.5}, {"-2.25", -2.25}, {"0.5", 0.5}, {"100e-2", 1},
+		{"12.34e2", 1234}, {"+7", 7},
+	}
+	for _, c := range cases {
+		f, err := ParseDecimal(c.s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.s, err)
+		}
+		if got := f.Float64(); got != c.want {
+			t.Errorf("parse %q = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestParseDecimalSpecials(t *testing.T) {
+	if f, _ := ParseDecimal("inf"); !f.IsInf() || f.Sign() != 1 {
+		t.Fatal("inf")
+	}
+	if f, _ := ParseDecimal("-Inf"); !f.IsInf() || f.Sign() != -1 {
+		t.Fatal("-inf")
+	}
+	if f, _ := ParseDecimal("NaN"); !f.IsNaN() {
+		t.Fatal("nan")
+	}
+	if f, _ := ParseDecimal("-0"); !f.IsZero() || !f.neg {
+		t.Fatal("-0")
+	}
+}
+
+func TestParseDecimalErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "1.2.3", "1e", "e5", "--1", "1e99999999", "1x"} {
+		if _, err := ParseDecimal(s); err == nil {
+			t.Errorf("parse %q succeeded", s)
+		}
+	}
+}
+
+func TestParseDecimalTenthExceedsDoublePrecision(t *testing.T) {
+	// 0.1 parsed exactly differs from float64(0.1): the difference is
+	// the representation error every developer forgets about.
+	tenth := MustParseDecimal("0.1")
+	asDouble := FromFloat64(0.1)
+	ctx := NewContext(200)
+	diff := ctx.Sub(tenth, asDouble).Abs()
+	if diff.IsZero() {
+		t.Fatal("0.1 exactly representable!?")
+	}
+	// The difference is about 5.55e-18.
+	d := diff.Float64()
+	if d < 1e-18 || d > 1e-17 {
+		t.Fatalf("representation error of 0.1 = %g", d)
+	}
+}
+
+func TestParseRoundTripsDecimalString(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ctx := NewContext(200)
+	for i := 0; i < 300; i++ {
+		x := ctx.Div(FromFloat64(rng.NormFloat64()), FromFloat64(rng.NormFloat64()+3))
+		if x.IsZero() || x.IsNaN() {
+			continue
+		}
+		// 70 digits is beyond the 200-bit information content (60
+		// digits), so parsing the string recovers x exactly.
+		s := x.DecimalString(70)
+		back, err := ParseDecimal(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		diff := ctx.Sub(back, x).Abs()
+		if !diff.IsZero() {
+			// Accept sub-ulp differences at 200 bits.
+			rel := ctx.Div(diff, x.Abs())
+			if rel.Cmp(NewContext(64).Div(FromInt64(1), FromFloat64(math.Ldexp(1, 190)))) > 0 {
+				t.Fatalf("roundtrip moved: %s (rel %s)", s, rel.DecimalString(5))
+			}
+		}
+	}
+}
+
+func TestParseMatchesStrconvForDoubles(t *testing.T) {
+	// Parsing a float64-exact literal then rounding to binary64 agrees
+	// with the hardware parse.
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 5000; i++ {
+		v := math.Ldexp(rng.Float64()*2-1, rng.Intn(100)-50)
+		s := FromFloat64(v).DecimalString(17)
+		f, err := ParseDecimal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f.ToBits(ieee754.Binary64); got != math.Float64bits(v) {
+			t.Fatalf("parse %q -> %x, want %x", s, got, math.Float64bits(v))
+		}
+	}
+}
+
+func TestParseLongDigitString(t *testing.T) {
+	// 100 digits of pi parse exactly and print back identically.
+	const pi100 = "3.141592653589793238462643383279502884197169399375105820974944592307816406286208998628034825342117068"
+	f := MustParseDecimal(pi100)
+	got := f.DecimalString(100)
+	// got is in scientific notation: 3.1415...e+0
+	want := pi100[:1] + "." + pi100[2:101] + "e+0"
+	if got != want {
+		t.Fatalf("pi roundtrip:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,164 @@
+package mpfloat
+
+// Property-based tests (testing/quick) on the arbitrary-precision
+// arithmetic: algebraic invariants that must hold at any precision.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func mpQuickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 3000,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randFloat(rng))
+			}
+		},
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	ctx := NewContext(80)
+	prop := func(a, b float64) bool {
+		x := ctx.Add(FromFloat64(a), FromFloat64(b))
+		y := ctx.Add(FromFloat64(b), FromFloat64(a))
+		return x.Cmp(y) == 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	ctx := NewContext(80)
+	prop := func(a, b float64) bool {
+		x := ctx.Mul(FromFloat64(a), FromFloat64(b))
+		y := ctx.Mul(FromFloat64(b), FromFloat64(a))
+		return x.Cmp(y) == 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAddSubInverseExact(t *testing.T) {
+	// At unbounded precision (huge Prec), (a + b) - b == a exactly —
+	// the identity floating point famously lacks. This is the whole
+	// point of the arbitrary-precision substrate.
+	ctx := NewContext(400)
+	prop := func(a, b float64) bool {
+		fa, fb := FromFloat64(a), FromFloat64(b)
+		got := ctx.Sub(ctx.Add(fa, fb), fb)
+		return got.Cmp(fa) == 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulDivInverseTight(t *testing.T) {
+	// (a * b) / b is within 1 ulp of a at working precision.
+	ctx := NewContext(120)
+	prop := func(a, b float64) bool {
+		if b == 0 || a == 0 {
+			return true
+		}
+		fa, fb := FromFloat64(a), FromFloat64(b)
+		got := ctx.Div(ctx.Mul(fa, fb), fb)
+		diff := ctx.Sub(got, fa).Abs()
+		if diff.IsZero() {
+			return true
+		}
+		// |diff| / |a| <= 2^-118.
+		rel := ctx.Div(diff, fa.Abs())
+		bound := NewContext(64).Div(FromInt64(1), FromFloat64(math.Ldexp(1, 110)))
+		return rel.Cmp(bound) <= 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSqrtSquare(t *testing.T) {
+	ctx := NewContext(150)
+	prop := func(a float64) bool {
+		a = math.Abs(a)
+		if a == 0 {
+			return true
+		}
+		fa := FromFloat64(a)
+		s := ctx.Sqrt(fa)
+		back := ctx.Mul(s, s)
+		diff := ctx.Sub(back, fa).Abs()
+		if diff.IsZero() {
+			return true
+		}
+		rel := ctx.Div(diff, fa)
+		bound := NewContext(64).Div(FromInt64(1), FromFloat64(math.Ldexp(1, 140)))
+		return rel.Cmp(bound) <= 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripFloat64(t *testing.T) {
+	prop := func(a float64) bool {
+		return FromFloat64(a).Float64() == a
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCmpConsistentWithFloat64(t *testing.T) {
+	prop := func(a, b float64) bool {
+		got := FromFloat64(a).Cmp(FromFloat64(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNegInvolution(t *testing.T) {
+	prop := func(a float64) bool {
+		fa := FromFloat64(a)
+		return fa.Neg().Neg().Cmp(fa) == 0
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecimalRoundTripCoarse(t *testing.T) {
+	// Printing at 17 significant digits and reparsing through float64
+	// recovers the value exactly (17 digits suffice for binary64).
+	prop := func(a float64) bool {
+		if a == 0 {
+			return true
+		}
+		s := FromFloat64(a).DecimalString(17)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return false
+		}
+		return back == a
+	}
+	if err := quick.Check(prop, mpQuickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

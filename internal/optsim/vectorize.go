@@ -1,0 +1,115 @@
+package optsim
+
+import (
+	"fmt"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/report"
+)
+
+// VectorizeSum models what -ffast-math actually buys compilers on
+// reduction loops: a long sequential sum chain t0 + t1 + ... + tn is
+// split into `lanes` partial accumulators that are combined at the end
+// (the SIMD schedule). This is only legal under reassociation, and it
+// changes results. VectorizeSum rewrites a left-leaning + chain into
+// the lane-partitioned shape; expressions that are not sum chains are
+// returned unchanged.
+func VectorizeSum(n expr.Node, lanes int) (expr.Node, bool) {
+	terms := flattenSum(n)
+	if len(terms) < lanes*2 || lanes < 2 {
+		return n, false
+	}
+	partials := make([]expr.Node, lanes)
+	for i, t := range terms {
+		lane := i % lanes
+		if partials[lane] == nil {
+			partials[lane] = t
+		} else {
+			partials[lane] = expr.Add(partials[lane], t)
+		}
+	}
+	out := partials[0]
+	for _, p := range partials[1:] {
+		out = expr.Add(out, p)
+	}
+	return out, true
+}
+
+// flattenSum collects the terms of a left-leaning + chain; returns nil
+// if the expression is not purely additions.
+func flattenSum(n expr.Node) []expr.Node {
+	b, ok := n.(expr.Binary)
+	if !ok || b.Op != expr.OpAdd {
+		return []expr.Node{n}
+	}
+	left := flattenSum(b.X)
+	return append(left, b.Y)
+}
+
+// SumChainDivergence builds an n-term sum of the named variables,
+// evaluates it sequentially and lane-partitioned over a corpus, and
+// returns the fraction of inputs on which the results differ — a
+// quantitative answer to "does vectorization change my results?".
+func SumChainDivergence(f ieee754.Format, nTerms, lanes, corpusSize int, seed int64) (divergent float64, example *Witness) {
+	names := make([]string, nTerms)
+	terms := make([]expr.Node, nTerms)
+	for i := range names {
+		names[i] = fmt.Sprintf("x%d", i)
+		terms[i] = expr.V(names[i])
+	}
+	seq := expr.SumChain(terms...)
+	vec, _ := VectorizeSum(seq, lanes)
+	corpus := GenCorpus(f, seq, corpusSize, seed)
+	diff := 0
+	for _, in := range corpus {
+		var e1, e2 ieee754.Env
+		a := expr.Eval(f, &e1, seq, in)
+		b := expr.Eval(f, &e2, vec, in)
+		if f.IsNaN(a) && f.IsNaN(b) {
+			continue
+		}
+		if a != b {
+			diff++
+			if example == nil {
+				example = &Witness{Inputs: in, Strict: a, Optimized: b}
+			}
+		}
+	}
+	return float64(diff) / float64(len(corpus)), example
+}
+
+// ComplianceMatrix sweeps all standard configurations over a set of
+// programs and renders the verdict grid as a table — the flag-sweep
+// figure behind the optimization quiz.
+func ComplianceMatrix(f ieee754.Format, programs []expr.Node, corpusSize int, seed int64) report.Table {
+	cfgs := AllConfigs()
+	t := report.Table{
+		Title:  "Compliance matrix: configuration vs program (DIVERGES = non-IEEE result exhibited)",
+		Header: append([]string{"program"}, configNames(cfgs)...),
+	}
+	for _, p := range programs {
+		row := []string{p.String()}
+		for _, cfg := range cfgs {
+			v := Check(f, p, cfg, GenCorpus(f, p, corpusSize, seed))
+			if v.Compliant {
+				row = append(row, "compliant")
+			} else {
+				row = append(row, "DIVERGES")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("checked %d inputs per cell; highest fully compliant level: %s",
+			corpusSize, HighestCompliantLevel(f, programs, corpusSize, seed)))
+	return t
+}
+
+func configNames(cfgs []Config) []string {
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.Name
+	}
+	return out
+}

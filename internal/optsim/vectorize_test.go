@@ -1,0 +1,94 @@
+package optsim
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+func TestVectorizeSumShape(t *testing.T) {
+	n := expr.SumChain(expr.V("a"), expr.V("b"), expr.V("c"), expr.V("d"),
+		expr.V("e"), expr.V("f"), expr.V("g"), expr.V("h"))
+	out, changed := VectorizeSum(n, 4)
+	if !changed {
+		t.Fatal("no vectorization")
+	}
+	// 4 lanes over 8 terms: ((a+e) + (b+f)) + ... structure; same
+	// variable set, same op count.
+	if len(expr.Vars(out)) != 8 {
+		t.Fatalf("vars: %v", expr.Vars(out))
+	}
+	if expr.CountOps(out) != expr.CountOps(n) {
+		t.Fatalf("op count changed: %d vs %d", expr.CountOps(out), expr.CountOps(n))
+	}
+	if expr.Equal(out, n) {
+		t.Fatal("vectorization produced the identical tree")
+	}
+	// Too few terms: unchanged.
+	small := expr.SumChain(expr.V("a"), expr.V("b"), expr.V("c"))
+	if _, changed := VectorizeSum(small, 4); changed {
+		t.Fatal("small chain vectorized")
+	}
+	// Non-sum: unchanged.
+	if _, changed := VectorizeSum(expr.MustParse("a*b"), 2); changed {
+		t.Fatal("product vectorized")
+	}
+}
+
+func TestVectorizeSumPreservesExactCases(t *testing.T) {
+	// With small integers the sum is exact, so lanes cannot change it.
+	n := expr.SumChain(expr.C(1), expr.C(2), expr.C(3), expr.C(4),
+		expr.C(5), expr.C(6), expr.C(7), expr.C(8))
+	out, _ := VectorizeSum(n, 4)
+	var e1, e2 ieee754.Env
+	a := expr.Eval(ieee754.Binary64, &e1, n, nil)
+	b := expr.Eval(ieee754.Binary64, &e2, out, nil)
+	if a != b || ieee754.Binary64.ToFloat64(a) != 36 {
+		t.Fatalf("exact sums differ: %v vs %v",
+			ieee754.Binary64.ToFloat64(a), ieee754.Binary64.ToFloat64(b))
+	}
+}
+
+func TestSumChainDivergence(t *testing.T) {
+	frac, example := SumChainDivergence(ieee754.Binary64, 16, 4, 2000, 3)
+	if frac == 0 {
+		t.Fatal("vectorized summation never diverged — implausible with mixed magnitudes")
+	}
+	if frac > 0.99 {
+		t.Fatalf("divergence fraction %v suspicious", frac)
+	}
+	if example == nil {
+		t.Fatal("no witness captured")
+	}
+	if example.Strict == example.Optimized {
+		t.Fatal("witness does not diverge")
+	}
+	// The fraction is deterministic for a fixed seed.
+	frac2, _ := SumChainDivergence(ieee754.Binary64, 16, 4, 2000, 3)
+	if frac != frac2 {
+		t.Fatal("divergence measurement not deterministic")
+	}
+}
+
+func TestComplianceMatrix(t *testing.T) {
+	progs := []expr.Node{
+		expr.MustParse("a*b + c"),
+		expr.MustParse("(a + b) + c"),
+	}
+	tab := ComplianceMatrix(ieee754.Binary64, progs, 500, 9)
+	s := tab.String()
+	if !strings.Contains(s, "-O2") || !strings.Contains(s, "fast-math") {
+		t.Fatalf("matrix headers:\n%s", s)
+	}
+	if !strings.Contains(s, "DIVERGES") || !strings.Contains(s, "compliant") {
+		t.Fatalf("matrix verdicts:\n%s", s)
+	}
+	if !strings.Contains(s, "highest fully compliant level: -O2") {
+		t.Fatalf("matrix note:\n%s", s)
+	}
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 6 {
+		t.Fatalf("matrix shape: %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+}

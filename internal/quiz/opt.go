@@ -1,0 +1,140 @@
+package quiz
+
+import (
+	"fmt"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/optsim"
+)
+
+// OptQuestion is one question of the optimization quiz. Three are
+// true/false(/don't know); Standard-compliant Level is a single choice
+// among optimization levels (and is excluded from chance computations,
+// as in the paper's Figure 12).
+type OptQuestion struct {
+	ID     string
+	Label  string
+	Prompt string
+	// Choice lists options for the single-choice question; empty for
+	// true/false questions.
+	Choices []string
+	// Oracle evaluates the assertion mechanically via optsim.
+	Oracle func() OracleResult
+	// CorrectChoice is the right option for choice questions
+	// (computed from the oracle for the level question).
+	CorrectChoice string
+}
+
+// IsTrueFalse reports whether the question is scored as T/F.
+func (q OptQuestion) IsTrueFalse() bool { return len(q.Choices) == 0 }
+
+// CorrectAnswer returns the survey answer string for a perfectly
+// informed participant.
+func (q OptQuestion) CorrectAnswer() string {
+	if q.IsTrueFalse() {
+		if q.Oracle().Holds {
+			return "true"
+		}
+		return "false"
+	}
+	return q.CorrectChoice
+}
+
+// LevelChoices are the options for the Standard-compliant Level
+// question.
+var LevelChoices = []string{"-O0", "-O1", "-O2", "-O3"}
+
+// OptQuestions returns the four optimization quiz questions in the
+// paper's order.
+func OptQuestions() []OptQuestion {
+	f := ieee754.Binary64
+	return []OptQuestion{
+		{
+			ID:    "opt.madd",
+			Label: "MADD",
+			Prompt: "Some processors provide an instruction that computes x*y + z in a single step with a single rounding at the end. " +
+				"Using this instruction always produces the same results as a separate multiplication followed by an addition, " +
+				"and it was included in the original (1985) floating point standard.",
+			Oracle: func() OracleResult {
+				// Value claim: fused differs from separate on a witness.
+				var e ieee754.Env
+				a := f.FromFloat64(&e, 1+0x1p-30)
+				c := f.FromFloat64(&e, -1)
+				fused := f.FMA(&e, a, a, c)
+				sep := f.Add(&e, f.Mul(&e, a, a), c)
+				if fused == sep {
+					return OracleResult{true, "fused and separate always agreed (unexpected)"}
+				}
+				return OracleResult{false, fmt.Sprintf(
+					"witness x=y=1+2^-30, z=-1: fused gives %s, separate gives %s; "+
+						"fused multiply-add entered the standard only in the 2008 revision",
+					f.Hex(fused), f.Hex(sep))}
+			},
+		},
+		{
+			ID:    "opt.ftz",
+			Label: "Flush to Zero",
+			Prompt: "Some processors have a mode that replaces very small intermediate results with zero for speed " +
+				"(and treats very small inputs as zero). Computing in this mode still complies with the floating point standard.",
+			Oracle: func() OracleResult {
+				p := expr.MustParse("a*b")
+				cfg := optsim.Config{Name: "ftz", FTZDAZ: true}
+				v := optsim.Check(f, p, cfg, optsim.GenCorpus(f, p, 3000, 11))
+				if v.Compliant {
+					return OracleResult{true, "FTZ/DAZ never changed a result (unexpected)"}
+				}
+				w := v.Witness
+				return OracleResult{false, fmt.Sprintf(
+					"witness a=%s b=%s: IEEE gives %s, FTZ/DAZ gives %s — gradual underflow is required by the standard",
+					f.String(w.Inputs["a"]), f.String(w.Inputs["b"]),
+					f.String(w.Strict), f.String(w.Optimized))}
+			},
+		},
+		{
+			ID:    "opt.level",
+			Label: "Standard-compliant Level",
+			Prompt: "Typical compilers offer optimization levels -O0 through -O3. " +
+				"Which is generally the highest level that still preserves standard-compliant floating point behavior?",
+			Choices: LevelChoices,
+			Oracle: func() OracleResult {
+				l := optsim.HighestCompliantLevel(f, optsim.WitnessPrograms(), 800, 42)
+				return OracleResult{
+					Holds: l == optsim.O2,
+					Witness: fmt.Sprintf(
+						"sweep over witness programs: %s is the highest compliant level; -O3 enables FMA contraction which changes results",
+						l),
+				}
+			},
+			CorrectChoice: "-O2",
+		},
+		{
+			ID:    "opt.fastmath",
+			Label: "Fast-math",
+			Prompt: "Compilers offer a fast-math option (e.g. --ffast-math) enabling aggressive floating point optimizations. " +
+				"Using it can cause the program's floating point behavior to no longer comply with the standard.",
+			Oracle: func() OracleResult {
+				p := expr.MustParse("(a + b) + c")
+				v := optsim.Check(f, p, optsim.FastMath(), optsim.GenCorpus(f, p, 3000, 13))
+				if !v.Compliant {
+					w := v.Witness
+					return OracleResult{true, fmt.Sprintf(
+						"witness a=%s b=%s c=%s: strict (a+b)+c = %s but reassociated evaluation gives %s (passes: %v)",
+						f.String(w.Inputs["a"]), f.String(w.Inputs["b"]), f.String(w.Inputs["c"]),
+						f.String(w.Strict), f.String(w.Optimized), v.PassesApplied)}
+				}
+				return OracleResult{false, "fast-math never changed a result (unexpected)"}
+			},
+		},
+	}
+}
+
+// OptQuestionByID returns the optimization question with the given ID.
+func OptQuestionByID(id string) (OptQuestion, bool) {
+	for _, q := range OptQuestions() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return OptQuestion{}, false
+}

@@ -1,0 +1,181 @@
+package quiz
+
+import (
+	"sync"
+
+	"fpstudy/internal/survey"
+)
+
+// The oracles run real property checks (tens of thousands of softfloat
+// operations for some questions), so scoring caches the derived answer
+// key after the first evaluation.
+var (
+	answerKeyOnce sync.Once
+	coreAnswerKey map[string]string
+	optAnswerKey  map[string]string
+)
+
+func answerKeys() (map[string]string, map[string]string) {
+	answerKeyOnce.Do(func() {
+		coreAnswerKey = map[string]string{}
+		for _, q := range CoreQuestions() {
+			coreAnswerKey[q.ID] = q.CorrectAnswer()
+		}
+		optAnswerKey = map[string]string{}
+		for _, q := range OptQuestions() {
+			optAnswerKey[q.ID] = q.CorrectAnswer()
+		}
+	})
+	return coreAnswerKey, optAnswerKey
+}
+
+// CoreAnswer returns the cached oracle-derived correct answer string
+// for a core question ID.
+func CoreAnswer(id string) string {
+	core, _ := answerKeys()
+	return core[id]
+}
+
+// OptAnswer returns the cached oracle-derived correct answer string for
+// an optimization question ID.
+func OptAnswer(id string) string {
+	_, opt := answerKeys()
+	return opt[id]
+}
+
+// Tally counts quiz outcomes for one participant.
+type Tally struct {
+	Correct    int
+	Incorrect  int
+	DontKnow   int
+	Unanswered int
+}
+
+// Total returns the number of questions tallied.
+func (t Tally) Total() int { return t.Correct + t.Incorrect + t.DontKnow + t.Unanswered }
+
+// Add accumulates another tally.
+func (t *Tally) Add(o Tally) {
+	t.Correct += o.Correct
+	t.Incorrect += o.Incorrect
+	t.DontKnow += o.DontKnow
+	t.Unanswered += o.Unanswered
+}
+
+// scoreTF classifies one true/false answer against the correct string.
+func scoreTF(a survey.Answer, correct string) func(*Tally) {
+	switch {
+	case a.IsUnanswered():
+		return func(t *Tally) { t.Unanswered++ }
+	case a.Choice == survey.AnswerDontKnow:
+		return func(t *Tally) { t.DontKnow++ }
+	case a.Choice == correct:
+		return func(t *Tally) { t.Correct++ }
+	default:
+		return func(t *Tally) { t.Incorrect++ }
+	}
+}
+
+// ScoreCore grades the 15 core questions of a response.
+func ScoreCore(r survey.Response) Tally {
+	var t Tally
+	for _, q := range CoreQuestions() {
+		scoreTF(r.Answer(q.ID), CoreAnswer(q.ID))(&t)
+	}
+	return t
+}
+
+// ScoreOpt grades the optimization quiz. All four questions are
+// tallied; the Standard-compliant Level question is a single choice, so
+// "don't know" for it is represented by leaving it unanswered with a
+// DontKnow sentinel choice handled here.
+func ScoreOpt(r survey.Response) Tally {
+	var t Tally
+	for _, q := range OptQuestions() {
+		a := r.Answer(q.ID)
+		if q.IsTrueFalse() {
+			scoreTF(a, OptAnswer(q.ID))(&t)
+			continue
+		}
+		switch {
+		case a.IsUnanswered():
+			t.Unanswered++
+		case a.Choice == survey.AnswerDontKnow:
+			t.DontKnow++
+		case a.Choice == q.CorrectChoice:
+			t.Correct++
+		default:
+			t.Incorrect++
+		}
+	}
+	return t
+}
+
+// ScoreOptScored grades only the three true/false optimization
+// questions — the view the paper's Figure 12 reports (the
+// Standard-compliant Level choice question is excluded there because it
+// is not T/F).
+func ScoreOptScored(r survey.Response) Tally {
+	var t Tally
+	for _, q := range OptQuestions() {
+		if !q.IsTrueFalse() {
+			continue
+		}
+		scoreTF(r.Answer(q.ID), OptAnswer(q.ID))(&t)
+	}
+	return t
+}
+
+// CoreChance is the expected number of correct core answers under
+// uniform random true/false guessing (15 questions * 1/2).
+const CoreChance = 7.5
+
+// OptChance is the expected correct count guessing the three T/F
+// optimization questions (Standard-compliant Level excluded, per the
+// paper's Figure 12 note).
+const OptChance = 1.5
+
+// PerQuestionOutcome classifies one response's answer to one question.
+type PerQuestionOutcome int
+
+const (
+	OutcomeCorrect PerQuestionOutcome = iota
+	OutcomeIncorrect
+	OutcomeDontKnow
+	OutcomeUnanswered
+)
+
+// ClassifyCore returns the outcome of a response on one core question.
+func ClassifyCore(r survey.Response, q CoreQuestion) PerQuestionOutcome {
+	return classify(r.Answer(q.ID), CoreAnswer(q.ID))
+}
+
+// ClassifyOpt returns the outcome of a response on one optimization
+// question.
+func ClassifyOpt(r survey.Response, q OptQuestion) PerQuestionOutcome {
+	if q.IsTrueFalse() {
+		return classify(r.Answer(q.ID), OptAnswer(q.ID))
+	}
+	a := r.Answer(q.ID)
+	switch {
+	case a.IsUnanswered():
+		return OutcomeUnanswered
+	case a.Choice == survey.AnswerDontKnow:
+		return OutcomeDontKnow
+	case a.Choice == q.CorrectChoice:
+		return OutcomeCorrect
+	}
+	return OutcomeIncorrect
+}
+
+func classify(a survey.Answer, correct string) PerQuestionOutcome {
+	switch {
+	case a.IsUnanswered():
+		return OutcomeUnanswered
+	case a.Choice == survey.AnswerDontKnow:
+		return OutcomeDontKnow
+	case a.Choice == correct:
+		return OutcomeCorrect
+	}
+	return OutcomeIncorrect
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-longer", "22")
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "beta-longer", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns align: "value" column starts at the same offset in both rows.
+	lines := strings.Split(s, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "alpha") || strings.HasPrefix(l, "beta") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 2 || strings.Index(rows[0], "1") != strings.Index(rows[1], "22") {
+		t.Fatalf("misaligned rows: %q vs %q", rows[0], rows[1])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}}
+	tab.AddRow("x,y", `quote"d`)
+	c := tab.CSV()
+	if !strings.Contains(c, `"x,y"`) || !strings.Contains(c, `"quote""d"`) {
+		t.Fatalf("csv escaping: %q", c)
+	}
+	if !strings.HasPrefix(c, "a,b\n") {
+		t.Fatalf("csv header: %q", c)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Fatalf("F: %q", F(1.25))
+	}
+	if F2(1.234) != "1.23" {
+		t.Fatalf("F2: %q", F2(1.234))
+	}
+	if Pct(12.34) != "12.3%" {
+		t.Fatalf("Pct: %q", Pct(12.34))
+	}
+	if I(7) != "7" {
+		t.Fatalf("I: %q", I(7))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar: %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("bar clamp high")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Fatal("bar clamp low")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Fatal("bar zero max")
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := Table{
+		Title:  "MD",
+		Header: []string{"a", "b"},
+		Notes:  []string{"hello"},
+	}
+	tab.AddRow("1", "pipe|cell")
+	md := tab.Markdown()
+	for _, want := range []string{"### MD", "| a | b |", "|---|---|", "pipe\\|cell", "_hello_"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tab := Table{Header: []string{"a"}}
+	tab.AddRow("x", "extra", "cells")
+	s := tab.String()
+	if !strings.Contains(s, "extra") || !strings.Contains(s, "cells") {
+		t.Fatalf("ragged row lost cells:\n%s", s)
+	}
+}

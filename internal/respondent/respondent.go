@@ -1,0 +1,490 @@
+// Package respondent is the synthetic-population substitute for the
+// paper's 199 human developers (and 52 students). The paper's analysis
+// pipeline consumes anonymous response records; this package generates
+// such records from a calibrated latent-ability model:
+//
+//  1. Background profiles are drawn from the paper's published
+//     marginals (Figures 1-11).
+//  2. Each respondent gets a latent floating point ability derived from
+//     background factors with effect sizes digitized from Figures
+//     16-19 (codebase size strongest, then area, role, training) plus
+//     individual noise.
+//  3. Per-question response behaviour (correct / incorrect / don't know
+//     / unanswered) follows an item-response model whose per-question
+//     offsets are calibrated by bisection so the population reproduces
+//     the paper's per-question breakdowns (Figures 14-15), while the
+//     ability structure reproduces the factor effects.
+//  4. Suspicion answers are drawn from the digitized Figure 22
+//     distributions.
+//
+// Everything is deterministic given a seed.
+package respondent
+
+import (
+	"math"
+	"math/rand"
+
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/survey"
+)
+
+// Profile is one synthetic participant's background.
+type Profile struct {
+	Position       string
+	Area           string
+	FormalTraining string
+	Informal       []string
+	Role           string
+	FPLanguages    []string
+	ArbPrec        []string
+	ContribSize    string
+	ContribExtent  string
+	InvolvedSize   string
+	InvolvedExtent string
+
+	// Ability is the latent core-quiz skill in logit units (0 =
+	// population average).
+	Ability float64
+	// OptAbility is the latent optimization-quiz skill.
+	OptAbility float64
+}
+
+// Population is a generated cohort with its survey dataset.
+type Population struct {
+	Profiles []Profile
+	Dataset  *survey.Dataset
+}
+
+// Effect sizes in core-quiz score points (digitized from Figures
+// 16-19). They are centered against the population marginals at model
+// construction, so they encode differences, not absolute levels.
+var (
+	contribSizeEffect = map[string]float64{
+		"<100 lines of code":                 -1.3,
+		"100 to 1,000 lines of code":         -0.9,
+		"1,001 to 10,000 lines of code":      -0.4,
+		"10,001 to 100,000 lines of code":    0.5,
+		"100,001 to 1,000,000 lines of code": 1.3,
+		">1,000,000 lines of code":           2.2,
+	}
+	areaEffect = map[string]float64{
+		"Electrical Engineering":       2.2,
+		"Computer Science":             1.5,
+		"Computer Engineering":         1.5,
+		"CS&CE":                        1.5,
+		"CS&Math":                      1.5,
+		"Mathematics":                  0.5,
+		"Other Physical Science Field": -1.0,
+		"Other Engineering Field":      -1.0,
+	}
+	areaEffectDefault = -0.7 // all remaining small-n areas
+	roleEffect        = map[string]float64{
+		"My main role is as a software engineer":                       1.0,
+		"My main role is to manage software engineers":                 0.5,
+		"I manage others who develop software to support my main role": 0.0,
+		"I develop software to support my main role":                   -0.3,
+	}
+	trainingEffect = map[string]float64{
+		"One or more courses":               0.7,
+		"One or more weeks within a course": 0.4,
+		"One or more lectures in course":    0.0,
+		"None":                              -0.5,
+	}
+	// Working on numeric correctness yourself or in your team adds a
+	// small amount (the paper: ~2/15 relative to non-intrinsic FP).
+	correctnessBonus = 0.8
+
+	// "Very short lists predict bad scores": respondents reporting at
+	// most one floating point language, or no informal training at
+	// all, sit lower (the paper found the content of the lists did
+	// not matter, only their nonemptiness).
+	shortListPenalty = 0.7
+
+	// Optimization-quiz effects (Figures 20-21), in opt-score points.
+	optRoleEffect = map[string]float64{
+		"My main role is as a software engineer":                       0.55,
+		"My main role is to manage software engineers":                 0.3,
+		"I manage others who develop software to support my main role": -0.05,
+		"I develop software to support my main role":                   -0.15,
+	}
+	optAreaEffect = map[string]float64{
+		"Electrical Engineering":       0.45,
+		"Computer Science":             0.35,
+		"Computer Engineering":         0.35,
+		"CS&CE":                        0.35,
+		"CS&Math":                      0.35,
+		"Mathematics":                  0.0,
+		"Other Physical Science Field": -0.25,
+		"Other Engineering Field":      -0.25,
+	}
+	optAreaEffectDefault = -0.2
+)
+
+// pointsPerLogit converts score points to logit-scale ability: the
+// derivative of expected core score with respect to ability, roughly
+// sum over questions of p(1-p) on answered questions.
+const pointsPerLogit = 2.9
+
+// optPointsPerLogit is the same conversion for the optimization quiz
+// (3 scored T/F questions, mostly unanswered/DK, so the slope is small).
+const optPointsPerLogit = 0.55
+
+// weightedChoice draws a label proportional to the published counts.
+func weightedChoice(rng *rand.Rand, entries []paperdata.CountEntry) string {
+	total := paperdata.Total(entries)
+	r := rng.Intn(total)
+	for _, e := range entries {
+		r -= e.N
+		if r < 0 {
+			return e.Label
+		}
+	}
+	return entries[len(entries)-1].Label
+}
+
+// multiSelect includes each option independently with its marginal
+// probability.
+func multiSelect(rng *rand.Rand, entries []paperdata.CountEntry, denom int) []string {
+	var out []string
+	for _, e := range entries {
+		if rng.Float64() < float64(e.N)/float64(denom) {
+			out = append(out, e.Label)
+		}
+	}
+	return out
+}
+
+// centeredEffect looks up an effect and subtracts the population mean
+// of the effect under the given marginals.
+func centeredEffect(effects map[string]float64, def float64, level string, marginals []paperdata.CountEntry) float64 {
+	get := func(l string) float64 {
+		if v, ok := effects[l]; ok {
+			return v
+		}
+		return def
+	}
+	total := 0
+	mean := 0.0
+	for _, e := range marginals {
+		total += e.N
+		mean += float64(e.N) * get(e.Label)
+	}
+	mean /= float64(total)
+	return get(level) - mean
+}
+
+// drawProfile generates one background profile and its latent
+// abilities.
+func drawProfile(rng *rand.Rand) Profile {
+	return drawProfileWith(rng, nil)
+}
+
+// drawProfileWith draws a background, applies an optional override to
+// the background factors, and then derives abilities — so an
+// intervention (forcing a factor level) feeds through the ability model
+// exactly as the fitted effects dictate.
+func drawProfileWith(rng *rand.Rand, override func(*Profile)) Profile {
+	p := drawBackground(rng)
+	if override != nil {
+		override(&p)
+	}
+	assignAbilities(&p, rng.NormFloat64(), rng.NormFloat64())
+	return p
+}
+
+func drawBackground(rng *rand.Rand) Profile {
+	return Profile{
+		Position:       weightedChoice(rng, paperdata.Figure1Positions),
+		Area:           weightedChoice(rng, paperdata.Figure2Areas),
+		FormalTraining: weightedChoice(rng, paperdata.Figure3FormalTraining),
+		Informal:       multiSelect(rng, paperdata.Figure4InformalTraining, paperdata.NMain),
+		Role:           weightedChoice(rng, paperdata.Figure5Roles),
+		FPLanguages:    multiSelect(rng, paperdata.Figure6FPLanguages, paperdata.NMain),
+		ArbPrec:        multiSelect(rng, paperdata.Figure7ArbPrec, paperdata.NMain),
+		ContribSize:    weightedChoice(rng, paperdata.Figure8ContribSize),
+		ContribExtent:  weightedChoice(rng, paperdata.Figure9ContribExtent),
+		InvolvedSize:   weightedChoice(rng, paperdata.Figure10InvolvedSize),
+		InvolvedExtent: weightedChoice(rng, paperdata.Figure11InvolvedExtent),
+	}
+}
+
+// assignAbilities derives the latent skills from the background factors
+// plus individual noise (passed in so intervention overrides reuse the
+// same draws).
+func assignAbilities(p *Profile, noiseCore, noiseOpt float64) {
+	points := centeredEffect(contribSizeEffect, 0, p.ContribSize, paperdata.Figure8ContribSize) +
+		centeredEffect(areaEffect, areaEffectDefault, p.Area, paperdata.Figure2Areas) +
+		centeredEffect(roleEffect, 0, p.Role, paperdata.Figure5Roles) +
+		centeredEffect(trainingEffect, 0, p.FormalTraining, paperdata.Figure3FormalTraining)
+	if isCorrectnessFocused(p.ContribExtent) || isCorrectnessFocused(p.InvolvedExtent) {
+		points += correctnessBonus
+	}
+	// The paper's observation about list-valued factors: "very short
+	// lists predict bad scores" (having reported *some* informal
+	// training or language breadth matters; which one does not).
+	if len(p.FPLanguages) <= 1 {
+		points -= shortListPenalty
+	}
+	if len(p.Informal) == 0 {
+		points -= shortListPenalty
+	}
+	points += noiseCore * 1.2
+	p.Ability = points / pointsPerLogit
+
+	optPoints := centeredEffect(optRoleEffect, 0, p.Role, paperdata.Figure5Roles) +
+		centeredEffect(optAreaEffect, optAreaEffectDefault, p.Area, paperdata.Figure2Areas)
+	optPoints += noiseOpt * 0.25
+	p.OptAbility = optPoints / optPointsPerLogit
+}
+
+func isCorrectnessFocused(extent string) bool {
+	return extent == "FP intrinsic, I did numerical correctness" ||
+		extent == "FP intrinsic, my team did numeric correctness"
+}
+
+func invlogit(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// questionModel captures the calibrated response behaviour of one quiz
+// question.
+type questionModel struct {
+	id         string
+	pUn        float64 // probability of no answer
+	pDK        float64 // baseline probability of "don't know"
+	offset     float64 // calibrated logit offset for correctness
+	correct    string  // the correct answer string
+	choiceSet  []string
+	abilityOpt bool // use OptAbility instead of Ability
+}
+
+// dkProb is the respondent-specific don't-know probability: higher
+// ability reduces willingness to punt, mildly.
+func (qm questionModel) dkProb(ability float64) float64 {
+	p := qm.pDK * (1 - 0.25*ability)
+	if p < 0 {
+		return 0
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}
+
+// calibrate finds the logit offset such that the expected fraction of
+// ALL respondents answering correctly equals target.
+func calibrate(abilities []float64, qm questionModel, getAbility func(int) float64, target float64) float64 {
+	expectCorrect := func(offset float64) float64 {
+		s := 0.0
+		for i := range abilities {
+			a := getAbility(i)
+			pAns := (1 - qm.pUn) * (1 - qm.dkProb(a))
+			s += pAns * invlogit(offset+a)
+		}
+		return s / float64(len(abilities))
+	}
+	lo, hi := -12.0, 12.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if expectCorrect(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// GenerateMain builds the main cohort: n respondents with full
+// background, core, optimization, and suspicion answers, calibrated
+// against the paper's published aggregates.
+func GenerateMain(seed int64, n int) *Population {
+	return GenerateMainWith(seed, n, nil)
+}
+
+// GenerateMainWith is GenerateMain with a background override applied
+// to every profile before abilities are derived — the hook for policy
+// experiments ("what if everyone had a full course of floating point
+// training?"). The calibration step re-fits on the modified cohort's
+// ability distribution only for the *observed* world; interventions
+// reuse the observed-world question offsets so the treated cohort is
+// scored by the same instrument response model. To achieve that, the
+// override world is generated with offsets calibrated on an unmodified
+// cohort drawn from the same seed.
+func GenerateMainWith(seed int64, n int, override func(*Profile)) *Population {
+	rng := rand.New(rand.NewSource(seed))
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		profiles[i] = drawProfileWith(rng, override)
+	}
+	if override != nil {
+		// Calibrate against the untreated world so the intervention
+		// measures a real shift rather than being normalized away.
+		baseRng := rand.New(rand.NewSource(seed))
+		base := make([]Profile, n)
+		for i := range base {
+			base[i] = drawProfile(baseRng)
+		}
+		return generateFromProfiles(rng, profiles, base)
+	}
+	return generateFromProfiles(rng, profiles, profiles)
+}
+
+// generateFromProfiles calibrates the question models against the
+// calib cohort's abilities and then samples responses for profiles.
+func generateFromProfiles(rng *rand.Rand, profiles, calib []Profile) *Population {
+	// Build question models with calibration targets from Figure 14/15.
+	var models []questionModel
+	coreQs := quiz.CoreQuestions()
+	for i, q := range coreQs {
+		row := paperdata.Figure14Core[i]
+		qm := questionModel{
+			id:      q.ID,
+			pUn:     row.Unanswered / 100,
+			pDK:     row.DontKnow / 100,
+			correct: quiz.CoreAnswer(q.ID),
+		}
+		qm.offset = calibrate(abilitiesOf(calib), qm,
+			func(j int) float64 { return calib[j].Ability }, row.Correct/100)
+		models = append(models, qm)
+	}
+	optQs := quiz.OptQuestions()
+	for i, q := range optQs {
+		row := paperdata.Figure15Opt[i]
+		qm := questionModel{
+			id:         q.ID,
+			pUn:        row.Unanswered / 100,
+			pDK:        row.DontKnow / 100,
+			correct:    quiz.OptAnswer(q.ID),
+			abilityOpt: true,
+		}
+		if !q.IsTrueFalse() {
+			qm.choiceSet = q.Choices
+		}
+		qm.offset = calibrate(abilitiesOf(calib), qm,
+			func(j int) float64 { return calib[j].OptAbility }, row.Correct/100)
+		models = append(models, qm)
+	}
+
+	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0"}
+	for i, p := range profiles {
+		r := survey.Response{Answers: map[string]survey.Answer{}}
+		fillBackground(&r, p)
+		for _, qm := range models {
+			a := p.Ability
+			if qm.abilityOpt {
+				a = p.OptAbility
+			}
+			ans := qm.sample(rng, a)
+			if !ans.IsUnanswered() {
+				r.Answers[qm.id] = ans
+			}
+		}
+		fillSuspicion(&r, rng, paperdata.Figure22Main)
+		ds.Responses = append(ds.Responses, r)
+		_ = i
+	}
+	ds.Anonymize()
+	return &Population{Profiles: profiles, Dataset: ds}
+}
+
+func abilitiesOf(ps []Profile) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = p.Ability
+	}
+	return out
+}
+
+// sample draws one answer from the question model for a respondent with
+// the given ability.
+func (qm questionModel) sample(rng *rand.Rand, ability float64) survey.Answer {
+	if rng.Float64() < qm.pUn {
+		return survey.Answer{}
+	}
+	if rng.Float64() < qm.dkProb(ability) {
+		return survey.Answer{Choice: survey.AnswerDontKnow}
+	}
+	pc := invlogit(qm.offset + ability)
+	if rng.Float64() < pc {
+		return survey.Answer{Choice: qm.correct}
+	}
+	// Incorrect: for T/F flip the answer; for choice pick a wrong
+	// option uniformly.
+	if len(qm.choiceSet) == 0 {
+		wrong := survey.AnswerTrue
+		if qm.correct == survey.AnswerTrue {
+			wrong = survey.AnswerFalse
+		}
+		return survey.Answer{Choice: wrong}
+	}
+	for {
+		c := qm.choiceSet[rng.Intn(len(qm.choiceSet))]
+		if c != qm.correct {
+			return survey.Answer{Choice: c}
+		}
+	}
+}
+
+// fillBackground records the profile as survey answers.
+func fillBackground(r *survey.Response, p Profile) {
+	set := func(id, choice string) {
+		r.Answers[id] = survey.Answer{Choice: choice}
+	}
+	set(quiz.BGPosition, p.Position)
+	set(quiz.BGArea, p.Area)
+	set(quiz.BGFormalTraining, p.FormalTraining)
+	set(quiz.BGRole, p.Role)
+	set(quiz.BGContribSize, p.ContribSize)
+	set(quiz.BGContribExtent, p.ContribExtent)
+	set(quiz.BGInvolvedSize, p.InvolvedSize)
+	set(quiz.BGInvolvedExtent, p.InvolvedExtent)
+	if len(p.Informal) > 0 {
+		r.Answers[quiz.BGInformal] = survey.Answer{Choices: p.Informal}
+	}
+	if len(p.FPLanguages) > 0 {
+		r.Answers[quiz.BGFPLanguages] = survey.Answer{Choices: p.FPLanguages}
+	}
+	if len(p.ArbPrec) > 0 {
+		r.Answers[quiz.BGArbPrec] = survey.Answer{Choices: p.ArbPrec}
+	}
+}
+
+// fillSuspicion draws the five Likert answers from the published
+// distributions.
+func fillSuspicion(r *survey.Response, rng *rand.Rand, dists []paperdata.SuspicionDist) {
+	items := quiz.SuspicionItems()
+	for i, it := range items {
+		d := dists[i]
+		r.Answers[it.ID] = survey.Answer{Level: drawLikert(rng, d.Percent)}
+	}
+}
+
+func drawLikert(rng *rand.Rand, percent [5]float64) int {
+	total := 0.0
+	for _, p := range percent {
+		total += p
+	}
+	x := rng.Float64() * total
+	for i, p := range percent {
+		x -= p
+		if x < 0 {
+			return i + 1
+		}
+	}
+	return 5
+}
+
+// GenerateStudents builds the student cohort: suspicion answers only
+// (the paper's student group took just the suspicion quiz as an exam
+// problem).
+func GenerateStudents(seed int64, n int) *survey.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0-student"}
+	for i := 0; i < n; i++ {
+		r := survey.Response{Answers: map[string]survey.Answer{}}
+		fillSuspicion(&r, rng, paperdata.Figure22Student)
+		ds.Responses = append(ds.Responses, r)
+	}
+	ds.Anonymize()
+	return ds
+}

@@ -1,0 +1,89 @@
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Administration is a seeded presentation plan for one sitting of the
+// survey: the order in which questions are shown. The paper's design
+// requirements motivate the structure:
+//
+//   - Sections are presented in instrument order (background first),
+//     but questions *within* quiz sections are shuffled per sitting so
+//     that considering one question cannot systematically anchor a
+//     specific later one across the whole cohort.
+//   - Background questions keep their authored order (they are factual
+//     and order-insensitive, and a stable order reduces completion
+//     time, supporting the low-time-commitment requirement).
+type Administration struct {
+	Seed  int64
+	Order []string // question IDs in presentation order
+}
+
+// Administer builds the presentation plan. Sections whose ID appears in
+// shuffleSections get a seeded within-section shuffle; all others keep
+// authored order.
+func (ins *Instrument) Administer(seed int64, shuffleSections ...string) Administration {
+	shuffle := map[string]bool{}
+	for _, s := range shuffleSections {
+		shuffle[s] = true
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adm := Administration{Seed: seed}
+	for _, sec := range ins.Sections {
+		ids := make([]string, len(sec.Questions))
+		for i, q := range sec.Questions {
+			ids[i] = q.ID
+		}
+		if shuffle[sec.ID] {
+			rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		}
+		adm.Order = append(adm.Order, ids...)
+	}
+	return adm
+}
+
+// Validate checks that the plan covers exactly the instrument's
+// questions, each once.
+func (adm Administration) Validate(ins *Instrument) error {
+	want := map[string]bool{}
+	for _, q := range ins.Questions() {
+		want[q.ID] = true
+	}
+	seen := map[string]bool{}
+	for _, id := range adm.Order {
+		if !want[id] {
+			return fmt.Errorf("survey: plan includes unknown question %q", id)
+		}
+		if seen[id] {
+			return fmt.Errorf("survey: plan repeats question %q", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("survey: plan covers %d of %d questions", len(seen), len(want))
+	}
+	return nil
+}
+
+// Per-question completion-time estimates in seconds, by kind. These are
+// deliberately generous; the paper's design bound is a 30-minute
+// sitting.
+var timeEstimateSeconds = map[Kind]int{
+	SingleChoice: 20,
+	MultiChoice:  35,
+	TrueFalse:    45, // read a code snippet and think
+	Likert:       15,
+}
+
+// EstimateMinutes returns the estimated completion time for the whole
+// instrument, for checking the paper's "less than 30 minutes"
+// requirement.
+func (ins *Instrument) EstimateMinutes() float64 {
+	total := 0
+	for _, q := range ins.Questions() {
+		total += timeEstimateSeconds[q.Kind]
+	}
+	return float64(total) / 60
+}

@@ -1,0 +1,107 @@
+package survey
+
+import (
+	"testing"
+)
+
+func TestAdministerKeepsSectionOrder(t *testing.T) {
+	ins := sampleInstrument()
+	adm := ins.Administer(1)
+	if err := adm.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	// No shuffle requested: authored order.
+	want := []string{"q1", "q2", "q3", "q4"}
+	for i, id := range adm.Order {
+		if id != want[i] {
+			t.Fatalf("order %v", adm.Order)
+		}
+	}
+}
+
+func TestAdministerShufflesWithinSection(t *testing.T) {
+	ins := &Instrument{
+		Title: "Big", Version: "1",
+		Sections: []Section{
+			{ID: "bg", Title: "BG", Questions: []Question{
+				{ID: "b1", Prompt: "p", Kind: TrueFalse},
+				{ID: "b2", Prompt: "p", Kind: TrueFalse},
+			}},
+			{ID: "quiz", Title: "Quiz", Questions: mkQuestions(20)},
+		},
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	adm := ins.Administer(7, "quiz")
+	if err := adm.Validate(ins); err != nil {
+		t.Fatal(err)
+	}
+	// Background stays first and in order.
+	if adm.Order[0] != "b1" || adm.Order[1] != "b2" {
+		t.Fatalf("background moved: %v", adm.Order[:2])
+	}
+	// Quiz questions shuffled (overwhelmingly likely to differ from
+	// authored order for 20 items).
+	moved := false
+	for i, id := range adm.Order[2:] {
+		if id != mkQuestions(20)[i].ID {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("shuffle produced authored order (astronomically unlikely)")
+	}
+	// Deterministic per seed; different across seeds.
+	adm2 := ins.Administer(7, "quiz")
+	for i := range adm.Order {
+		if adm.Order[i] != adm2.Order[i] {
+			t.Fatal("same seed, different order")
+		}
+	}
+	adm3 := ins.Administer(8, "quiz")
+	same := true
+	for i := range adm.Order {
+		if adm.Order[i] != adm3.Order[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds, same order (suspicious)")
+	}
+}
+
+func mkQuestions(n int) []Question {
+	var qs []Question
+	for i := 0; i < n; i++ {
+		qs = append(qs, Question{ID: "q" + string(rune('a'+i)), Prompt: "p", Kind: TrueFalse})
+	}
+	return qs
+}
+
+func TestAdministrationValidateCatchesProblems(t *testing.T) {
+	ins := sampleInstrument()
+	bad := Administration{Order: []string{"q1", "q1", "q2", "q3", "q4"}}
+	if err := bad.Validate(ins); err == nil {
+		t.Fatal("repeat not caught")
+	}
+	bad = Administration{Order: []string{"q1", "zzz"}}
+	if err := bad.Validate(ins); err == nil {
+		t.Fatal("unknown not caught")
+	}
+	bad = Administration{Order: []string{"q1"}}
+	if err := bad.Validate(ins); err == nil {
+		t.Fatal("missing not caught")
+	}
+}
+
+func TestEstimateMinutes(t *testing.T) {
+	ins := sampleInstrument()
+	m := ins.EstimateMinutes()
+	// 20 + 35 + 45 + 15 = 115 seconds.
+	if m < 1.9 || m > 2.0 {
+		t.Fatalf("estimate %v", m)
+	}
+}

@@ -1,0 +1,84 @@
+package survey
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderText produces the participant-facing text form of the
+// instrument — the analogue of the paper's published study documents.
+// Question numbering is global; TrueFalse items show the three answer
+// choices; Likert items show the scale anchors.
+func (ins *Instrument) RenderText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", ins.Title, strings.Repeat("=", len(ins.Title)))
+	if ins.Version != "" {
+		fmt.Fprintf(&b, "version %s\n", ins.Version)
+	}
+	qnum := 0
+	for _, sec := range ins.Sections {
+		fmt.Fprintf(&b, "\n%s\n%s\n", sec.Title, strings.Repeat("-", len(sec.Title)))
+		if sec.Description != "" {
+			fmt.Fprintf(&b, "%s\n", wrap(sec.Description, 72))
+		}
+		for _, q := range sec.Questions {
+			qnum++
+			fmt.Fprintf(&b, "\n%d. %s\n", qnum, indentContinuation(q.Prompt, "   "))
+			switch q.Kind {
+			case SingleChoice:
+				for _, o := range q.Options {
+					fmt.Fprintf(&b, "   ( ) %s\n", o)
+				}
+				if q.AllowOther {
+					fmt.Fprintf(&b, "   ( ) Other: ____________\n")
+				}
+			case MultiChoice:
+				for _, o := range q.Options {
+					fmt.Fprintf(&b, "   [ ] %s\n", o)
+				}
+				if q.AllowOther {
+					fmt.Fprintf(&b, "   [ ] Other: ____________\n")
+				}
+			case TrueFalse:
+				fmt.Fprintf(&b, "   ( ) True   ( ) False   ( ) I don't know\n")
+			case Likert:
+				fmt.Fprintf(&b, "   1")
+				for l := 2; l <= q.Scale; l++ {
+					fmt.Fprintf(&b, " ... %d", l)
+				}
+				fmt.Fprintf(&b, "   (1 = lowest, %d = highest)\n", q.Scale)
+			}
+		}
+	}
+	return b.String()
+}
+
+// wrap performs greedy word wrapping at the given width.
+func wrap(s string, width int) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	line := 0
+	for i, w := range words {
+		if i > 0 {
+			if line+1+len(w) > width {
+				b.WriteString("\n")
+				line = 0
+			} else {
+				b.WriteString(" ")
+				line++
+			}
+		}
+		b.WriteString(w)
+		line += len(w)
+	}
+	return b.String()
+}
+
+// indentContinuation indents all but the first line of a multi-line
+// prompt (code snippets keep their own line structure).
+func indentContinuation(s, pad string) string {
+	return strings.ReplaceAll(s, "\n", "\n"+pad)
+}

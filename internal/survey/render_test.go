@@ -1,0 +1,69 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderText(t *testing.T) {
+	ins := sampleInstrument()
+	ins.Sections[0].Description = "A short description of the section for participants."
+	out := ins.RenderText()
+	for _, want := range []string{
+		"Sample", "Section One",
+		"1. Pick one", "( ) a", "( ) b",
+		"2. Pick many", "[ ] x",
+		"3. True?", "( ) True   ( ) False   ( ) I don't know",
+		"4. Rate", "1 ... 2 ... 3 ... 4 ... 5",
+		"A short description",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTextAllowOther(t *testing.T) {
+	ins := sampleInstrument()
+	ins.Sections[0].Questions[0].AllowOther = true
+	ins.Sections[0].Questions[1].AllowOther = true
+	out := ins.RenderText()
+	if strings.Count(out, "Other: ____") != 2 {
+		t.Fatalf("AllowOther rendering:\n%s", out)
+	}
+}
+
+func TestRenderMultilinePromptIndents(t *testing.T) {
+	ins := &Instrument{
+		Title: "T", Version: "1",
+		Sections: []Section{{
+			ID: "s", Title: "S",
+			Questions: []Question{{
+				ID:     "q",
+				Prompt: "double x;\nassert(x == x);\n\nIs this always true?",
+				Kind:   TrueFalse,
+			}},
+		}},
+	}
+	out := ins.RenderText()
+	if !strings.Contains(out, "1. double x;\n   assert(x == x);") {
+		t.Fatalf("snippet indentation:\n%s", out)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	s := wrap("one two three four five", 9)
+	lines := strings.Split(s, "\n")
+	for _, l := range lines {
+		if len(l) > 9 {
+			t.Fatalf("line %q exceeds width", l)
+		}
+	}
+	if wrap("", 10) != "" {
+		t.Fatal("empty wrap")
+	}
+	// A single over-long word is not broken.
+	if wrap("supercalifragilistic", 5) != "supercalifragilistic" {
+		t.Fatal("long word handling")
+	}
+}

@@ -1,0 +1,297 @@
+// Package tuner implements a Precimonious-style floating point
+// precision auto-tuner over the expression IR: it searches for the
+// lowest-precision format assignment (per operation node) that keeps a
+// program's result within a caller-specified error bound of the
+// binary64 reference over a test corpus.
+//
+// This is one of the motivating systems of the paper's introduction
+// ("automatically reducing programmer-specified precision to the
+// minimum possible to stay within error bounds" — Rubio-Gonzalez et
+// al.'s Precimonious), rebuilt on this repository's softfloat. Mixed
+// precision is modeled operation-by-operation: each operation executes
+// in its assigned format, with operands converted (rounded) into that
+// format first and the result carried at binary64 width for the next
+// consumer, the way mixed-precision code behaves on real hardware.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+	"fpstudy/internal/optsim"
+)
+
+// Ladder is the precision ladder, highest first. Tuning tries to demote
+// operations down the ladder.
+var Ladder = []ieee754.Format{
+	ieee754.Binary64,
+	ieee754.Binary32,
+	ieee754.Bfloat16,
+	ieee754.Binary16,
+}
+
+// Assignment maps operation-node paths (as produced by expr
+// attributions: "/", "/lhs", "/rhs/x", ...) to formats. Paths not
+// present use binary64.
+type Assignment map[string]ieee754.Format
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the assignment deterministically.
+func (a Assignment) String() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", pathOrRoot(k), a[k].Name)
+	}
+	return b.String()
+}
+
+func pathOrRoot(p string) string {
+	if p == "" {
+		return "/"
+	}
+	return p
+}
+
+// OpPaths lists the operation-node paths of an expression (the tunable
+// sites), in evaluation order.
+func OpPaths(n expr.Node) []string {
+	var out []string
+	var walk func(n expr.Node, path string)
+	walk = func(n expr.Node, path string) {
+		switch t := n.(type) {
+		case expr.Unary:
+			walk(t.X, path+"/x")
+			if t.Op == expr.OpSqrt {
+				out = append(out, path)
+			}
+		case expr.Binary:
+			walk(t.X, path+"/lhs")
+			walk(t.Y, path+"/rhs")
+			out = append(out, path)
+		case expr.FMA:
+			walk(t.X, path+"/x")
+			walk(t.Y, path+"/y")
+			walk(t.Z, path+"/z")
+			out = append(out, path)
+		}
+	}
+	walk(n, "")
+	return out
+}
+
+// EvalMixed evaluates n with per-operation formats. Inputs are binary64
+// encodings; every intermediate travels at binary64 width but each
+// operation first rounds its operands into its assigned format,
+// computes there, and widens the result back — the storage/compute
+// model of mixed-precision hardware.
+func EvalMixed(n expr.Node, vars map[string]uint64, asg Assignment) uint64 {
+	var e ieee754.Env
+	return evalMixed(&e, n, "", vars, asg)
+}
+
+func formatFor(asg Assignment, path string) ieee754.Format {
+	if f, ok := asg[path]; ok {
+		return f
+	}
+	return ieee754.Binary64
+}
+
+func evalMixed(e *ieee754.Env, n expr.Node, path string, vars map[string]uint64, asg Assignment) uint64 {
+	b64 := ieee754.Binary64
+	switch t := n.(type) {
+	case expr.Lit:
+		var scratch ieee754.Env
+		return b64.FromFloat64(&scratch, t.V)
+	case expr.Var:
+		if v, ok := vars[t.Name]; ok {
+			return v
+		}
+		return b64.QNaN()
+	case expr.Unary:
+		x := evalMixed(e, t.X, path+"/x", vars, asg)
+		switch t.Op {
+		case expr.OpNeg:
+			return b64.Neg(x)
+		case expr.OpSqrt:
+			f := formatFor(asg, path)
+			return inFormat1(e, f, x, func(fe *ieee754.Env, a uint64) uint64 {
+				return f.Sqrt(fe, a)
+			})
+		}
+	case expr.Binary:
+		x := evalMixed(e, t.X, path+"/lhs", vars, asg)
+		y := evalMixed(e, t.Y, path+"/rhs", vars, asg)
+		f := formatFor(asg, path)
+		op := func(fe *ieee754.Env, a, b uint64) uint64 {
+			switch t.Op {
+			case expr.OpAdd:
+				return f.Add(fe, a, b)
+			case expr.OpSub:
+				return f.Sub(fe, a, b)
+			case expr.OpMul:
+				return f.Mul(fe, a, b)
+			default:
+				return f.Div(fe, a, b)
+			}
+		}
+		return inFormat2(e, f, x, y, op)
+	case expr.FMA:
+		x := evalMixed(e, t.X, path+"/x", vars, asg)
+		y := evalMixed(e, t.Y, path+"/y", vars, asg)
+		z := evalMixed(e, t.Z, path+"/z", vars, asg)
+		f := formatFor(asg, path)
+		xa := ieee754.Binary64.Convert(e, f, x)
+		ya := ieee754.Binary64.Convert(e, f, y)
+		za := ieee754.Binary64.Convert(e, f, z)
+		r := f.FMA(e, xa, ya, za)
+		return f.Convert(e, ieee754.Binary64, r)
+	}
+	return ieee754.Binary64.QNaN()
+}
+
+func inFormat1(e *ieee754.Env, f ieee754.Format, x uint64, op func(*ieee754.Env, uint64) uint64) uint64 {
+	xa := ieee754.Binary64.Convert(e, f, x)
+	return f.Convert(e, ieee754.Binary64, op(e, xa))
+}
+
+func inFormat2(e *ieee754.Env, f ieee754.Format, x, y uint64, op func(*ieee754.Env, uint64, uint64) uint64) uint64 {
+	xa := ieee754.Binary64.Convert(e, f, x)
+	ya := ieee754.Binary64.Convert(e, f, y)
+	return f.Convert(e, ieee754.Binary64, op(e, xa, ya))
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	Assignment Assignment
+	// MaxRelError is the worst relative error over the corpus under
+	// the final assignment.
+	MaxRelError float64
+	// Demoted counts operations running below binary64.
+	Demoted int
+	// Ops is the total number of tunable operations.
+	Ops int
+	// BitsSaved is the total significand bits saved vs all-binary64.
+	BitsSaved int
+	// Trials is how many candidate evaluations the search performed.
+	Trials int
+}
+
+// Tune greedily lowers each operation down the precision ladder while
+// the worst-case relative error over the corpus stays within tol.
+// Operations are visited in evaluation order, each demoted as far as it
+// can go before moving on (the greedy strategy of the original tools).
+func Tune(n expr.Node, corpus []map[string]uint64, tol float64) Result {
+	paths := OpPaths(n)
+	asg := Assignment{}
+	res := Result{Ops: len(paths)}
+
+	refs := make([]float64, len(corpus))
+	for i, vars := range corpus {
+		refs[i] = ieee754.Binary64.ToFloat64(EvalMixed(n, vars, nil))
+	}
+	check := func(a Assignment) (float64, bool) {
+		res.Trials++
+		worst := 0.0
+		for i, vars := range corpus {
+			got := ieee754.Binary64.ToFloat64(EvalMixed(n, vars, a))
+			rel, ok := relError(got, refs[i])
+			if !ok {
+				return math.Inf(1), false
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		return worst, worst <= tol
+	}
+
+	for _, p := range paths {
+		for _, f := range Ladder[1:] { // try 32, then bf16, then 16
+			cand := asg.Clone()
+			cand[p] = f
+			if _, ok := check(cand); ok {
+				asg = cand
+			} else {
+				break // further demotion only gets worse
+			}
+		}
+	}
+	res.Assignment = asg
+	res.MaxRelError, _ = check(asg)
+	res.Trials-- // final check is reporting, not search
+	for _, f := range asg {
+		res.Demoted++
+		res.BitsSaved += int(ieee754.Binary64.Precision() - f.Precision())
+	}
+	return res
+}
+
+// relError computes |got-ref|/|ref| with NaN/Inf handling: exceptional
+// mismatches are unacceptable (ok=false); matching exceptional values
+// count as zero error.
+func relError(got, ref float64) (float64, bool) {
+	switch {
+	case math.IsNaN(ref):
+		if math.IsNaN(got) {
+			return 0, true
+		}
+		return math.Inf(1), false
+	case math.IsInf(ref, 0):
+		if got == ref {
+			return 0, true
+		}
+		return math.Inf(1), false
+	case math.IsNaN(got) || math.IsInf(got, 0):
+		return math.Inf(1), false
+	case ref == 0:
+		if got == 0 {
+			return 0, true
+		}
+		return math.Abs(got), math.Abs(got) < 1e300
+	}
+	return math.Abs(got-ref) / math.Abs(ref), true
+}
+
+// Corpus generates a deterministic tuning corpus for the variables of
+// n, reusing the optimization simulator's input generator but filtering
+// out non-finite inputs (tuning targets ordinary data).
+func Corpus(n expr.Node, size int, seed int64) []map[string]uint64 {
+	raw := optsim.GenCorpus(ieee754.Binary64, n, size*2, seed)
+	out := make([]map[string]uint64, 0, size)
+	for _, env := range raw {
+		ok := true
+		for _, v := range env {
+			if !ieee754.Binary64.IsFinite(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, env)
+			if len(out) == size {
+				break
+			}
+		}
+	}
+	return out
+}

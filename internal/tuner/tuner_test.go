@@ -1,0 +1,183 @@
+package tuner
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpstudy/internal/expr"
+	"fpstudy/internal/ieee754"
+)
+
+func TestOpPaths(t *testing.T) {
+	n := expr.MustParse("a*b + sqrt(c)")
+	paths := OpPaths(n)
+	// mul at /lhs, sqrt at /rhs, add at "".
+	if len(paths) != 3 {
+		t.Fatalf("paths: %v", paths)
+	}
+	want := map[string]bool{"/lhs": true, "/rhs": true, "": true}
+	for _, p := range paths {
+		if !want[p] {
+			t.Fatalf("unexpected path %q in %v", p, paths)
+		}
+	}
+}
+
+func TestEvalMixedAllBinary64MatchesEval(t *testing.T) {
+	n := expr.MustParse("(a + b)*(a - b)/sqrt(a*a + b*b)")
+	corpus := Corpus(n, 100, 1)
+	for _, vars := range corpus {
+		var e ieee754.Env
+		want := expr.Eval(ieee754.Binary64, &e, n, vars)
+		got := EvalMixed(n, vars, nil)
+		if got != want && !(ieee754.Binary64.IsNaN(got) && ieee754.Binary64.IsNaN(want)) {
+			t.Fatalf("mixed(all-64) diverged: %x vs %x", got, want)
+		}
+	}
+}
+
+func TestEvalMixedDemotionChangesResult(t *testing.T) {
+	n := expr.MustParse("a + b")
+	var e ieee754.Env
+	vars := map[string]uint64{
+		"a": ieee754.Binary64.FromFloat64(&e, 1),
+		"b": ieee754.Binary64.FromFloat64(&e, 1e-5),
+	}
+	full := EvalMixed(n, vars, nil)
+	half := EvalMixed(n, vars, Assignment{"": ieee754.Binary16})
+	if full == half {
+		t.Fatal("binary16 addition should absorb 1e-5")
+	}
+	if got := ieee754.Binary64.ToFloat64(half); got != 1 {
+		t.Fatalf("binary16 1+1e-5 = %v, want 1 (absorbed)", got)
+	}
+}
+
+func TestTuneLooseToleranceDemotesEverything(t *testing.T) {
+	n := expr.MustParse("(a + b)*(a - b)")
+	corpus := Corpus(n, 200, 2)
+	res := Tune(n, corpus, 0.2) // 20%: even binary16 is fine for benign ops
+	if res.Demoted < res.Ops-1 {
+		t.Fatalf("loose tolerance demoted only %d/%d (%s)", res.Demoted, res.Ops, res.Assignment)
+	}
+	if res.MaxRelError > 0.2 {
+		t.Fatalf("result violates tolerance: %g", res.MaxRelError)
+	}
+}
+
+func TestTuneTightToleranceDemotesNothing(t *testing.T) {
+	n := expr.MustParse("(a + b)*(a - b)")
+	corpus := Corpus(n, 200, 3)
+	res := Tune(n, corpus, 1e-18) // below binary64 epsilon: nothing moves
+	if res.Demoted != 0 {
+		t.Fatalf("tight tolerance demoted %d ops: %s", res.Demoted, res.Assignment)
+	}
+}
+
+func TestTuneIntermediateToleranceIsSelective(t *testing.T) {
+	// At ~1e-6 relative tolerance, binary32 (2^-24 ~ 6e-8 rounding)
+	// passes but binary16 (2^-11 ~ 5e-4) does not: tuning should land
+	// on binary32 for most ops.
+	n := expr.MustParse("(a + b)*(a - b) + a*b")
+	corpus := Corpus(n, 300, 4)
+	res := Tune(n, corpus, 1e-6)
+	if res.Demoted == 0 {
+		t.Fatalf("nothing demoted at 1e-6: %s", res.Assignment)
+	}
+	if res.MaxRelError > 1e-6 {
+		t.Fatalf("tolerance violated: %g", res.MaxRelError)
+	}
+	for p, f := range res.Assignment {
+		if f == ieee754.Binary16 || f == ieee754.Bfloat16 {
+			t.Fatalf("op %s demoted to %s under 1e-6 tolerance", pathOrRoot(p), f.Name)
+		}
+	}
+	if res.BitsSaved == 0 || res.Trials == 0 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+}
+
+func TestTuneRespectsSensitiveOp(t *testing.T) {
+	// sqrt(a*a + b*b) with values near the binary16 overflow boundary:
+	// the squaring overflows half precision, so the tuner must keep
+	// the multiplications higher even at a loose tolerance.
+	n := expr.MustParse("sqrt(a*a + b*b)")
+	var e ieee754.Env
+	corpus := []map[string]uint64{
+		{
+			"a": ieee754.Binary64.FromFloat64(&e, 300), // 300^2 = 90000 > 65504
+			"b": ieee754.Binary64.FromFloat64(&e, 400),
+		},
+	}
+	res := Tune(n, corpus, 0.01)
+	if res.MaxRelError > 0.01 {
+		t.Fatalf("tolerance violated: %g (%s)", res.MaxRelError, res.Assignment)
+	}
+	// The multiplications cannot be binary16 (they'd overflow to inf).
+	for _, p := range []string{"/x/lhs", "/x/rhs"} {
+		if f, ok := res.Assignment[p]; ok && f == ieee754.Binary16 {
+			t.Fatalf("squaring demoted to binary16 despite overflow: %s", res.Assignment)
+		}
+	}
+	// bfloat16 has binary32 range, so demotion there is plausible and
+	// fine — the point is the tuner distinguished range from precision.
+	got := ieee754.Binary64.ToFloat64(EvalMixed(n, corpus[0], res.Assignment))
+	if math.Abs(got-500) > 5 {
+		t.Fatalf("hypot(300,400) = %v under tuned assignment", got)
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	a := Assignment{"": ieee754.Binary32, "/lhs": ieee754.Binary16}
+	s := a.String()
+	if !strings.Contains(s, "/:binary32") || !strings.Contains(s, "/lhs:binary16") {
+		t.Fatalf("string: %q", s)
+	}
+	b := a.Clone()
+	b["/rhs"] = ieee754.Binary64
+	if len(a) == len(b) {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestCorpusFinite(t *testing.T) {
+	n := expr.MustParse("a/b")
+	corpus := Corpus(n, 150, 5)
+	if len(corpus) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, vars := range corpus {
+		for _, v := range vars {
+			if !ieee754.Binary64.IsFinite(v) {
+				t.Fatal("non-finite corpus entry")
+			}
+		}
+	}
+}
+
+func TestRelError(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		got, ref float64
+		want     float64
+		ok       bool
+	}{
+		{1, 1, 0, true},
+		{1.1, 1, 0.1, true},
+		{nan, nan, 0, true},
+		{1, nan, inf, false},
+		{nan, 1, inf, false},
+		{inf, inf, 0, true},
+		{-inf, inf, inf, false},
+		{0, 0, 0, true},
+		{1e-9, 0, 1e-9, true},
+	}
+	for _, c := range cases {
+		got, ok := relError(c.got, c.ref)
+		if ok != c.ok || (c.ok && math.Abs(got-c.want) > 1e-12) {
+			t.Errorf("relError(%v, %v) = %v,%v want %v,%v", c.got, c.ref, got, ok, c.want, c.ok)
+		}
+	}
+}
