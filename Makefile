@@ -1,0 +1,22 @@
+# Development entry points. `make check` is the full verification gate
+# (build + vet + race-enabled tests); CI and pre-commit should run it.
+
+GO ?= go
+
+.PHONY: check build test bench bench-pipeline
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end pipeline timing; writes BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) run ./cmd/fpbench -o BENCH_pipeline.json

@@ -126,6 +126,39 @@ func BenchmarkPopulationGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyPipeline times the full pipeline — cohort generation,
+// calibration, and oracle-keyed grading — end to end at several cohort
+// sizes and worker counts, reporting respondents/sec. workers=0 means
+// GOMAXPROCS; workers=1 is the sequential baseline the parallel runs
+// are compared against. The 1M-respondent case takes minutes and is
+// gated behind FPSTUDY_BENCH_LARGE=1.
+func BenchmarkStudyPipeline(b *testing.B) {
+	for _, n := range []int{199, 10000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if n >= 1000000 && os.Getenv("FPSTUDY_BENCH_LARGE") == "" {
+				b.Skip("set FPSTUDY_BENCH_LARGE=1 to run the 1M-respondent benchmark")
+			}
+			for _, workers := range []int{1, 0} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					s := core.Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers}
+					// Prime the one-time oracle answer-key cache so the
+					// first timed run isn't charged for it.
+					core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: workers}.Run()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						r := s.Run()
+						if len(r.CoreTallies) != n {
+							b.Fatalf("pipeline produced %d tallies, want %d", len(r.CoreTallies), n)
+						}
+					}
+					b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
+				})
+			}
+		})
+	}
+}
+
 // Softfloat operation throughput (the substrate the oracles run on).
 
 func benchOp(b *testing.B, fn func(e *ieee754.Env, x, y uint64) uint64) {

@@ -1,0 +1,150 @@
+// Command fpbench times the end-to-end study pipeline (generation +
+// grading) across cohort sizes and worker counts and emits a
+// machine-readable JSON report, so performance changes can be tracked
+// across commits and machines.
+//
+// Usage:
+//
+//	fpbench -o BENCH_pipeline.json
+//	fpbench -n 199,10000 -workers 1,2,4 -reps 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fpstudy/internal/core"
+)
+
+// host identifies the benchmarking machine.
+type host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// run is one timed pipeline execution configuration.
+type run struct {
+	N                 int     `json:"n"`
+	Workers           int     `json:"workers"`
+	Reps              int     `json:"reps"`
+	BestSeconds       float64 `json:"best_seconds"`
+	RespondentsPerSec float64 `json:"respondents_per_sec"`
+	// SpeedupVsSerial compares against the workers=1 run of the same n
+	// (1.0 when this is that run; 0 when no workers=1 run was timed).
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// report is the BENCH_pipeline.json document.
+type report struct {
+	Tool      string `json:"tool"`
+	Timestamp string `json:"timestamp"`
+	Seed      int64  `json:"seed"`
+	Host      host   `json:"host"`
+	Runs      []run  `json:"runs"`
+}
+
+func parseInts(s, flagName string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "fpbench: bad -%s value %q\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func main() {
+	ns := flag.String("n", "199,10000", "comma-separated cohort sizes")
+	ws := flag.String("workers", "1,0", "comma-separated worker counts (0 means GOMAXPROCS)")
+	reps := flag.Int("reps", 3, "repetitions per configuration (best time is reported)")
+	seed := flag.Int64("seed", 42, "study seed")
+	out := flag.String("o", "BENCH_pipeline.json", "output file (- for stdout)")
+	flag.Parse()
+
+	sizes := parseInts(*ns, "n")
+	var workerCounts []int
+	for _, part := range strings.Split(*ws, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "fpbench: bad -workers value %q\n", part)
+			os.Exit(2)
+		}
+		workerCounts = append(workerCounts, v)
+	}
+
+	rep := report{
+		Tool:      "fpbench",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Seed:      *seed,
+		Host: host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+
+	for _, n := range sizes {
+		serial := 0.0
+		for _, w := range workerCounts {
+			study := core.Study{Seed: *seed, NMain: n, NStudent: 52, Workers: w}
+			best := 0.0
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				res := study.Run()
+				sec := time.Since(start).Seconds()
+				if len(res.CoreTallies) != n {
+					fmt.Fprintf(os.Stderr, "fpbench: run produced %d tallies, want %d\n", len(res.CoreTallies), n)
+					os.Exit(1)
+				}
+				if best == 0 || sec < best {
+					best = sec
+				}
+			}
+			if w == 1 {
+				serial = best
+			}
+			speedup := 0.0
+			if serial > 0 {
+				speedup = serial / best
+			}
+			rep.Runs = append(rep.Runs, run{
+				N: n, Workers: w, Reps: *reps,
+				BestSeconds:       best,
+				RespondentsPerSec: float64(n) / best,
+				SpeedupVsSerial:   speedup,
+			})
+			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec)\n",
+				n, w, best, float64(n)/best)
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fpbench: wrote %s\n", *out)
+}

@@ -2,13 +2,20 @@
 // main cohort (background + all quizzes) or the student suspicion-quiz
 // cohort.
 //
+// Generation fans out across CPU cores; -workers bounds the
+// parallelism. The output is bit-identical for a given seed at any
+// worker count, and the dataset is streamed to the output one response
+// at a time, so very large cohorts (-n 1000000) run in bounded memory.
+//
 // Usage:
 //
 //	fpgen -n 199 -seed 42 -o main.json
 //	fpgen -students -n 52 -seed 43 -o students.json
+//	fpgen -n 1000000 -workers 8 -o big.json
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -21,28 +28,40 @@ func main() {
 	n := flag.Int("n", 199, "number of respondents")
 	seed := flag.Int64("seed", 42, "generation seed")
 	students := flag.Bool("students", false, "generate the student (suspicion-only) cohort")
+	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
 	var ds *survey.Dataset
 	if *students {
-		ds = respondent.GenerateStudents(*seed, *n)
+		ds = respondent.GenerateStudentsWorkers(*seed, *n, *workers)
 	} else {
-		ds = respondent.GenerateMain(*seed, *n).Dataset
+		ds = respondent.GenerateMainWorkers(*seed, *n, *workers).Dataset
 	}
-	data, err := survey.EncodeDataset(ds)
-	if err != nil {
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := survey.WriteDataset(bw, ds); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgen:", err)
 		os.Exit(1)
 	}
 	if *out == "" {
-		os.Stdout.Write(data)
-		fmt.Println()
-		return
+		bw.WriteString("\n")
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := bw.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "fpgen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "fpgen: wrote %d responses to %s\n", len(ds.Responses), *out)
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "fpgen: wrote %d responses to %s\n", len(ds.Responses), *out)
+	}
 }

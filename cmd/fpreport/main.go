@@ -33,9 +33,10 @@ func main() {
 	n := flag.Int("n", paperdata.NMain, "main cohort size")
 	nStudents := flag.Int("nstudents", paperdata.NStudent, "student cohort size")
 	seed := flag.Int64("seed", 42, "study seed")
+	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
 	flag.Parse()
 
-	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents}
+	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers}
 	results := study.Run()
 
 	emit := func(num int) {

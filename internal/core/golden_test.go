@@ -1,0 +1,61 @@
+package core
+
+import (
+	"crypto/sha256"
+	"testing"
+
+	"fpstudy/internal/survey"
+)
+
+// TestGoldenParallelDeterminism is the determinism contract of the
+// parallel pipeline: for a fixed seed, the generated datasets and every
+// rendered figure must be byte-identical at any worker count. It runs a
+// 5000-respondent study at workers 1, 4, and 16 and compares hashes of
+// the encoded datasets plus all 22 figure tables.
+func TestGoldenParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5000-respondent study; skipped in -short mode")
+	}
+	const n = 5000
+
+	type golden struct {
+		main     [32]byte
+		students [32]byte
+		figures  [22][32]byte
+	}
+	snapshot := func(workers int) golden {
+		s := Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers}
+		r := s.Run()
+		var g golden
+		mainJSON, err := survey.EncodeDataset(r.Main.Dataset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		studentJSON, err := survey.EncodeDataset(r.Students)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.main = sha256.Sum256(mainJSON)
+		g.students = sha256.Sum256(studentJSON)
+		for fig := 1; fig <= 22; fig++ {
+			g.figures[fig-1] = sha256.Sum256([]byte(r.Figure(fig).String()))
+		}
+		return g
+	}
+
+	want := snapshot(1)
+	for _, workers := range []int{4, 16} {
+		got := snapshot(workers)
+		if got.main != want.main {
+			t.Errorf("workers=%d: main dataset differs from sequential run", workers)
+		}
+		if got.students != want.students {
+			t.Errorf("workers=%d: student dataset differs from sequential run", workers)
+		}
+		for fig := 1; fig <= 22; fig++ {
+			if got.figures[fig-1] != want.figures[fig-1] {
+				t.Errorf("workers=%d: figure %d differs from sequential run", workers, fig)
+			}
+		}
+	}
+}

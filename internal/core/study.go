@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"fpstudy/internal/parallel"
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/report"
@@ -24,6 +25,10 @@ type Study struct {
 	NMain int
 	// NStudent is the student cohort size (the paper had 52).
 	NStudent int
+	// Workers bounds the parallelism of generation, grading, and
+	// figure tallies; <= 0 means GOMAXPROCS. The worker count never
+	// affects the produced data, only the wall-clock time.
+	Workers int
 }
 
 // DefaultStudy mirrors the paper's cohort sizes.
@@ -45,18 +50,22 @@ type Results struct {
 	OptAllTallies []quiz.Tally
 
 	instrument *survey.Instrument
+	workers    int
 }
 
-// Run executes the study.
+// Run executes the study: generation, then oracle-keyed grading, both
+// sharded across the study's worker budget.
 func (s Study) Run() *Results {
-	r := &Results{Study: s, instrument: quiz.Instrument()}
-	r.Main = respondent.GenerateMain(s.Seed, s.NMain)
-	r.Students = respondent.GenerateStudents(s.Seed+1, s.NStudent)
-	for _, resp := range r.Main.Dataset.Responses {
-		r.CoreTallies = append(r.CoreTallies, quiz.ScoreCore(resp))
-		r.OptTallies = append(r.OptTallies, quiz.ScoreOptScored(resp))
-		r.OptAllTallies = append(r.OptAllTallies, quiz.ScoreOpt(resp))
-	}
+	r := &Results{Study: s, instrument: quiz.Instrument(), workers: s.Workers}
+	// The two cohorts use unrelated seeds and share no mutable state,
+	// so they generate concurrently; the main cohort additionally fans
+	// out across the worker budget internally.
+	pool := parallel.NewPool(2)
+	pool.Go(func() { r.Main = respondent.GenerateMainWorkers(s.Seed, s.NMain, s.Workers) })
+	pool.Go(func() { r.Students = respondent.GenerateStudentsWorkers(s.Seed+1, s.NStudent, s.Workers) })
+	pool.Wait()
+	g := quiz.ScoreAll(r.Main.Dataset, s.Workers)
+	r.CoreTallies, r.OptTallies, r.OptAllTallies = g.Core, g.OptScored, g.OptAll
 	return r
 }
 
@@ -101,7 +110,7 @@ func (r *Results) FigureBackground(num int) report.Table {
 	if !found {
 		return report.Table{Title: fmt.Sprintf("unknown background figure %d", num)}
 	}
-	tal, err := r.instrument.Tally(r.Main.Dataset, bf.question)
+	tal, err := r.shardedTally(bf.question)
 	t := report.Table{
 		Title:  fmt.Sprintf("Figure %d: %s", bf.num, bf.title),
 		Header: []string{"Level", "n", "%", "paper n", "paper %"},
@@ -121,6 +130,33 @@ func (r *Results) FigureBackground(num int) report.Table {
 		t.AddRow("(unanswered)", report.I(un), report.Pct(100*float64(un)/float64(n)), "-", "-")
 	}
 	return t
+}
+
+// shardedTally tallies one background question over the main dataset
+// by sharding the responses and merging the per-shard counts. Counts
+// are order-insensitive, so the result is identical at any worker
+// count.
+func (r *Results) shardedTally(questionID string) (map[string]int, error) {
+	ds := r.Main.Dataset
+	type shardResult struct {
+		tal map[string]int
+		err error
+	}
+	shards := parallel.MapShards(r.workers, len(ds.Responses), func(lo, hi int) shardResult {
+		sub := &survey.Dataset{Instrument: ds.Instrument, Version: ds.Version, Responses: ds.Responses[lo:hi]}
+		tal, err := r.instrument.Tally(sub, questionID)
+		return shardResult{tal, err}
+	})
+	merged := map[string]int{}
+	for _, s := range shards {
+		if s.err != nil {
+			return nil, s.err
+		}
+		for k, v := range s.tal {
+			merged[k] += v
+		}
+	}
+	return merged, nil
 }
 
 // Figure12 renders the average quiz performance table.
@@ -211,21 +247,33 @@ func (r *Results) Figure14() report.Table {
 			"paper %C", "flags"},
 	}
 	qs := quiz.CoreQuestions()
-	n := float64(len(r.Main.Dataset.Responses))
-	for i, q := range qs {
-		var c, inc, dk, un int
-		for _, resp := range r.Main.Dataset.Responses {
-			switch quiz.ClassifyCore(resp, q) {
-			case quiz.OutcomeCorrect:
-				c++
-			case quiz.OutcomeIncorrect:
-				inc++
-			case quiz.OutcomeDontKnow:
-				dk++
-			case quiz.OutcomeUnanswered:
-				un++
+	resps := r.Main.Dataset.Responses
+	n := float64(len(resps))
+	// One sharded pass over the responses classifies every (respondent,
+	// question) pair; per-shard count matrices merge additively, so the
+	// totals are identical at any worker count.
+	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) [][4]int {
+		counts := make([][4]int, len(qs))
+		for _, resp := range resps[lo:hi] {
+			for qi, q := range qs {
+				counts[qi][quiz.ClassifyCore(resp, q)]++
 			}
 		}
+		return counts
+	})
+	totals := make([][4]int, len(qs))
+	for _, shard := range shards {
+		for qi := range shard {
+			for o := 0; o < 4; o++ {
+				totals[qi][o] += shard[qi][o]
+			}
+		}
+	}
+	for i, q := range qs {
+		c := totals[i][quiz.OutcomeCorrect]
+		inc := totals[i][quiz.OutcomeIncorrect]
+		dk := totals[i][quiz.OutcomeDontKnow]
+		un := totals[i][quiz.OutcomeUnanswered]
 		row := paperdata.Figure14Core[i]
 		flags := ""
 		pc := 100 * float64(c) / n
@@ -253,21 +301,31 @@ func (r *Results) Figure15() report.Table {
 		Header: []string{"Question", "% Correct", "% Incorrect", "% Don't Know", "% Unanswered",
 			"paper %C", "paper %DK"},
 	}
-	n := float64(len(r.Main.Dataset.Responses))
-	for i, q := range quiz.OptQuestions() {
-		var c, inc, dk, un int
-		for _, resp := range r.Main.Dataset.Responses {
-			switch quiz.ClassifyOpt(resp, q) {
-			case quiz.OutcomeCorrect:
-				c++
-			case quiz.OutcomeIncorrect:
-				inc++
-			case quiz.OutcomeDontKnow:
-				dk++
-			case quiz.OutcomeUnanswered:
-				un++
+	qs := quiz.OptQuestions()
+	resps := r.Main.Dataset.Responses
+	n := float64(len(resps))
+	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) [][4]int {
+		counts := make([][4]int, len(qs))
+		for _, resp := range resps[lo:hi] {
+			for qi, q := range qs {
+				counts[qi][quiz.ClassifyOpt(resp, q)]++
 			}
 		}
+		return counts
+	})
+	totals := make([][4]int, len(qs))
+	for _, shard := range shards {
+		for qi := range shard {
+			for o := 0; o < 4; o++ {
+				totals[qi][o] += shard[qi][o]
+			}
+		}
+	}
+	for i, q := range qs {
+		c := totals[i][quiz.OutcomeCorrect]
+		inc := totals[i][quiz.OutcomeIncorrect]
+		dk := totals[i][quiz.OutcomeDontKnow]
+		un := totals[i][quiz.OutcomeUnanswered]
 		row := paperdata.Figure15Opt[i]
 		t.AddRow(q.Label,
 			report.Pct(100*float64(c)/n),
@@ -290,19 +348,33 @@ func (r *Results) factorFigure(num int, title, questionID string, core bool,
 	for _, lm := range paperEffect.Means {
 		paperMeans[lm.Level] = lm.Mean
 	}
+	// Group scores by answer level in a sharded pass; merging the
+	// per-shard groups in shard order preserves respondent order within
+	// each level, so downstream means/sds are bit-identical at any
+	// worker count.
+	resps := r.Main.Dataset.Responses
+	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) map[string][]float64 {
+		g := map[string][]float64{}
+		for i := lo; i < hi; i++ {
+			level := resps[i].Answer(questionID).Choice
+			if level == "" {
+				level = "(unanswered)"
+			}
+			var score float64
+			if core {
+				score = float64(r.CoreTallies[i].Correct)
+			} else {
+				score = float64(r.OptTallies[i].Correct)
+			}
+			g[level] = append(g[level], score)
+		}
+		return g
+	})
 	groups := map[string][]float64{}
-	for i, resp := range r.Main.Dataset.Responses {
-		level := resp.Answer(questionID).Choice
-		if level == "" {
-			level = "(unanswered)"
+	for _, g := range shards {
+		for level, vs := range g {
+			groups[level] = append(groups[level], vs...)
 		}
-		var score float64
-		if core {
-			score = float64(r.CoreTallies[i].Correct)
-		} else {
-			score = float64(r.OptTallies[i].Correct)
-		}
-		groups[level] = append(groups[level], score)
 	}
 	for _, level := range levelOrder {
 		vs, ok := groups[level]

@@ -37,7 +37,7 @@ func (f Format) CompareQuiet(e *Env, a, b uint64) Ordering {
 		e.raise(FlagInvalid)
 	}
 	o := f.compare(a, b)
-	e.finish(OpEvent{Op: "cmp", Format: f, A: a, B: b, NArgs: 2, Result: uint64(int64(o))})
+	e.finish("cmp", f, 2, a, b, 0, uint64(int64(o)))
 	return o
 }
 
@@ -50,7 +50,7 @@ func (f Format) CompareSignaling(e *Env, a, b uint64) Ordering {
 		e.raise(FlagInvalid)
 	}
 	o := f.compare(a, b)
-	e.finish(OpEvent{Op: "cmp", Format: f, A: a, B: b, NArgs: 2, Result: uint64(int64(o))})
+	e.finish("cmp", f, 2, a, b, 0, uint64(int64(o)))
 	return o
 }
 
@@ -185,5 +185,5 @@ func (f Format) minMax(e *Env, a, b uint64, min bool) uint64 {
 			r = b
 		}
 	}
-	return e.finish(OpEvent{Op: op, Format: f, A: a, B: b, NArgs: 2, Result: r})
+	return e.finish(op, f, 2, a, b, 0, r)
 }

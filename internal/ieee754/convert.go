@@ -13,7 +13,7 @@ import (
 func (f Format) Convert(e *Env, g Format, x uint64) uint64 {
 	e.begin()
 	r := f.convert(e, g, x)
-	return e.finish(OpEvent{Op: "cvt", Format: g, A: x, NArgs: 1, Result: r})
+	return e.finish("cvt", g, 1, x, 0, 0, r)
 }
 
 func (f Format) convert(e *Env, g Format, x uint64) uint64 {
@@ -64,11 +64,14 @@ func (f Format) ToFloat64(x uint64) float64 {
 // FromInt64 converts a signed integer to format f, rounding if the
 // integer has more significant bits than the format's precision.
 func (f Format) FromInt64(e *Env, v int64) uint64 {
-	ev := OpEvent{Op: "cvt_i2f", Format: f, A: uint64(v), NArgs: 1}
 	e.begin()
+	r := f.fromInt64(e, v)
+	return e.finish("cvt_i2f", f, 1, uint64(v), 0, 0, r)
+}
+
+func (f Format) fromInt64(e *Env, v int64) uint64 {
 	if v == 0 {
-		ev.Result = f.Zero(false)
-		return e.finish(ev)
+		return f.Zero(false)
 	}
 	sign := v < 0
 	var mag uint64
@@ -80,21 +83,22 @@ func (f Format) FromInt64(e *Env, v int64) uint64 {
 	lz := uint(bits.LeadingZeros64(mag))
 	sig := mag << lz
 	exp := 63 - int(lz)
-	ev.Result = f.roundPack(e, sign, exp, sig, false)
-	return e.finish(ev)
+	return f.roundPack(e, sign, exp, sig, false)
 }
 
 // FromUint64 converts an unsigned integer to format f.
 func (f Format) FromUint64(e *Env, v uint64) uint64 {
-	ev := OpEvent{Op: "cvt_u2f", Format: f, A: v, NArgs: 1}
 	e.begin()
+	r := f.fromUint64(e, v)
+	return e.finish("cvt_u2f", f, 1, v, 0, 0, r)
+}
+
+func (f Format) fromUint64(e *Env, v uint64) uint64 {
 	if v == 0 {
-		ev.Result = f.Zero(false)
-		return e.finish(ev)
+		return f.Zero(false)
 	}
 	lz := uint(bits.LeadingZeros64(v))
-	ev.Result = f.roundPack(e, false, 63-int(lz), v<<lz, false)
-	return e.finish(ev)
+	return f.roundPack(e, false, 63-int(lz), v<<lz, false)
 }
 
 // ToInt64 converts x to a signed 64-bit integer using the environment's
@@ -105,7 +109,7 @@ func (f Format) FromUint64(e *Env, v uint64) uint64 {
 func (f Format) ToInt64(e *Env, x uint64) int64 {
 	e.begin()
 	r := f.toInt64(e, x)
-	e.finish(OpEvent{Op: "cvt_f2i", Format: f, A: x, NArgs: 1, Result: uint64(r)})
+	e.finish("cvt_f2i", f, 1, x, 0, 0, uint64(r))
 	return r
 }
 
@@ -225,7 +229,7 @@ func (f Format) roundAwayInt(e *Env, sign bool, fracBits uint64, odd bool) bool 
 func (f Format) RoundToIntegral(e *Env, x uint64) uint64 {
 	e.begin()
 	r := f.roundToIntegral(e, x)
-	return e.finish(OpEvent{Op: "rint", Format: f, A: x, NArgs: 1, Result: r})
+	return e.finish("rint", f, 1, x, 0, 0, r)
 }
 
 func (f Format) roundToIntegral(e *Env, x uint64) uint64 {

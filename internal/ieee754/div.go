@@ -6,7 +6,7 @@ package ieee754
 func (f Format) Div(e *Env, a, b uint64) uint64 {
 	e.begin()
 	r := f.div(e, a, b)
-	return e.finish(OpEvent{Op: "div", Format: f, A: a, B: b, NArgs: 2, Result: r})
+	return e.finish("div", f, 2, a, b, 0, r)
 }
 
 func (f Format) div(e *Env, a, b uint64) uint64 {

@@ -156,6 +156,26 @@ type Env struct {
 // NewEnv returns an Env with the default IEEE 754 environment settings.
 func NewEnv() *Env { return &Env{} }
 
+// Clone returns an independent copy of the environment for use by
+// another goroutine: the mode controls (rounding direction, FTZ, DAZ)
+// and the sticky flags are carried over; the per-operation state and
+// the Observer are not. The Observer is deliberately dropped because a
+// shared callback would be invoked concurrently from every goroutine
+// that holds a clone — install a fresh per-goroutine observer on the
+// clone if events are needed.
+//
+// The one-Env-per-goroutine rule: an Env mutates internal state on
+// every operation, so two goroutines must never share one. Clone the
+// configured Env once per worker instead.
+func (e *Env) Clone() *Env {
+	return &Env{
+		Rounding: e.Rounding,
+		FTZ:      e.FTZ,
+		DAZ:      e.DAZ,
+		Flags:    e.Flags,
+	}
+}
+
 // ClearFlags clears the sticky exception flags.
 func (e *Env) ClearFlags() { e.Flags = 0 }
 
@@ -169,16 +189,21 @@ func (e *Env) raise(f Flags) { e.raised |= f }
 // exactly once.
 func (e *Env) begin() { e.raised = 0 }
 
-// finish commits per-operation flags into the sticky set, records the
-// event, and returns the result for convenient tail calls.
-func (e *Env) finish(ev OpEvent) uint64 {
-	ev.Raised = e.raised
+// finish commits per-operation flags into the sticky set, delivers the
+// event to the Observer if one is installed, and returns the result for
+// convenient tail calls. It takes scalar arguments rather than an
+// OpEvent so that the unobserved hot path never materialises the event
+// struct at all; unused operand slots are passed as 0.
+func (e *Env) finish(op string, f Format, nargs int, a, b, c, r uint64) uint64 {
 	e.LastRaised = e.raised
 	e.Flags |= e.raised
 	if e.Observer != nil {
-		e.Observer(ev)
+		e.Observer(OpEvent{
+			Op: op, Format: f, A: a, B: b, C: c,
+			NArgs: nargs, Result: r, Raised: e.raised,
+		})
 	}
-	return ev.Result
+	return r
 }
 
 // daz applies denormals-are-zero to an operand encoding: when enabled and

@@ -36,10 +36,9 @@ func (f Format) NextDown(x uint64) uint64 {
 // ScaleB returns x * 2^k with a single rounding (IEEE scaleB).
 // Overflow and underflow behave as for multiplication.
 func (f Format) ScaleB(e *Env, x uint64, k int) uint64 {
-	ev := OpEvent{Op: "scaleb", Format: f, A: x, B: uint64(int64(k)), NArgs: 2}
 	e.begin()
-	ev.Result = f.scaleB(e, x, k)
-	return e.finish(ev)
+	r := f.scaleB(e, x, k)
+	return e.finish("scaleb", f, 2, x, uint64(int64(k)), 0, r)
 }
 
 func (f Format) scaleB(e *Env, x uint64, k int) uint64 {
@@ -87,7 +86,7 @@ func (f Format) LogB(e *Env, x uint64) int {
 			r = u.exp
 		}
 	}
-	e.finish(OpEvent{Op: "logb", Format: f, A: x, NArgs: 1, Result: uint64(int64(r))})
+	e.finish("logb", f, 1, x, 0, 0, uint64(int64(r)))
 	return r
 }
 

@@ -4,7 +4,7 @@ package ieee754
 func (f Format) Mul(e *Env, a, b uint64) uint64 {
 	e.begin()
 	r := f.mul(e, a, b)
-	return e.finish(OpEvent{Op: "mul", Format: f, A: a, B: b, NArgs: 2, Result: r})
+	return e.finish("mul", f, 2, a, b, 0, r)
 }
 
 func (f Format) mul(e *Env, a, b uint64) uint64 {

@@ -9,7 +9,7 @@ import "math/bits"
 func (f Format) Rem(e *Env, a, b uint64) uint64 {
 	e.begin()
 	r := f.rem(e, a, b)
-	return e.finish(OpEvent{Op: "rem", Format: f, A: a, B: b, NArgs: 2, Result: r})
+	return e.finish("rem", f, 2, a, b, 0, r)
 }
 
 func (f Format) rem(e *Env, a, b uint64) uint64 {

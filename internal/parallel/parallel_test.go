@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+			seen := make([]int32, n)
+			ForEach(workers, n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		out := Map(workers, 500, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestSumShardsDeterministic(t *testing.T) {
+	// A sum whose terms vary wildly in magnitude: naive reordering
+	// changes the rounded result, so agreement across worker counts
+	// demonstrates the fixed shard boundaries + ordered fan-in.
+	n := 100000
+	term := func(i int) float64 { return 1.0 / float64(i+1) / float64((i%977)+1) }
+	sum := func(workers int) float64 {
+		return SumShards(workers, n, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += term(i)
+			}
+			return s
+		})
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 3, 8, 16} {
+		if got := sum(workers); got != want {
+			t.Fatalf("workers=%d: sum %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	n := 3*shardSize + 17
+	if NumShards(n) != 4 {
+		t.Fatalf("NumShards(%d) = %d", n, NumShards(n))
+	}
+	covered := 0
+	for s := 0; s < NumShards(n); s++ {
+		lo, hi := ShardBounds(s, n)
+		if lo != covered {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != n {
+		t.Fatalf("shards cover %d of %d", covered, n)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	p := NewPool(3)
+	var inFlight, peak atomic.Int32
+	for i := 0; i < 50; i++ {
+		p.Go(func() {
+			c := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		})
+	}
+	p.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d exceeds pool size 3", got)
+	}
+}
+
+func TestSeedIndependence(t *testing.T) {
+	// Distinct (stream, index) pairs must give distinct seeds, and the
+	// derivation must not depend on any global state.
+	seen := map[int64]bool{}
+	for stream := uint64(0); stream < 4; stream++ {
+		for i := int64(0); i < 1000; i++ {
+			s := Seed(42, stream, i)
+			if seen[s] {
+				t.Fatalf("seed collision at stream=%d index=%d", stream, i)
+			}
+			seen[s] = true
+			if s != Seed(42, stream, i) {
+				t.Fatal("Seed not deterministic")
+			}
+		}
+	}
+}
+
+func TestRNGPerIndexStreams(t *testing.T) {
+	// The first draws of neighbouring indices must look independent
+	// (no lockstep), and re-deriving an RNG must replay its stream.
+	a := RNG(7, 1, 10)
+	b := RNG(7, 1, 11)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d identical draws between adjacent index streams", same)
+	}
+	c, d := RNG(7, 1, 10), RNG(7, 1, 10)
+	for i := 0; i < 100; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("re-derived RNG diverged")
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0, 100) != DefaultWorkers() && DefaultWorkers() <= 100 {
+		t.Fatal("workers<=0 should default to GOMAXPROCS")
+	}
+	if Workers(8, 3) != 3 {
+		t.Fatal("workers should be capped at n")
+	}
+	if Workers(-1, 0) != 1 {
+		t.Fatal("degenerate inputs should give 1 worker")
+	}
+}

@@ -3,30 +3,63 @@ package quiz
 import (
 	"sync"
 
+	"fpstudy/internal/parallel"
 	"fpstudy/internal/survey"
 )
 
 // The oracles run real property checks (tens of thousands of softfloat
 // operations for some questions), so scoring caches the derived answer
-// key after the first evaluation.
+// key — and the per-question scoring metadata — after the first
+// evaluation. The cache is computed once under a sync.Once and then
+// shared read-only, so any number of grading goroutines can score
+// concurrently without re-running an oracle or taking a lock.
 var (
 	answerKeyOnce sync.Once
 	coreAnswerKey map[string]string
 	optAnswerKey  map[string]string
+
+	// coreItems/optItems are the flattened scoring tables: question IDs
+	// and correct answers in paper order. Grading hot loops iterate
+	// these instead of rebuilding the full question set (with its
+	// oracle closures) per respondent.
+	coreItems []scoredItem
+	optItems  []scoredItem
 )
 
+// scoredItem is the minimal per-question data needed to grade one
+// answer.
+type scoredItem struct {
+	id      string
+	correct string // correct answer string (T/F or choice)
+	isTF    bool
+}
+
+func buildAnswerKeys() {
+	coreAnswerKey = map[string]string{}
+	for _, q := range CoreQuestions() {
+		coreAnswerKey[q.ID] = q.CorrectAnswer()
+		coreItems = append(coreItems, scoredItem{
+			id: q.ID, correct: coreAnswerKey[q.ID], isTF: true,
+		})
+	}
+	optAnswerKey = map[string]string{}
+	for _, q := range OptQuestions() {
+		optAnswerKey[q.ID] = q.CorrectAnswer()
+		optItems = append(optItems, scoredItem{
+			id: q.ID, correct: optAnswerKey[q.ID], isTF: q.IsTrueFalse(),
+		})
+	}
+}
+
 func answerKeys() (map[string]string, map[string]string) {
-	answerKeyOnce.Do(func() {
-		coreAnswerKey = map[string]string{}
-		for _, q := range CoreQuestions() {
-			coreAnswerKey[q.ID] = q.CorrectAnswer()
-		}
-		optAnswerKey = map[string]string{}
-		for _, q := range OptQuestions() {
-			optAnswerKey[q.ID] = q.CorrectAnswer()
-		}
-	})
+	answerKeyOnce.Do(buildAnswerKeys)
 	return coreAnswerKey, optAnswerKey
+}
+
+// scoreItems returns the cached flattened scoring tables.
+func scoreItems() (core, opt []scoredItem) {
+	answerKeyOnce.Do(buildAnswerKeys)
+	return coreItems, optItems
 }
 
 // CoreAnswer returns the cached oracle-derived correct answer string
@@ -62,51 +95,40 @@ func (t *Tally) Add(o Tally) {
 	t.Unanswered += o.Unanswered
 }
 
-// scoreTF classifies one true/false answer against the correct string.
-func scoreTF(a survey.Answer, correct string) func(*Tally) {
+// count classifies one answer against the correct string and
+// increments the matching bucket.
+func (t *Tally) count(a survey.Answer, correct string) {
 	switch {
 	case a.IsUnanswered():
-		return func(t *Tally) { t.Unanswered++ }
+		t.Unanswered++
 	case a.Choice == survey.AnswerDontKnow:
-		return func(t *Tally) { t.DontKnow++ }
+		t.DontKnow++
 	case a.Choice == correct:
-		return func(t *Tally) { t.Correct++ }
+		t.Correct++
 	default:
-		return func(t *Tally) { t.Incorrect++ }
+		t.Incorrect++
 	}
 }
 
 // ScoreCore grades the 15 core questions of a response.
 func ScoreCore(r survey.Response) Tally {
+	items, _ := scoreItems()
 	var t Tally
-	for _, q := range CoreQuestions() {
-		scoreTF(r.Answer(q.ID), CoreAnswer(q.ID))(&t)
+	for _, it := range items {
+		t.count(r.Answer(it.id), it.correct)
 	}
 	return t
 }
 
 // ScoreOpt grades the optimization quiz. All four questions are
-// tallied; the Standard-compliant Level question is a single choice, so
-// "don't know" for it is represented by leaving it unanswered with a
-// DontKnow sentinel choice handled here.
+// tallied; the Standard-compliant Level question is a single choice
+// whose "don't know" is an explicit option handled by the same
+// classification.
 func ScoreOpt(r survey.Response) Tally {
+	_, items := scoreItems()
 	var t Tally
-	for _, q := range OptQuestions() {
-		a := r.Answer(q.ID)
-		if q.IsTrueFalse() {
-			scoreTF(a, OptAnswer(q.ID))(&t)
-			continue
-		}
-		switch {
-		case a.IsUnanswered():
-			t.Unanswered++
-		case a.Choice == survey.AnswerDontKnow:
-			t.DontKnow++
-		case a.Choice == q.CorrectChoice:
-			t.Correct++
-		default:
-			t.Incorrect++
-		}
+	for _, it := range items {
+		t.count(r.Answer(it.id), it.correct)
 	}
 	return t
 }
@@ -116,14 +138,47 @@ func ScoreOpt(r survey.Response) Tally {
 // Standard-compliant Level choice question is excluded there because it
 // is not T/F).
 func ScoreOptScored(r survey.Response) Tally {
+	_, items := scoreItems()
 	var t Tally
-	for _, q := range OptQuestions() {
-		if !q.IsTrueFalse() {
+	for _, it := range items {
+		if !it.isTF {
 			continue
 		}
-		scoreTF(r.Answer(q.ID), OptAnswer(q.ID))(&t)
+		t.count(r.Answer(it.id), it.correct)
 	}
 	return t
+}
+
+// Grades holds the per-respondent tallies of one graded dataset, in
+// response order.
+type Grades struct {
+	Core      []Tally // 15 core questions
+	OptScored []Tally // the three T/F optimization questions (Figure 12 view)
+	OptAll    []Tally // all four optimization questions
+}
+
+// ScoreAll grades every response of a dataset in parallel (workers <= 0
+// means GOMAXPROCS). The answer key is derived once (running the
+// oracles if this is the first scoring in the process) and shared
+// read-only across workers; the output is index-ordered and identical
+// at any worker count.
+func ScoreAll(ds *survey.Dataset, workers int) Grades {
+	// Force the one-time oracle evaluation before fanning out, so
+	// workers never contend on the sync.Once.
+	scoreItems()
+	n := len(ds.Responses)
+	g := Grades{
+		Core:      make([]Tally, n),
+		OptScored: make([]Tally, n),
+		OptAll:    make([]Tally, n),
+	}
+	parallel.ForEach(workers, n, func(i int) {
+		r := ds.Responses[i]
+		g.Core[i] = ScoreCore(r)
+		g.OptScored[i] = ScoreOptScored(r)
+		g.OptAll[i] = ScoreOpt(r)
+	})
+	return g
 }
 
 // CoreChance is the expected number of correct core answers under

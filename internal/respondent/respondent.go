@@ -17,16 +17,31 @@
 //  4. Suspicion answers are drawn from the digitized Figure 22
 //     distributions.
 //
-// Everything is deterministic given a seed.
+// Everything is deterministic given a seed. Generation is
+// shard-splittable: each respondent owns RNG streams derived from
+// (seed, stream, index) via internal/parallel, so cohorts are generated
+// concurrently with output bit-identical to sequential generation at
+// any worker count.
 package respondent
 
 import (
 	"math"
 	"math/rand"
 
+	"fpstudy/internal/parallel"
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/survey"
+)
+
+// RNG stream identifiers. Each respondent index owns one independent
+// stream per phase, which is what makes generation order-independent:
+// respondent i's draws never depend on how many respondents came
+// before it.
+const (
+	streamProfile  uint64 = 10 // background + ability noise
+	streamResponse uint64 = 2 // quiz answers + suspicion
+	streamStudent  uint64 = 3 // student suspicion answers
 )
 
 // Profile is one synthetic participant's background.
@@ -270,17 +285,33 @@ func (qm questionModel) dkProb(ability float64) float64 {
 	return p
 }
 
+// calibrationCap bounds the number of abilities the bisection
+// integrates per step. Profiles are i.i.d. across indices, so a
+// deterministic prefix is an unbiased sample of the cohort; capping
+// keeps calibration O(1) as n grows to millions while leaving every
+// cohort up to the cap calibrated exactly as before.
+const calibrationCap = 1 << 16
+
 // calibrate finds the logit offset such that the expected fraction of
-// ALL respondents answering correctly equals target.
-func calibrate(abilities []float64, qm questionModel, getAbility func(int) float64, target float64) float64 {
+// respondents answering correctly equals target. The expectation sum
+// runs sharded via parallel.SumShards, whose fixed shard boundaries and
+// ordered fan-in make the result bit-identical at any worker count.
+func calibrate(workers int, abilities []float64, qm questionModel, target float64) float64 {
+	if len(abilities) > calibrationCap {
+		abilities = abilities[:calibrationCap]
+	}
+	n := len(abilities)
 	expectCorrect := func(offset float64) float64 {
-		s := 0.0
-		for i := range abilities {
-			a := getAbility(i)
-			pAns := (1 - qm.pUn) * (1 - qm.dkProb(a))
-			s += pAns * invlogit(offset+a)
-		}
-		return s / float64(len(abilities))
+		s := parallel.SumShards(workers, n, func(lo, hi int) float64 {
+			sub := 0.0
+			for i := lo; i < hi; i++ {
+				a := abilities[i]
+				pAns := (1 - qm.pUn) * (1 - qm.dkProb(a))
+				sub += pAns * invlogit(offset+a)
+			}
+			return sub
+		})
+		return s / float64(n)
 	}
 	lo, hi := -12.0, 12.0
 	for i := 0; i < 60; i++ {
@@ -296,9 +327,17 @@ func calibrate(abilities []float64, qm questionModel, getAbility func(int) float
 
 // GenerateMain builds the main cohort: n respondents with full
 // background, core, optimization, and suspicion answers, calibrated
-// against the paper's published aggregates.
+// against the paper's published aggregates. It parallelizes across
+// GOMAXPROCS workers; the output is identical at any worker count.
 func GenerateMain(seed int64, n int) *Population {
-	return GenerateMainWith(seed, n, nil)
+	return GenerateMainWithWorkers(seed, n, 0, nil)
+}
+
+// GenerateMainWorkers is GenerateMain with an explicit worker count
+// (workers <= 0 means GOMAXPROCS). The worker count never affects the
+// generated data, only the wall-clock time.
+func GenerateMainWorkers(seed int64, n, workers int) *Population {
+	return GenerateMainWithWorkers(seed, n, workers, nil)
 }
 
 // GenerateMainWith is GenerateMain with a background override applied
@@ -311,44 +350,58 @@ func GenerateMain(seed int64, n int) *Population {
 // override world is generated with offsets calibrated on an unmodified
 // cohort drawn from the same seed.
 func GenerateMainWith(seed int64, n int, override func(*Profile)) *Population {
-	rng := rand.New(rand.NewSource(seed))
-	profiles := make([]Profile, n)
-	for i := range profiles {
-		profiles[i] = drawProfileWith(rng, override)
-	}
+	return GenerateMainWithWorkers(seed, n, 0, override)
+}
+
+// GenerateMainWithWorkers is GenerateMainWith with an explicit worker
+// count.
+func GenerateMainWithWorkers(seed int64, n, workers int, override func(*Profile)) *Population {
+	workers = parallel.Workers(workers, n)
+	profiles := parallel.Map(workers, n, func(i int) Profile {
+		return drawProfileWith(parallel.RNG(seed, streamProfile, int64(i)), override)
+	})
+	calib := profiles
 	if override != nil {
 		// Calibrate against the untreated world so the intervention
 		// measures a real shift rather than being normalized away.
-		baseRng := rand.New(rand.NewSource(seed))
-		base := make([]Profile, n)
-		for i := range base {
-			base[i] = drawProfile(baseRng)
-		}
-		return generateFromProfiles(rng, profiles, base)
+		// Each base profile replays the same per-index stream the
+		// treated profile consumed, minus the override — a paired
+		// (common-random-numbers) design.
+		calib = parallel.Map(workers, n, func(i int) Profile {
+			return drawProfile(parallel.RNG(seed, streamProfile, int64(i)))
+		})
 	}
-	return generateFromProfiles(rng, profiles, profiles)
+	return generateFromProfiles(workers, seed, profiles, calib)
 }
 
 // generateFromProfiles calibrates the question models against the
-// calib cohort's abilities and then samples responses for profiles.
-func generateFromProfiles(rng *rand.Rand, profiles, calib []Profile) *Population {
+// calib cohort's abilities and then samples responses for profiles,
+// one independent RNG stream per respondent.
+func generateFromProfiles(workers int, seed int64, profiles, calib []Profile) *Population {
 	// Build question models with calibration targets from Figure 14/15.
-	var models []questionModel
-	coreQs := quiz.CoreQuestions()
-	for i, q := range coreQs {
-		row := paperdata.Figure14Core[i]
-		qm := questionModel{
-			id:      q.ID,
-			pUn:     row.Unanswered / 100,
-			pDK:     row.DontKnow / 100,
-			correct: quiz.CoreAnswer(q.ID),
-		}
-		qm.offset = calibrate(abilitiesOf(calib), qm,
-			func(j int) float64 { return calib[j].Ability }, row.Correct/100)
-		models = append(models, qm)
+	// The oracle-backed answer key is computed once (cached in quiz) and
+	// shared read-only by every worker.
+	coreAbil := abilitiesOf(calib, false)
+	optAbil := abilitiesOf(calib, true)
+	type modelSpec struct {
+		qm      questionModel
+		target  float64
+		optAbil bool
 	}
-	optQs := quiz.OptQuestions()
-	for i, q := range optQs {
+	var specs []modelSpec
+	for i, q := range quiz.CoreQuestions() {
+		row := paperdata.Figure14Core[i]
+		specs = append(specs, modelSpec{
+			qm: questionModel{
+				id:      q.ID,
+				pUn:     row.Unanswered / 100,
+				pDK:     row.DontKnow / 100,
+				correct: quiz.CoreAnswer(q.ID),
+			},
+			target: row.Correct / 100,
+		})
+	}
+	for i, q := range quiz.OptQuestions() {
 		row := paperdata.Figure15Opt[i]
 		qm := questionModel{
 			id:         q.ID,
@@ -360,13 +413,25 @@ func generateFromProfiles(rng *rand.Rand, profiles, calib []Profile) *Population
 		if !q.IsTrueFalse() {
 			qm.choiceSet = q.Choices
 		}
-		qm.offset = calibrate(abilitiesOf(calib), qm,
-			func(j int) float64 { return calib[j].OptAbility }, row.Correct/100)
-		models = append(models, qm)
+		specs = append(specs, modelSpec{qm: qm, target: row.Correct / 100, optAbil: true})
 	}
+	// Calibrate the questions concurrently; each bisection is
+	// independent and deterministic.
+	models := parallel.Map(workers, len(specs), func(i int) questionModel {
+		s := specs[i]
+		abil := coreAbil
+		if s.optAbil {
+			abil = optAbil
+		}
+		qm := s.qm
+		qm.offset = calibrate(1, abil, qm, s.target)
+		return qm
+	})
 
 	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0"}
-	for i, p := range profiles {
+	ds.Responses = parallel.Map(workers, len(profiles), func(i int) survey.Response {
+		rng := parallel.RNG(seed, streamResponse, int64(i))
+		p := profiles[i]
 		r := survey.Response{Answers: map[string]survey.Answer{}}
 		fillBackground(&r, p)
 		for _, qm := range models {
@@ -380,17 +445,20 @@ func generateFromProfiles(rng *rand.Rand, profiles, calib []Profile) *Population
 			}
 		}
 		fillSuspicion(&r, rng, paperdata.Figure22Main)
-		ds.Responses = append(ds.Responses, r)
-		_ = i
-	}
+		return r
+	})
 	ds.Anonymize()
 	return &Population{Profiles: profiles, Dataset: ds}
 }
 
-func abilitiesOf(ps []Profile) []float64 {
+func abilitiesOf(ps []Profile, opt bool) []float64 {
 	out := make([]float64, len(ps))
 	for i, p := range ps {
-		out[i] = p.Ability
+		if opt {
+			out[i] = p.OptAbility
+		} else {
+			out[i] = p.Ability
+		}
 	}
 	return out
 }
@@ -478,13 +546,19 @@ func drawLikert(rng *rand.Rand, percent [5]float64) int {
 // (the paper's student group took just the suspicion quiz as an exam
 // problem).
 func GenerateStudents(seed int64, n int) *survey.Dataset {
-	rng := rand.New(rand.NewSource(seed))
+	return GenerateStudentsWorkers(seed, n, 0)
+}
+
+// GenerateStudentsWorkers is GenerateStudents with an explicit worker
+// count (workers <= 0 means GOMAXPROCS).
+func GenerateStudentsWorkers(seed int64, n, workers int) *survey.Dataset {
 	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0-student"}
-	for i := 0; i < n; i++ {
+	ds.Responses = parallel.Map(workers, n, func(i int) survey.Response {
+		rng := parallel.RNG(seed, streamStudent, int64(i))
 		r := survey.Response{Answers: map[string]survey.Answer{}}
 		fillSuspicion(&r, rng, paperdata.Figure22Student)
-		ds.Responses = append(ds.Responses, r)
-	}
+		return r
+	})
 	ds.Anonymize()
 	return ds
 }

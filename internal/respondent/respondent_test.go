@@ -320,7 +320,7 @@ func TestStudentsLessSuspiciousOfUnderflowDenorm(t *testing.T) {
 }
 
 func TestAbilityDistribution(t *testing.T) {
-	abilities := abilitiesOf(testPop.Profiles)
+	abilities := abilitiesOf(testPop.Profiles, false)
 	s := stats.Summarize(abilities)
 	if math.Abs(s.Mean) > 0.15 {
 		t.Errorf("ability mean %.3f, want ~0 (centered)", s.Mean)

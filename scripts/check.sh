@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: build, vet, and the
+# complete test suite under the race detector. Run from the repo root
+# (or let the cd below handle it).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all checks passed"
