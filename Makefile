@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-pipeline
+.PHONY: check build test bench bench-pipeline telemetry-smoke
 
 check:
 	sh scripts/check.sh
@@ -20,3 +20,8 @@ bench:
 # End-to-end pipeline timing; writes BENCH_pipeline.json.
 bench-pipeline:
 	$(GO) run ./cmd/fpbench -o BENCH_pipeline.json
+
+# End-to-end check of the live-introspection surface: runs fpgen with
+# -telemetry and asserts /debug/vars serves live fpstudy metrics.
+telemetry-smoke:
+	$(GO) run scripts/telemetry_smoke.go

@@ -29,6 +29,7 @@ import (
 	"fpstudy/internal/optsim"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/respondent"
+	"fpstudy/internal/telemetry"
 	"fpstudy/internal/tuner"
 )
 
@@ -155,6 +156,36 @@ func BenchmarkStudyPipeline(b *testing.B) {
 					b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkStudyPipelineTelemetry is BenchmarkStudyPipeline's n=10000
+// case with the full telemetry stack installed — metrics registry,
+// span recorder, parallel worker-pool hooks, and the FP-exception
+// bridge. Comparing it against BenchmarkStudyPipeline/n=10000 measures
+// total observability overhead; the budget is <5%.
+func BenchmarkStudyPipelineTelemetry(b *testing.B) {
+	const n = 10000
+	reg := telemetry.NewRegistry()
+	core.InstallPipelineTelemetry(reg)
+	defer core.UninstallPipelineTelemetry()
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rec := telemetry.NewRecorder(reg)
+			s := core.Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers, Telemetry: rec}
+			// Prime the one-time oracle answer-key cache so the first
+			// timed run isn't charged for it.
+			core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: workers}.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := s.Run()
+				if len(r.CoreTallies) != n {
+					b.Fatalf("pipeline produced %d tallies, want %d", len(r.CoreTallies), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
 		})
 	}
 }

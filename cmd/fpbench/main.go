@@ -7,6 +7,7 @@
 //
 //	fpbench -o BENCH_pipeline.json
 //	fpbench -n 199,10000 -workers 1,2,4 -reps 3
+//	fpbench -telemetry 127.0.0.1:6060    # live /debug/vars + pprof while timing
 package main
 
 import (
@@ -20,7 +21,19 @@ import (
 	"time"
 
 	"fpstudy/internal/core"
+	"fpstudy/internal/telemetry"
 )
+
+// schemaVersion is the BENCH_pipeline.json document version.
+//
+// History:
+//
+//	1 (implicit, field absent) — tool/timestamp/seed/host/runs with
+//	  per-run best_seconds, respondents_per_sec, speedup_vs_serial.
+//	2 — adds "schema_version" itself and per-run "spans": the stage
+//	  span breakdown (generate-main / generate-students / calibrate /
+//	  grade, with per-stage seconds, items, items/sec) of the best rep.
+const schemaVersion = 2
 
 // host identifies the benchmarking machine.
 type host struct {
@@ -41,15 +54,19 @@ type run struct {
 	// SpeedupVsSerial compares against the workers=1 run of the same n
 	// (1.0 when this is that run; 0 when no workers=1 run was timed).
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// Spans is the stage breakdown of the best (fastest) rep, so slow
+	// stages can be attributed without rerunning under a profiler.
+	Spans []telemetry.SpanSnapshot `json:"spans"`
 }
 
 // report is the BENCH_pipeline.json document.
 type report struct {
-	Tool      string `json:"tool"`
-	Timestamp string `json:"timestamp"`
-	Seed      int64  `json:"seed"`
-	Host      host   `json:"host"`
-	Runs      []run  `json:"runs"`
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	Timestamp     string `json:"timestamp"`
+	Seed          int64  `json:"seed"`
+	Host          host   `json:"host"`
+	Runs          []run  `json:"runs"`
 }
 
 func parseInts(s, flagName string) []int {
@@ -70,7 +87,8 @@ func main() {
 	ws := flag.String("workers", "1,0", "comma-separated worker counts (0 means GOMAXPROCS)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best time is reported)")
 	seed := flag.Int64("seed", 42, "study seed")
-	out := flag.String("o", "BENCH_pipeline.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_pipeline.json", "output file (- for stdout); also writes <out>.manifest.json")
+	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	sizes := parseInts(*ns, "n")
@@ -84,10 +102,29 @@ func main() {
 		workerCounts = append(workerCounts, v)
 	}
 
+	// One registry accumulates across every rep (it feeds /debug/vars
+	// and the manifest); span recorders are per-rep so each run's stage
+	// breakdown is isolated. The benchmark numbers include the
+	// instrumented pipeline — that is the configuration users run.
+	reg := telemetry.NewRegistry()
+	core.InstallPipelineTelemetry(reg)
+	procRec := telemetry.NewRecorder(reg)
+	procRec.PublishExpvar("fpstudy")
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fpbench: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+
 	rep := report{
-		Tool:      "fpbench",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Seed:      *seed,
+		SchemaVersion: schemaVersion,
+		Tool:          "fpbench",
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Seed:          *seed,
 		Host: host{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
@@ -100,9 +137,11 @@ func main() {
 	for _, n := range sizes {
 		serial := 0.0
 		for _, w := range workerCounts {
-			study := core.Study{Seed: *seed, NMain: n, NStudent: 52, Workers: w}
 			best := 0.0
+			var bestSpans []telemetry.SpanSnapshot
 			for r := 0; r < *reps; r++ {
+				rec := telemetry.NewRecorder(reg)
+				study := core.Study{Seed: *seed, NMain: n, NStudent: 52, Workers: w, Telemetry: rec}
 				start := time.Now()
 				res := study.Run()
 				sec := time.Since(start).Seconds()
@@ -112,6 +151,7 @@ func main() {
 				}
 				if best == 0 || sec < best {
 					best = sec
+					bestSpans = rec.Spans()
 				}
 			}
 			if w == 1 {
@@ -126,6 +166,7 @@ func main() {
 				BestSeconds:       best,
 				RespondentsPerSec: float64(n) / best,
 				SpeedupVsSerial:   speedup,
+				Spans:             bestSpans,
 			})
 			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec)\n",
 				n, w, best, float64(n)/best)
@@ -146,5 +187,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fpbench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "fpbench: wrote %s\n", *out)
+	m := procRec.Manifest("fpbench", *seed, 0, 0)
+	m.Timestamp = rep.Timestamp
+	mpath := telemetry.ManifestPath(*out)
+	if err := telemetry.WriteManifest(mpath, m); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "fpbench: wrote %s (manifest %s)\n", *out, mpath)
 }

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fpstudy/internal/core"
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/telemetry"
 )
 
 func main() {
@@ -34,10 +36,35 @@ func main() {
 	nStudents := flag.Int("nstudents", paperdata.NStudent, "student cohort size")
 	seed := flag.Int64("seed", 42, "study seed")
 	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
+	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
+	manifest := flag.String("manifest", "", "write a run manifest (seed, workers, stage spans, counters) to this path")
 	flag.Parse()
 
-	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers}
+	// Telemetry observes the pipeline without participating: figures
+	// and claims are bit-identical with or without it.
+	reg := telemetry.NewRegistry()
+	rec := core.InstallPipelineTelemetry(reg)
+	rec.PublishExpvar("fpstudy")
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpreport:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fpreport: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+
+	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers, Telemetry: rec}
 	results := study.Run()
+	if *manifest != "" {
+		m := rec.Manifest("fpreport", *seed, *n, *workers)
+		m.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		if err := telemetry.WriteManifest(*manifest, m); err != nil {
+			fmt.Fprintln(os.Stderr, "fpreport:", err)
+			os.Exit(1)
+		}
+	}
 
 	emit := func(num int) {
 		t := results.Figure(num)

@@ -5,7 +5,39 @@ import (
 	"testing"
 
 	"fpstudy/internal/survey"
+	"fpstudy/internal/telemetry"
 )
+
+// goldenSnapshot runs an n-respondent study at the given worker count
+// and hashes the encoded datasets plus all 22 figure tables. rec may be
+// nil (telemetry off).
+func goldenSnapshot(t *testing.T, n, workers int, rec *telemetry.Recorder) golden {
+	t.Helper()
+	s := Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers, Telemetry: rec}
+	r := s.Run()
+	var g golden
+	mainJSON, err := survey.EncodeDataset(r.Main.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	studentJSON, err := survey.EncodeDataset(r.Students)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.main = sha256.Sum256(mainJSON)
+	g.students = sha256.Sum256(studentJSON)
+	for fig := 1; fig <= 22; fig++ {
+		g.figures[fig-1] = sha256.Sum256([]byte(r.Figure(fig).String()))
+	}
+	return g
+}
+
+// golden is the byte-level fingerprint of one full study run.
+type golden struct {
+	main     [32]byte
+	students [32]byte
+	figures  [22][32]byte
+}
 
 // TestGoldenParallelDeterminism is the determinism contract of the
 // parallel pipeline: for a fixed seed, the generated datasets and every
@@ -18,34 +50,9 @@ func TestGoldenParallelDeterminism(t *testing.T) {
 	}
 	const n = 5000
 
-	type golden struct {
-		main     [32]byte
-		students [32]byte
-		figures  [22][32]byte
-	}
-	snapshot := func(workers int) golden {
-		s := Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers}
-		r := s.Run()
-		var g golden
-		mainJSON, err := survey.EncodeDataset(r.Main.Dataset)
-		if err != nil {
-			t.Fatal(err)
-		}
-		studentJSON, err := survey.EncodeDataset(r.Students)
-		if err != nil {
-			t.Fatal(err)
-		}
-		g.main = sha256.Sum256(mainJSON)
-		g.students = sha256.Sum256(studentJSON)
-		for fig := 1; fig <= 22; fig++ {
-			g.figures[fig-1] = sha256.Sum256([]byte(r.Figure(fig).String()))
-		}
-		return g
-	}
-
-	want := snapshot(1)
+	want := goldenSnapshot(t, n, 1, nil)
 	for _, workers := range []int{4, 16} {
-		got := snapshot(workers)
+		got := goldenSnapshot(t, n, workers, nil)
 		if got.main != want.main {
 			t.Errorf("workers=%d: main dataset differs from sequential run", workers)
 		}
@@ -57,5 +64,53 @@ func TestGoldenParallelDeterminism(t *testing.T) {
 				t.Errorf("workers=%d: figure %d differs from sequential run", workers, fig)
 			}
 		}
+	}
+}
+
+// TestGoldenTelemetryInvariance is the observability half of the
+// determinism contract: installing the full telemetry stack (metrics
+// registry, span recorder, parallel hooks, FP-exception bridge) must
+// not change a single output byte at any worker count. It compares the
+// dataset and figure hashes of instrumented runs at workers 1, 4, and
+// 16 against an uninstrumented baseline.
+func TestGoldenTelemetryInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple 2000-respondent studies; skipped in -short mode")
+	}
+	const n = 2000
+
+	want := goldenSnapshot(t, n, 1, nil)
+
+	reg := telemetry.NewRegistry()
+	rec := InstallPipelineTelemetry(reg)
+	defer UninstallPipelineTelemetry()
+
+	for _, workers := range []int{1, 4, 16} {
+		got := goldenSnapshot(t, n, workers, rec)
+		if got.main != want.main {
+			t.Errorf("workers=%d: telemetry changed the main dataset", workers)
+		}
+		if got.students != want.students {
+			t.Errorf("workers=%d: telemetry changed the student dataset", workers)
+		}
+		for fig := 1; fig <= 22; fig++ {
+			if got.figures[fig-1] != want.figures[fig-1] {
+				t.Errorf("workers=%d: telemetry changed figure %d", workers, fig)
+			}
+		}
+	}
+
+	// Sanity-check that the instrumentation actually observed the runs
+	// (otherwise this test would pass vacuously).
+	snap := reg.Snapshot()
+	if snap.Counters[MetricRespondents] == 0 {
+		t.Error("telemetry was installed but observed no respondents")
+	}
+	// fp.ops is deliberately not asserted: the oracle answer key is
+	// cached once per process, so whether this test's runs evaluate
+	// oracles depends on test order. The FP bridge has its own tests in
+	// internal/monitor and internal/quiz.
+	if len(rec.Spans()) == 0 {
+		t.Error("telemetry was installed but recorded no spans")
 	}
 }

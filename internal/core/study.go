@@ -8,13 +8,14 @@ package core
 import (
 	"fmt"
 
-	"fpstudy/internal/parallel"
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/parallel"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/report"
 	"fpstudy/internal/respondent"
 	"fpstudy/internal/stats"
 	"fpstudy/internal/survey"
+	"fpstudy/internal/telemetry"
 )
 
 // Study configures one reproduction run.
@@ -29,6 +30,13 @@ type Study struct {
 	// figure tallies; <= 0 means GOMAXPROCS. The worker count never
 	// affects the produced data, only the wall-clock time.
 	Workers int
+	// Telemetry, when non-nil, records the run's span tree
+	// (run → generate-main / generate-students / grade, plus a figures
+	// tree when figures are rendered) and pipeline counters. Nil
+	// disables instrumentation at effectively zero cost (nil-safe
+	// no-op handles). Telemetry never affects the produced data; the
+	// golden test pins bit-identical output with it on or off.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultStudy mirrors the paper's cohort sizes.
@@ -51,21 +59,45 @@ type Results struct {
 
 	instrument *survey.Instrument
 	workers    int
+	telemetry  *telemetry.Recorder
 }
 
 // Run executes the study: generation, then oracle-keyed grading, both
-// sharded across the study's worker budget.
+// sharded across the study's worker budget. When s.Telemetry is set,
+// the run records a span tree (generate-main with its draw / calibrate
+// / sample children, generate-students, grade) with per-stage wall
+// time, item counts, and throughput.
 func (s Study) Run() *Results {
-	r := &Results{Study: s, instrument: quiz.Instrument(), workers: s.Workers}
+	r := &Results{Study: s, instrument: quiz.Instrument(), workers: s.Workers, telemetry: s.Telemetry}
+	root := s.Telemetry.StartSpan("run")
+	prog := s.Telemetry.Registry().Counter(MetricRespondents)
 	// The two cohorts use unrelated seeds and share no mutable state,
 	// so they generate concurrently; the main cohort additionally fans
 	// out across the worker budget internally.
 	pool := parallel.NewPool(2)
-	pool.Go(func() { r.Main = respondent.GenerateMainWorkers(s.Seed, s.NMain, s.Workers) })
-	pool.Go(func() { r.Students = respondent.GenerateStudentsWorkers(s.Seed+1, s.NStudent, s.Workers) })
+	pool.Go(func() {
+		sp := root.StartChild("generate-main")
+		r.Main = respondent.GenerateMainInstrumented(s.Seed, s.NMain, s.Workers, nil,
+			respondent.Instrumentation{Span: sp, Progress: prog})
+		sp.AddItems(int64(s.NMain))
+		sp.End()
+	})
+	pool.Go(func() {
+		sp := root.StartChild("generate-students")
+		r.Students = respondent.GenerateStudentsInstrumented(s.Seed+1, s.NStudent, s.Workers,
+			respondent.Instrumentation{Span: sp})
+		sp.AddItems(int64(s.NStudent))
+		sp.End()
+	})
 	pool.Wait()
+	gsp := root.StartChild("grade")
 	g := quiz.ScoreAll(r.Main.Dataset, s.Workers)
+	gsp.AddItems(int64(len(r.Main.Dataset.Responses)))
+	gsp.End()
 	r.CoreTallies, r.OptTallies, r.OptAllTallies = g.Core, g.OptScored, g.OptAll
+	root.AddItems(int64(s.NMain + s.NStudent))
+	root.End()
+	s.Telemetry.Registry().Counter(MetricRuns).Inc()
 	return r
 }
 
@@ -518,11 +550,19 @@ func (r *Results) Figure(num int) report.Table {
 	return report.Table{Title: fmt.Sprintf("unknown figure %d", num)}
 }
 
-// AllFigures renders every figure in order.
+// AllFigures renders every figure in order. With telemetry attached,
+// the rendering is timed under a "figures" span with one child per
+// figure.
 func (r *Results) AllFigures() []report.Table {
+	sp := r.telemetry.StartSpan("figures")
 	out := make([]report.Table, 0, 22)
 	for i := 1; i <= 22; i++ {
+		c := sp.StartChild(fmt.Sprintf("figure-%02d", i))
 		out = append(out, r.Figure(i))
+		c.AddItems(1)
+		c.End()
 	}
+	sp.AddItems(22)
+	sp.End()
 	return out
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"fpstudy/internal/monitor"
+	"fpstudy/internal/parallel"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/telemetry"
+)
+
+// Pipeline metric names (see the internal/telemetry package doc for
+// the naming scheme).
+const (
+	// MetricRespondents counts generation progress: one increment per
+	// profile drawn plus one per response sampled (2n per full
+	// main-cohort run; n for the student cohort).
+	MetricRespondents = "pipeline.respondents"
+	// MetricRuns counts completed Study.Run executions.
+	MetricRuns = "pipeline.runs"
+
+	MetricForEachCalls = "parallel.foreach_calls"
+	MetricItems        = "parallel.items"
+	MetricBusyNS       = "parallel.busy_ns"
+	MetricShards       = "parallel.shards"
+	MetricPoolTasks    = "parallel.pool_tasks"
+	MetricPoolBusyNS   = "parallel.pool_busy_ns"
+	// MetricForEachBusyMS is a fixed-bucket histogram of per-call
+	// summed worker busy time, in milliseconds.
+	MetricForEachBusyMS = "parallel.foreach_busy_ms"
+
+	MetricFPOps       = "fp.ops"
+	MetricFPDivByZero = "fp.exceptions.divbyzero"
+)
+
+// InstallPipelineTelemetry wires the process-wide instrumentation into
+// reg and returns a Recorder to attach to Study.Telemetry:
+//
+//   - internal/parallel worker-pool hooks (fan-out calls, items, shard
+//     counts, per-pool busy time);
+//   - the aggregate FP-exception bridge on the quiz oracles, counting
+//     Overflow / Underflow / Precision / Invalid / Denorm (plus
+//     divide-by-zero and total observed ops) produced by oracle
+//     evaluations.
+//
+// The hooks are global to the process (there is one worker pool layer
+// and one oracle cache), so install once at startup. Everything
+// observed is aggregate and atomic; nothing feeds back into the
+// pipeline, so golden hashes are unchanged. UninstallPipelineTelemetry
+// reverses the installation (used by tests and benchmarks).
+func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
+	rec := telemetry.NewRecorder(reg)
+
+	foreachCalls := reg.Counter(MetricForEachCalls)
+	items := reg.Counter(MetricItems)
+	busyNS := reg.Counter(MetricBusyNS)
+	shards := reg.Counter(MetricShards)
+	poolTasks := reg.Counter(MetricPoolTasks)
+	poolBusyNS := reg.Counter(MetricPoolBusyNS)
+	busyHist := reg.Histogram(MetricForEachBusyMS, []float64{0.1, 1, 10, 100, 1000, 10000})
+	parallel.SetHook(&parallel.Hook{
+		ForEach: func(n, workers int, busy time.Duration) {
+			foreachCalls.Inc()
+			items.Add(int64(n))
+			busyNS.Add(int64(busy))
+			busyHist.Observe(float64(busy) / float64(time.Millisecond))
+		},
+		Shards: func(n int) { shards.Add(int64(n)) },
+		PoolTask: func(busy time.Duration) {
+			poolTasks.Inc()
+			poolBusyNS.Add(int64(busy))
+		},
+	})
+
+	conds := map[monitor.Condition]monitor.EventCounter{}
+	for _, c := range monitor.Conditions() {
+		conds[c] = reg.Counter(c.MetricName())
+	}
+	quiz.SetOracleObserver(monitor.CountingObserver(
+		reg.Counter(MetricFPOps), conds, reg.Counter(MetricFPDivByZero)))
+
+	return rec
+}
+
+// UninstallPipelineTelemetry removes the process-wide hooks installed
+// by InstallPipelineTelemetry, restoring the uninstrumented fast
+// paths.
+func UninstallPipelineTelemetry() {
+	parallel.SetHook(nil)
+	quiz.SetOracleObserver(nil)
+}

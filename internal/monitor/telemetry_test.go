@@ -1,0 +1,90 @@
+package monitor
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+type testCounter struct{ v atomic.Int64 }
+
+func (c *testCounter) Add(n int64) { c.v.Add(n) }
+
+// TestCountingObserver drives the bridge with operations known to raise
+// each condition and checks the aggregate counts match a Monitor's.
+func TestCountingObserver(t *testing.T) {
+	ops := &testCounter{}
+	divZero := &testCounter{}
+	conds := map[Condition]EventCounter{}
+	counters := map[Condition]*testCounter{}
+	for _, c := range Conditions() {
+		tc := &testCounter{}
+		counters[c] = tc
+		conds[c] = tc
+	}
+
+	m := New()
+	var env ieee754.Env
+	env.Observer = CountingObserver(ops, conds, divZero)
+	f := ieee754.Binary64
+
+	run := func(e *ieee754.Env) {
+		big := f.FromFloat64(e, 1e308)
+		tiny := f.FromFloat64(e, 5e-324)
+		one := f.FromFloat64(e, 1)
+		three := f.FromFloat64(e, 3)
+		_ = f.Mul(e, big, big)                     // overflow (+ inexact)
+		_ = f.Mul(e, tiny, tiny)                   // underflow (+ denormal operand)
+		_ = f.Div(e, one, three)                   // inexact
+		_ = f.Div(e, f.Zero(false), f.Zero(false)) // invalid
+		_ = f.Div(e, one, f.Zero(false))           // divide-by-zero
+	}
+	run(&env)
+	run(m.Env())
+
+	rep := m.Report()
+	for _, e := range rep.Entries {
+		if got := counters[e.Condition].v.Load(); got != int64(e.Count) {
+			t.Errorf("%s: bridge counted %d, monitor counted %d", e.Condition, got, e.Count)
+		}
+		if !e.Occurred() {
+			t.Errorf("%s never occurred; the workload should raise every condition", e.Condition)
+		}
+	}
+	if got := ops.v.Load(); got != int64(rep.TotalOps) {
+		t.Errorf("ops: bridge counted %d, monitor counted %d", got, rep.TotalOps)
+	}
+	if got := divZero.v.Load(); got != int64(rep.DivByZero) {
+		t.Errorf("divzero: bridge counted %d, monitor counted %d", got, rep.DivByZero)
+	}
+}
+
+// TestCountingObserverPartial checks nil sinks and missing conditions
+// are tolerated.
+func TestCountingObserverPartial(t *testing.T) {
+	inv := &testCounter{}
+	obs := CountingObserver(nil, map[Condition]EventCounter{Invalid: inv}, nil)
+	var env ieee754.Env
+	env.Observer = obs
+	f := ieee754.Binary64
+	_ = f.Div(&env, f.Zero(false), f.Zero(false)) // invalid
+	_ = f.Div(&env, f.FromFloat64(&env, 1), f.FromFloat64(&env, 3))
+	if inv.v.Load() != 1 {
+		t.Errorf("invalid count = %d, want 1", inv.v.Load())
+	}
+}
+
+func TestConditionMetricNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Conditions() {
+		name := c.MetricName()
+		if seen[name] {
+			t.Errorf("duplicate metric name %q", name)
+		}
+		seen[name] = true
+		if name == "fp.exceptions.unknown" {
+			t.Errorf("%s has no metric name", c)
+		}
+	}
+}

@@ -25,7 +25,37 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Hook receives execution-layer telemetry events. All callbacks are
+// optional and must be safe for concurrent use (they are invoked from
+// whichever goroutine finishes the work). A Hook observes only; it
+// cannot influence sharding, scheduling, or RNG streams, so installing
+// one never changes produced data.
+type Hook struct {
+	// ForEach fires once per ForEach invocation with the index-space
+	// size, the effective worker count, and the summed per-worker busy
+	// time (wall time each worker spent inside the fan-out, so
+	// busy/(workers*elapsed) approximates utilization).
+	ForEach func(items, workers int, busy time.Duration)
+	// Shards fires once per MapShards/SumShards call with the number of
+	// fixed-width shards dispatched.
+	Shards func(n int)
+	// PoolTask fires after each Pool task completes, with its run time.
+	PoolTask func(busy time.Duration)
+}
+
+// hook holds the installed Hook. An atomic pointer keeps the
+// uninstrumented hot path at a single pointer load with no allocation;
+// the nil hook (the default) short-circuits all instrumentation.
+var hook atomic.Pointer[Hook]
+
+// SetHook installs h as the process-wide execution hook (nil
+// uninstalls). Intended to be called once at startup by the telemetry
+// wiring (internal/core.InstallPipelineTelemetry); installing mid-run
+// affects only subsequently started operations.
+func SetHook(h *Hook) { hook.Store(h) }
 
 // DefaultWorkers is the worker count used when a caller passes
 // workers <= 0: the process's GOMAXPROCS.
@@ -63,18 +93,31 @@ func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	h := hook.Load()
+	instrumented := h != nil && h.ForEach != nil
 	if workers == 1 {
+		var t0 time.Time
+		if instrumented {
+			t0 = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		if instrumented {
+			h.ForEach(n, 1, time.Since(t0))
+		}
 		return
 	}
-	var next atomic.Int64
+	var next, busyNS atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if instrumented {
+				t0 := time.Now()
+				defer func() { busyNS.Add(int64(time.Since(t0))) }()
+			}
 			for {
 				lo := int(next.Add(grain)) - grain
 				if lo >= n {
@@ -91,6 +134,9 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if instrumented {
+		h.ForEach(n, workers, time.Duration(busyNS.Load()))
+	}
 }
 
 // Map computes out[i] = fn(i) for every i in [0, n) in parallel and
@@ -123,6 +169,9 @@ func ShardBounds(s, n int) (lo, hi int) {
 // independent of the worker count), applies fn to each shard in
 // parallel, and returns the shard results in shard order.
 func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
+	if h := hook.Load(); h != nil && h.Shards != nil {
+		h.Shards(NumShards(n))
+	}
 	return Map(workers, NumShards(n), func(s int) T {
 		lo, hi := ShardBounds(s, n)
 		return fn(lo, hi)
@@ -165,6 +214,7 @@ func NewPool(workers int) *Pool {
 // Go submits a task. It blocks only when the pool is saturated, which
 // bounds the number of in-flight goroutines at the pool's size.
 func (p *Pool) Go(fn func()) {
+	h := hook.Load()
 	p.wg.Add(1)
 	p.sem <- struct{}{}
 	go func() {
@@ -172,6 +222,10 @@ func (p *Pool) Go(fn func()) {
 			<-p.sem
 			p.wg.Done()
 		}()
+		if h != nil && h.PoolTask != nil {
+			t0 := time.Now()
+			defer func() { h.PoolTask(time.Since(t0)) }()
+		}
 		fn()
 	}()
 }

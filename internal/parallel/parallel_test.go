@@ -3,6 +3,7 @@ package parallel
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachCoversAllIndices(t *testing.T) {
@@ -141,5 +142,81 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if Workers(-1, 0) != 1 {
 		t.Fatal("degenerate inputs should give 1 worker")
+	}
+}
+
+// TestHookObservation checks that an installed Hook sees fan-outs,
+// shard dispatches, and pool tasks — and that the results fn produces
+// are identical with and without the hook installed.
+func TestHookObservation(t *testing.T) {
+	defer SetHook(nil)
+
+	baseline := Map(4, 1000, func(i int) int { return i * i })
+
+	var calls, items, shards, poolTasks atomic.Int64
+	var busyNS atomic.Int64
+	SetHook(&Hook{
+		ForEach: func(n, workers int, busy time.Duration) {
+			calls.Add(1)
+			items.Add(int64(n))
+			busyNS.Add(int64(busy))
+		},
+		Shards:   func(n int) { shards.Add(int64(n)) },
+		PoolTask: func(busy time.Duration) { poolTasks.Add(1) },
+	})
+
+	got := Map(4, 1000, func(i int) int { return i * i })
+	for i := range got {
+		if got[i] != baseline[i] {
+			t.Fatalf("hook changed results at %d: %d != %d", i, got[i], baseline[i])
+		}
+	}
+	if calls.Load() == 0 || items.Load() != 1000 {
+		t.Fatalf("ForEach hook saw calls=%d items=%d, want 1+ calls over 1000 items",
+			calls.Load(), items.Load())
+	}
+	if busyNS.Load() <= 0 {
+		t.Fatal("ForEach hook saw zero busy time")
+	}
+
+	// Sequential path reports too.
+	items.Store(0)
+	ForEach(1, 64, func(i int) {})
+	if items.Load() != 64 {
+		t.Fatalf("sequential ForEach reported %d items, want 64", items.Load())
+	}
+
+	sum := SumShards(4, 10000, func(lo, hi int) float64 { return float64(hi - lo) })
+	if sum != 10000 {
+		t.Fatalf("SumShards under hook = %v, want 10000", sum)
+	}
+	if got, want := shards.Load(), int64(NumShards(10000)); got != want {
+		t.Fatalf("Shards hook saw %d, want %d", got, want)
+	}
+
+	p := NewPool(2)
+	for i := 0; i < 5; i++ {
+		p.Go(func() {})
+	}
+	p.Wait()
+	if poolTasks.Load() != 5 {
+		t.Fatalf("PoolTask hook saw %d tasks, want 5", poolTasks.Load())
+	}
+}
+
+// TestHookNilFastPath pins that clearing the hook restores the
+// uninstrumented path (no callbacks fire after SetHook(nil)).
+func TestHookNilFastPath(t *testing.T) {
+	var calls atomic.Int64
+	SetHook(&Hook{ForEach: func(int, int, time.Duration) { calls.Add(1) }})
+	ForEach(2, 10, func(i int) {})
+	SetHook(nil)
+	before := calls.Load()
+	ForEach(2, 10, func(i int) {})
+	if calls.Load() != before {
+		t.Fatal("hook fired after SetHook(nil)")
+	}
+	if before == 0 {
+		t.Fatal("hook never fired while installed")
 	}
 }

@@ -92,7 +92,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Assuming x and y hold values that are not the result of invalid operations, the assertion never fails.",
 			Snippet: "double x, y;\nassert(x + y == y + x);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				rng := rand.New(rand.NewSource(101))
 				for i := 0; i < 50000; i++ {
 					a, b := sampleNonNaN(rng), sampleNonNaN(rng)
@@ -113,7 +113,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Assuming x, y, and z hold values that are not the result of invalid operations, the assertion never fails.",
 			Snippet: "double x, y, z;\nassert((x + y) + z == x + (y + z));",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				one := fb(1)
 				tiny := fb(math.Ldexp(1, -53))
 				l := f64.Add(&e, f64.Add(&e, one, tiny), tiny)
@@ -132,7 +132,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Assuming x, y, and z hold values that are not the result of invalid operations, the assertion never fails.",
 			Snippet: "double x, y, z;\nassert(x*(y + z) == x*y + x*z);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				x, y, z := fb(0.1), fb(0.2), fb(0.3)
 				l := f64.Mul(&e, x, f64.Add(&e, y, z))
 				r := f64.Add(&e, f64.Mul(&e, x, y), f64.Mul(&e, x, z))
@@ -161,7 +161,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Assuming x and y hold values that are not the result of invalid operations, the assertion never fails.",
 			Snippet: "double x, y;\nassert((x + y) - x == y);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				x, y := fb(1e16), fb(1)
 				got := f64.Sub(&e, f64.Add(&e, x, y), x)
 				if got != y {
@@ -177,7 +177,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Whatever value x holds, the assertion never fails.",
 			Snippet: "double x;\nassert(x == x);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				n := f64.QNaN()
 				if !f64.Eq(&e, n, n) {
 					return OracleResult{false,
@@ -192,7 +192,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "It is possible for x and y to both hold zero values and yet the assertion fails.",
 			Snippet: "double x = /* a zero */, y = /* a zero */;\nassert(x == y);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				zeros := []uint64{f64.Zero(false), f64.Zero(true)}
 				for _, a := range zeros {
 					for _, b := range zeros {
@@ -212,7 +212,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "Assuming x holds a value that is not the result of an invalid operation, the assertion never fails.",
 			Snippet: "double x;\nassert(x*x >= 0.0);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				rng := rand.New(rand.NewSource(107))
 				for i := 0; i < 50000; i++ {
 					x := sampleNonNaN(rng)
@@ -244,7 +244,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "When a computation on large positive values exceeds the largest representable value, the result wraps around to the negative range, as in integer arithmetic.",
 			Snippet: "double x = DBL_MAX;\nx = x * 2.0;\n/* x is now negative */",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				r := f64.Mul(&e, f64.MaxFinite(false), fb(2))
 				if f64.SignBit(r) {
 					return OracleResult{true, "overflow wrapped to a negative value"}
@@ -260,7 +260,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "After this statement executes, x holds a value that is not the result of an invalid operation (i.e., arithmetic on it behaves like arithmetic on an ordinary value).",
 			Snippet: "double x = 1.0/0.0;",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				r := f64.Div(&e, fb(1), fb(0))
 				if f64.IsNaN(r) {
 					return OracleResult{false, "1.0/0.0 produced a NaN"}
@@ -276,7 +276,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "After this statement executes, x holds a value that is not the result of an invalid operation.",
 			Snippet: "double x = 0.0/0.0;",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				r := f64.Div(&e, fb(0), fb(0))
 				if !f64.IsNaN(r) {
 					return OracleResult{true, fmt.Sprintf("0.0/0.0 = %s", f64.String(r))}
@@ -291,7 +291,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "It is possible for x to hold a value such that the assertion fails.",
 			Snippet: "double x;\nassert(x + 1.0 != x);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				inf := f64.Inf(false)
 				if f64.Eq(&e, f64.Add(&e, inf, fb(1)), inf) {
 					big := fb(1e30)
@@ -308,7 +308,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "It is possible for x to hold a value such that the assertion fails.",
 			Snippet: "double x;\nassert(x - 1.0 != x);",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				inf := f64.Inf(false)
 				if f64.Eq(&e, f64.Sub(&e, inf, fb(1)), inf) {
 					return OracleResult{true,
@@ -326,7 +326,7 @@ func CoreQuestions() []CoreQuestion {
 				// In the subnormal range, the ulp stays fixed while the
 				// value shrinks, so relative precision degrades down to
 				// a single significant bit at the minimum subnormal.
-				var e ieee754.Env
+				e := oracleEnv()
 				// 1e-310 is subnormal in binary64; adding a unit in the
 				// last place is a far larger relative change than for a
 				// normal number.
@@ -352,7 +352,7 @@ func CoreQuestions() []CoreQuestion {
 			Prompt:  "The result of an arithmetic operation can have less precision (fewer correct significant digits) than either of its operands.",
 			Snippet: "double z = x + y; /* z may be less precise than x or y */",
 			Oracle: func() OracleResult {
-				var e ieee754.Env
+				e := oracleEnv()
 				r := f64.Add(&e, fb(0.1), fb(0.2))
 				if e.LastRaised.Has(ieee754.FlagInexact) {
 					return OracleResult{true,
@@ -372,7 +372,7 @@ func CoreQuestions() []CoreQuestion {
 				// flags; execution continues with the substituted
 				// result. Demonstrate: run an invalid op and observe
 				// that control flow proceeds and only a flag records it.
-				var e ieee754.Env
+				e := oracleEnv()
 				r := f64.Div(&e, fb(0), fb(0))
 				executedPast := true // we are still running
 				if executedPast && e.Flags.Has(ieee754.FlagInvalid) && f64.IsNaN(r) {

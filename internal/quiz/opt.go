@@ -58,7 +58,7 @@ func OptQuestions() []OptQuestion {
 				"and it was included in the original (1985) floating point standard.",
 			Oracle: func() OracleResult {
 				// Value claim: fused differs from separate on a witness.
-				var e ieee754.Env
+				e := oracleEnv()
 				a := f.FromFloat64(&e, 1+0x1p-30)
 				c := f.FromFloat64(&e, -1)
 				fused := f.FMA(&e, a, a, c)

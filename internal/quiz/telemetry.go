@@ -1,0 +1,47 @@
+package quiz
+
+import (
+	"sync/atomic"
+
+	"fpstudy/internal/ieee754"
+)
+
+// oracleObserver holds the process-wide observer installed on every
+// environment the quiz oracles evaluate under. An atomic pointer keeps
+// oracleEnv race-free against a concurrent SetOracleObserver (the
+// oracles themselves run once, under the answer-key sync.Once, but the
+// installer may run from a different goroutine at startup).
+var oracleObserver atomic.Pointer[func(ieee754.OpEvent)]
+
+// SetOracleObserver installs fn as the observer for all subsequent quiz
+// oracle evaluations; nil uninstalls. The intended fn is the aggregate
+// exception bridge (monitor.CountingObserver feeding the telemetry
+// registry), so a run can report how many Overflow / Underflow /
+// Precision / Invalid / Denorm events its oracle evaluations produced.
+//
+// Observation only: an observer sees each completed operation and its
+// raised flags but cannot change results, so the derived answer key —
+// and everything downstream of it — is identical with or without an
+// observer installed. fn must be safe for concurrent use; the counting
+// bridge is (atomic increments only).
+//
+// Note the oracles cache their results (the answer key is derived once
+// per process), so exception counts from this path appear once, at the
+// first scoring or calibration, not per respondent.
+func SetOracleObserver(fn func(ieee754.OpEvent)) {
+	if fn == nil {
+		oracleObserver.Store(nil)
+		return
+	}
+	oracleObserver.Store(&fn)
+}
+
+// oracleEnv returns the default IEEE environment the quiz oracles
+// evaluate under, with the process observer (if any) attached.
+func oracleEnv() ieee754.Env {
+	var e ieee754.Env
+	if p := oracleObserver.Load(); p != nil {
+		e.Observer = *p
+	}
+	return e
+}

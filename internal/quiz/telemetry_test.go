@@ -1,0 +1,46 @@
+package quiz
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fpstudy/internal/ieee754"
+)
+
+// TestOracleObserver pins the FP-exception bridge contract: an
+// installed observer sees the softfloat operations an oracle runs, and
+// the oracle's verdict is identical with and without it.
+func TestOracleObserver(t *testing.T) {
+	q := CoreQuestions()[0] // commutativity: 100k observed additions
+	before := q.Oracle()
+
+	var ops, inexact atomic.Int64
+	SetOracleObserver(func(ev ieee754.OpEvent) {
+		ops.Add(1)
+		if ev.Raised.Has(ieee754.FlagInexact) {
+			inexact.Add(1)
+		}
+	})
+	defer SetOracleObserver(nil)
+
+	during := q.Oracle()
+	if during.Holds != before.Holds || during.Witness != before.Witness {
+		t.Errorf("observer changed oracle outcome: %+v vs %+v", during, before)
+	}
+	if ops.Load() == 0 {
+		t.Fatal("observer saw no operations during oracle evaluation")
+	}
+	if inexact.Load() == 0 {
+		t.Error("commutativity sampling raised no inexact events (implausible)")
+	}
+
+	SetOracleObserver(nil)
+	n := ops.Load()
+	after := q.Oracle()
+	if after.Holds != before.Holds {
+		t.Error("uninstalling observer changed oracle outcome")
+	}
+	if ops.Load() != n {
+		t.Error("observer still firing after SetOracleObserver(nil)")
+	}
+}

@@ -28,11 +28,31 @@ import (
 	"math"
 	"math/rand"
 
-	"fpstudy/internal/parallel"
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/parallel"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/survey"
+	"fpstudy/internal/telemetry"
 )
+
+// Instrumentation carries the optional telemetry handles for one
+// generation run. The zero value disables all instrumentation; every
+// field is nil-safe, so generation code uses the handles
+// unconditionally. Instrumentation observes only — it never draws
+// randomness or moves shard boundaries, so the generated dataset is
+// bit-identical with or without it (pinned by
+// internal/core.TestGoldenParallelDeterminism).
+type Instrumentation struct {
+	// Span is the parent span for this generation; stage children
+	// (draw-profiles, calibrate, sample-responses) are attached to it.
+	Span *telemetry.Span
+	// Progress is advanced once per pipeline item: once when a
+	// respondent's profile is drawn and once when its responses are
+	// sampled, so a full main-cohort generation advances it by 2n (the
+	// student cohort, which has no profile stage, advances it by n).
+	// fpgen -progress streams this counter to stderr.
+	Progress *telemetry.Counter
+}
 
 // RNG stream identifiers. Each respondent index owns one independent
 // stream per phase, which is what makes generation order-independent:
@@ -40,8 +60,8 @@ import (
 // before it.
 const (
 	streamProfile  uint64 = 10 // background + ability noise
-	streamResponse uint64 = 2 // quiz answers + suspicion
-	streamStudent  uint64 = 3 // student suspicion answers
+	streamResponse uint64 = 2  // quiz answers + suspicion
+	streamStudent  uint64 = 3  // student suspicion answers
 )
 
 // Profile is one synthetic participant's background.
@@ -356,10 +376,24 @@ func GenerateMainWith(seed int64, n int, override func(*Profile)) *Population {
 // GenerateMainWithWorkers is GenerateMainWith with an explicit worker
 // count.
 func GenerateMainWithWorkers(seed int64, n, workers int, override func(*Profile)) *Population {
+	return GenerateMainInstrumented(seed, n, workers, override, Instrumentation{})
+}
+
+// GenerateMainInstrumented is the fully parameterized main-cohort
+// generator: explicit worker count, optional background override, and
+// optional telemetry. The instrumentation records the stage span tree
+// (draw-profiles → calibrate → sample-responses) and streams per-item
+// progress; it never affects the generated data.
+func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile), inst Instrumentation) *Population {
 	workers = parallel.Workers(workers, n)
+	sp := inst.Span.StartChild("draw-profiles")
 	profiles := parallel.Map(workers, n, func(i int) Profile {
-		return drawProfileWith(parallel.RNG(seed, streamProfile, int64(i)), override)
+		p := drawProfileWith(parallel.RNG(seed, streamProfile, int64(i)), override)
+		inst.Progress.Inc()
+		return p
 	})
+	sp.AddItems(int64(n))
+	sp.End()
 	calib := profiles
 	if override != nil {
 		// Calibrate against the untreated world so the intervention
@@ -371,13 +405,13 @@ func GenerateMainWithWorkers(seed int64, n, workers int, override func(*Profile)
 			return drawProfile(parallel.RNG(seed, streamProfile, int64(i)))
 		})
 	}
-	return generateFromProfiles(workers, seed, profiles, calib)
+	return generateFromProfiles(workers, seed, profiles, calib, inst)
 }
 
 // generateFromProfiles calibrates the question models against the
 // calib cohort's abilities and then samples responses for profiles,
 // one independent RNG stream per respondent.
-func generateFromProfiles(workers int, seed int64, profiles, calib []Profile) *Population {
+func generateFromProfiles(workers int, seed int64, profiles, calib []Profile, inst Instrumentation) *Population {
 	// Build question models with calibration targets from Figure 14/15.
 	// The oracle-backed answer key is computed once (cached in quiz) and
 	// shared read-only by every worker.
@@ -417,6 +451,7 @@ func generateFromProfiles(workers int, seed int64, profiles, calib []Profile) *P
 	}
 	// Calibrate the questions concurrently; each bisection is
 	// independent and deterministic.
+	csp := inst.Span.StartChild("calibrate")
 	models := parallel.Map(workers, len(specs), func(i int) questionModel {
 		s := specs[i]
 		abil := coreAbil
@@ -427,7 +462,10 @@ func generateFromProfiles(workers int, seed int64, profiles, calib []Profile) *P
 		qm.offset = calibrate(1, abil, qm, s.target)
 		return qm
 	})
+	csp.AddItems(int64(len(specs)))
+	csp.End()
 
+	ssp := inst.Span.StartChild("sample-responses")
 	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0"}
 	ds.Responses = parallel.Map(workers, len(profiles), func(i int) survey.Response {
 		rng := parallel.RNG(seed, streamResponse, int64(i))
@@ -445,8 +483,11 @@ func generateFromProfiles(workers int, seed int64, profiles, calib []Profile) *P
 			}
 		}
 		fillSuspicion(&r, rng, paperdata.Figure22Main)
+		inst.Progress.Inc()
 		return r
 	})
+	ssp.AddItems(int64(len(profiles)))
+	ssp.End()
 	ds.Anonymize()
 	return &Population{Profiles: profiles, Dataset: ds}
 }
@@ -552,13 +593,24 @@ func GenerateStudents(seed int64, n int) *survey.Dataset {
 // GenerateStudentsWorkers is GenerateStudents with an explicit worker
 // count (workers <= 0 means GOMAXPROCS).
 func GenerateStudentsWorkers(seed int64, n, workers int) *survey.Dataset {
+	return GenerateStudentsInstrumented(seed, n, workers, Instrumentation{})
+}
+
+// GenerateStudentsInstrumented is GenerateStudentsWorkers with
+// telemetry handles (see Instrumentation; the student cohort has a
+// single sample-responses stage).
+func GenerateStudentsInstrumented(seed int64, n, workers int, inst Instrumentation) *survey.Dataset {
+	sp := inst.Span.StartChild("sample-responses")
 	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0-student"}
 	ds.Responses = parallel.Map(workers, n, func(i int) survey.Response {
 		rng := parallel.RNG(seed, streamStudent, int64(i))
 		r := survey.Response{Answers: map[string]survey.Answer{}}
 		fillSuspicion(&r, rng, paperdata.Figure22Student)
+		inst.Progress.Inc()
 		return r
 	})
+	sp.AddItems(int64(n))
+	sp.End()
 	ds.Anonymize()
 	return ds
 }

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is a live-introspection HTTP endpoint: /debug/vars (expvar,
+// including every registry published with PublishExpvar) and
+// /debug/pprof/* (CPU/heap/goroutine profiling). It exists so a long
+// -n 1000000 run is not a black box: attach with a browser, curl, or
+// `go tool pprof` while the pipeline is executing.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the introspection server on addr (e.g. "127.0.0.1:6060"
+// or ":0" for an ephemeral port) and returns immediately; the server
+// runs until Close. The handlers are mounted on a private mux, not
+// http.DefaultServeMux, so importing this package never changes the
+// default mux of an embedding program.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43231"), useful when the
+// caller asked for an ephemeral port.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the port. No-op on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,124 @@
+//go:build ignore
+
+// Telemetry smoke test: builds fpgen, starts it with -telemetry on an
+// ephemeral port and a cohort large enough to keep it running for a
+// few seconds, then polls /debug/vars until the "fpstudy" expvar shows
+// live pipeline metrics. Exercises the real HTTP surface end to end —
+// flag parsing, listener startup, expvar publication, metric wiring.
+//
+// Run via `make telemetry-smoke` (or `go run scripts/telemetry_smoke.go`
+// from the repo root). Exits 0 and prints PASS on success.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "telemetry-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fpstudy-telemetry-smoke-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// Build a real binary rather than `go run`: killing `go run` can
+	// orphan the child process, and we need to terminate fpgen cleanly
+	// once the probe has seen what it came for.
+	bin := filepath.Join(tmp, "fpgen")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fpgen")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fail("building fpgen: %v", err)
+	}
+
+	// A cohort this size runs for several seconds (~10-15k
+	// respondents/sec serial), giving the probe a live server to poll.
+	gen := exec.Command(bin,
+		"-n", "300000", "-workers", "1",
+		"-telemetry", "127.0.0.1:0",
+		"-o", filepath.Join(tmp, "out.json"))
+	stderr, err := gen.StderrPipe()
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := gen.Start(); err != nil {
+		fail("starting fpgen: %v", err)
+	}
+	defer func() {
+		gen.Process.Kill()
+		gen.Wait()
+	}()
+
+	// fpgen announces the bound address on stderr:
+	//   fpgen: telemetry on http://127.0.0.1:PORT/debug/vars ...
+	addrRE := regexp.MustCompile(`telemetry on http://([0-9.:]+)/debug/vars`)
+	var addr string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if m := addrRE.FindStringSubmatch(sc.Text()); m != nil {
+			addr = m[1]
+			break
+		}
+	}
+	if addr == "" {
+		fail("fpgen never announced a telemetry address")
+	}
+	go func() { // keep draining so fpgen never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	// Poll /debug/vars until the fpstudy var carries live pipeline
+	// metrics (the respondents counter advancing proves the full
+	// registry -> expvar -> HTTP path).
+	url := "http://" + addr + "/debug/vars"
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		var vars struct {
+			Fpstudy struct {
+				Metrics struct {
+					Counters map[string]int64 `json:"counters"`
+				} `json:"metrics"`
+				Spans []struct {
+					Name string `json:"name"`
+				} `json:"spans"`
+			} `json:"fpstudy"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil {
+			fail("decoding %s: %v", url, err)
+		}
+		if done := vars.Fpstudy.Metrics.Counters["pipeline.respondents"]; done > 0 {
+			var spans []string
+			for _, s := range vars.Fpstudy.Spans {
+				spans = append(spans, s.Name)
+			}
+			fmt.Printf("telemetry-smoke: PASS: %s serves fpstudy metrics "+
+				"(pipeline.respondents=%d, spans=[%s])\n",
+				url, done, strings.Join(spans, " "))
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fail("%s never served a live pipeline.respondents counter", url)
+}
