@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-pipeline telemetry-smoke
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke
 
 check:
 	sh scripts/check.sh
@@ -16,6 +16,16 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Memory gate: fails if the per-respondent sampling or grading inner
+# loops allocate (the Test*ZeroAlloc tests assert 0 allocs/op via
+# testing.AllocsPerRun), then prints the allocation profile of the hot
+# benchmarks. CHECK_BENCH_MEM=1 make check runs this as part of the
+# full gate.
+bench-mem:
+	$(GO) test -run 'ZeroAlloc' -v ./internal/respondent/ ./internal/quiz/
+	$(GO) test -run - -bench 'BenchmarkSampleRespondent|BenchmarkScoreColumns' \
+		-benchmem ./internal/respondent/ ./internal/quiz/
 
 # End-to-end pipeline timing; writes BENCH_pipeline.json.
 bench-pipeline:

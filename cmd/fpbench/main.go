@@ -33,7 +33,14 @@ import (
 //	2 — adds "schema_version" itself and per-run "spans": the stage
 //	  span breakdown (generate-main / generate-students / calibrate /
 //	  grade, with per-stage seconds, items, items/sec) of the best rep.
-const schemaVersion = 2
+//	3 — "speedup_vs_serial" is omitted (instead of a meaningless 0)
+//	  when no workers=1 baseline was timed for the same n; adds per-run
+//	  memory statistics from runtime.ReadMemStats deltas over the best
+//	  rep: "allocs_per_respondent", "total_alloc_mb" (MiB),
+//	  "gc_pause_total_ms", "gc_count". The pipeline is timed
+//	  ColumnarOnly (columnar generation + grading, no row-view
+//	  materialization) — the configuration large cohorts run.
+const schemaVersion = 3
 
 // host identifies the benchmarking machine.
 type host struct {
@@ -52,8 +59,15 @@ type run struct {
 	BestSeconds       float64 `json:"best_seconds"`
 	RespondentsPerSec float64 `json:"respondents_per_sec"`
 	// SpeedupVsSerial compares against the workers=1 run of the same n
-	// (1.0 when this is that run; 0 when no workers=1 run was timed).
-	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// (1.0 when this is that run). It is omitted entirely when no
+	// workers=1 baseline was timed for this n — a missing baseline is
+	// not a measurement of 0.
+	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
+	// Memory statistics: runtime.ReadMemStats deltas over the best rep.
+	AllocsPerRespondent float64 `json:"allocs_per_respondent"`
+	TotalAllocMB        float64 `json:"total_alloc_mb"`
+	GCPauseTotalMS      float64 `json:"gc_pause_total_ms"`
+	GCCount             uint32  `json:"gc_count"`
 	// Spans is the stage breakdown of the best (fastest) rep, so slow
 	// stages can be attributed without rerunning under a profiler.
 	Spans []telemetry.SpanSnapshot `json:"spans"`
@@ -67,6 +81,14 @@ type report struct {
 	Seed          int64  `json:"seed"`
 	Host          host   `json:"host"`
 	Runs          []run  `json:"runs"`
+}
+
+// memDelta captures the runtime.MemStats movement across one rep.
+type memDelta struct {
+	allocs     uint64
+	allocBytes uint64
+	gcPause    uint64
+	gcCount    uint32
 }
 
 func parseInts(s, flagName string) []int {
@@ -139,12 +161,24 @@ func main() {
 		for _, w := range workerCounts {
 			best := 0.0
 			var bestSpans []telemetry.SpanSnapshot
+			var bestMem memDelta
 			for r := 0; r < *reps; r++ {
 				rec := telemetry.NewRecorder(reg)
-				study := core.Study{Seed: *seed, NMain: n, NStudent: 52, Workers: w, Telemetry: rec}
+				// ColumnarOnly: the benchmark times the columnar pipeline
+				// (generation into columns + columnar grading), which is
+				// what large cohorts run; row-view materialization is a
+				// separate, optional cost.
+				study := core.Study{Seed: *seed, NMain: n, NStudent: 52, Workers: w,
+					Telemetry: rec, ColumnarOnly: true}
+				// A forced GC before sampling makes the per-rep memory
+				// deltas comparable (no carry-over garbage).
+				runtime.GC()
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
 				start := time.Now()
 				res := study.Run()
 				sec := time.Since(start).Seconds()
+				runtime.ReadMemStats(&after)
 				if len(res.CoreTallies) != n {
 					fmt.Fprintf(os.Stderr, "fpbench: run produced %d tallies, want %d\n", len(res.CoreTallies), n)
 					os.Exit(1)
@@ -152,24 +186,35 @@ func main() {
 				if best == 0 || sec < best {
 					best = sec
 					bestSpans = rec.Spans()
+					bestMem = memDelta{
+						allocs:     after.Mallocs - before.Mallocs,
+						allocBytes: after.TotalAlloc - before.TotalAlloc,
+						gcPause:    after.PauseTotalNs - before.PauseTotalNs,
+						gcCount:    after.NumGC - before.NumGC,
+					}
 				}
 			}
 			if w == 1 {
 				serial = best
 			}
-			speedup := 0.0
+			var speedup *float64
 			if serial > 0 {
-				speedup = serial / best
+				v := serial / best
+				speedup = &v
 			}
 			rep.Runs = append(rep.Runs, run{
 				N: n, Workers: w, Reps: *reps,
-				BestSeconds:       best,
-				RespondentsPerSec: float64(n) / best,
-				SpeedupVsSerial:   speedup,
-				Spans:             bestSpans,
+				BestSeconds:         best,
+				RespondentsPerSec:   float64(n) / best,
+				SpeedupVsSerial:     speedup,
+				AllocsPerRespondent: float64(bestMem.allocs) / float64(n),
+				TotalAllocMB:        float64(bestMem.allocBytes) / (1 << 20),
+				GCPauseTotalMS:      float64(bestMem.gcPause) / 1e6,
+				GCCount:             bestMem.gcCount,
+				Spans:               bestSpans,
 			})
-			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec)\n",
-				n, w, best, float64(n)/best)
+			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec, %.1f allocs/respondent, %d GCs)\n",
+				n, w, best, float64(n)/best, float64(bestMem.allocs)/float64(n), bestMem.gcCount)
 		}
 	}
 

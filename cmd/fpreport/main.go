@@ -55,7 +55,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fpreport: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
-	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers, Telemetry: rec}
+	// ColumnarOnly: every figure tallies straight off the columns, so a
+	// figures-only invocation never builds per-respondent maps. The
+	// analyses that do need row views (claims, calibration, item
+	// analysis) materialize them lazily on first use.
+	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers,
+		Telemetry: rec, ColumnarOnly: true}
 	results := study.Run()
 	if *manifest != "" {
 		m := rec.Manifest("fpreport", *seed, *n, *workers)

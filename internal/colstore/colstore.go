@@ -1,0 +1,389 @@
+package colstore
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"fpstudy/internal/survey"
+)
+
+// strTable is an arena-style interning table for the rare string
+// payloads a column cannot encode as a code: free-text "other" answers
+// and verbatim (non-canonical) multi-choice lists. Identical strings
+// share one entry. Not safe for concurrent mutation; the hot generation
+// path never touches it.
+type strTable struct {
+	strs []string
+	idx  map[string]int32
+}
+
+func (t *strTable) intern(s string) int32 {
+	if t.idx == nil {
+		t.idx = map[string]int32{}
+	}
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int32(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.idx[s] = i
+	return i
+}
+
+// extra is the spill record for one (column, respondent) cell: string
+// table references. For multi-choice cells, verbatim means refs hold
+// the entire choices list in original order (the bitset is ignored);
+// otherwise refs are free-text additions emitted after the bitset
+// options.
+type extra struct {
+	refs     []int32
+	verbatim bool
+}
+
+// Dataset is a columnar cohort: one compact code column per question,
+// plus a string arena for the payloads codes cannot carry.
+type Dataset struct {
+	Schema  *Schema
+	Version string
+
+	n      int
+	tokens []string // nil => auto tokens "r%04d" (i+1), the Anonymize scheme
+
+	u8     [][]uint8       // truefalse + likert columns; nil for other kinds
+	code   [][]int32       // single choice
+	bits   [][]uint64      // multi choice
+	extras []map[int]extra // per column, lazily allocated; sequential only
+	strtab strTable
+
+	// nilResponses preserves the row form's nil-vs-empty Responses
+	// slice distinction (they serialize differently).
+	nilResponses bool
+}
+
+// NewDataset allocates an n-respondent dataset over the schema with
+// every answer unanswered and auto-generated anonymous tokens.
+func (s *Schema) NewDataset(version string, n int) *Dataset {
+	d := &Dataset{Schema: s, Version: version, n: n}
+	d.u8 = make([][]uint8, len(s.cols))
+	d.code = make([][]int32, len(s.cols))
+	d.bits = make([][]uint64, len(s.cols))
+	d.extras = make([]map[int]extra, len(s.cols))
+	for ci := range s.cols {
+		switch s.cols[ci].Kind {
+		case survey.TrueFalse, survey.Likert:
+			d.u8[ci] = make([]uint8, n)
+		case survey.SingleChoice:
+			d.code[ci] = make([]int32, n)
+		case survey.MultiChoice:
+			d.bits[ci] = make([]uint64, n)
+		}
+	}
+	return d
+}
+
+// Len returns the number of respondents.
+func (d *Dataset) Len() int { return d.n }
+
+// InternedStrings returns the number of distinct strings in the arena
+// (free-text answers and verbatim lists; zero for generated cohorts).
+func (d *Dataset) InternedStrings() int { return len(d.strtab.strs) }
+
+// Token returns respondent i's anonymous token.
+func (d *Dataset) Token(i int) string {
+	if d.tokens != nil {
+		return d.tokens[i]
+	}
+	return string(appendToken(nil, i))
+}
+
+// appendToken appends the auto token for respondent i ("r%04d" of i+1,
+// the survey.Anonymize scheme) to buf.
+func appendToken(buf []byte, i int) []byte {
+	buf = append(buf, 'r')
+	v := i + 1
+	digits := 1
+	for p := 10; v >= p && p <= 1000; p *= 10 {
+		digits++
+	}
+	for ; digits < 4; digits++ {
+		buf = append(buf, '0')
+	}
+	return strconv.AppendInt(buf, int64(v), 10)
+}
+
+// --- Hot-path writers. All are index-addressed: writing respondent i
+// touches only element i, so distinct indices may be written
+// concurrently (the shard-splittability contract).
+
+// SetTF stores a truefalse code (TFUnanswered/TFTrue/TFFalse/TFDontKnow).
+func (d *Dataset) SetTF(ci, i int, code uint8) { d.u8[ci][i] = code }
+
+// SetLikert stores a 1-based Likert level (0 = unanswered).
+func (d *Dataset) SetLikert(ci, i, level int) { d.u8[ci][i] = uint8(level) }
+
+// SetSingle stores a 1-based option code (0 = unanswered).
+func (d *Dataset) SetSingle(ci, i int, code int32) { d.code[ci][i] = code }
+
+// SetMultiMask stores a multi-choice bitset (bit j = option j chosen).
+func (d *Dataset) SetMultiMask(ci, i int, mask uint64) { d.bits[ci][i] = mask }
+
+// --- Readers.
+
+// TF returns the truefalse code of (column, respondent).
+func (d *Dataset) TF(ci, i int) uint8 { return d.u8[ci][i] }
+
+// LikertLevel returns the 1-based level (0 = unanswered).
+func (d *Dataset) LikertLevel(ci, i int) int { return int(d.u8[ci][i]) }
+
+// SingleCode returns the single-choice code: 0 unanswered, positive =
+// option index+1, negative = free-text reference.
+func (d *Dataset) SingleCode(ci, i int) int32 { return d.code[ci][i] }
+
+// MultiMask returns the multi-choice bitset.
+func (d *Dataset) MultiMask(ci, i int) uint64 { return d.bits[ci][i] }
+
+// SingleLabel resolves a single-choice answer to its label ("" when
+// unanswered). Free-text codes resolve through the string arena.
+func (d *Dataset) SingleLabel(ci, i int) string {
+	c := d.code[ci][i]
+	switch {
+	case c == 0:
+		return ""
+	case c > 0:
+		return d.Schema.cols[ci].Options[c-1]
+	default:
+		return d.strtab.strs[-c-1]
+	}
+}
+
+// cellExtra returns the spill record for (column, respondent), if any.
+func (d *Dataset) cellExtra(ci, i int) (extra, bool) {
+	m := d.extras[ci]
+	if m == nil {
+		return extra{}, false
+	}
+	e, ok := m[i]
+	return e, ok
+}
+
+// MultiUnanswered reports whether a multi-choice cell holds no choices.
+func (d *Dataset) MultiUnanswered(ci, i int) bool {
+	if d.bits[ci][i] != 0 {
+		return false
+	}
+	_, ok := d.cellExtra(ci, i)
+	return !ok
+}
+
+// MultiChoices materializes the choice list of a multi-choice cell in
+// canonical order (nil when unanswered). The slice is freshly
+// allocated; hot paths should use MultiMask/ForEachMultiChoice instead.
+func (d *Dataset) MultiChoices(ci, i int) []string {
+	var out []string
+	d.ForEachMultiChoice(ci, i, func(label string) {
+		out = append(out, label)
+	})
+	return out
+}
+
+// ForEachMultiChoice calls fn for every selected choice of a
+// multi-choice cell, in stored order, without allocating.
+func (d *Dataset) ForEachMultiChoice(ci, i int, fn func(label string)) {
+	e, hasExtra := d.cellExtra(ci, i)
+	if hasExtra && e.verbatim {
+		for _, ref := range e.refs {
+			fn(d.strtab.strs[ref])
+		}
+		return
+	}
+	c := &d.Schema.cols[ci]
+	mask := d.bits[ci][i]
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		fn(c.Options[j])
+		mask &^= 1 << uint(j)
+	}
+	if hasExtra {
+		for _, ref := range e.refs {
+			fn(d.strtab.strs[ref])
+		}
+	}
+}
+
+// --- Sequential (conversion-path) writers. These may intern strings
+// and allocate spill records, so they must not run concurrently.
+
+// setSingleOther stores a free-text single-choice answer.
+func (d *Dataset) setSingleOther(ci, i int, text string) {
+	d.code[ci][i] = -(d.strtab.intern(text) + 1)
+}
+
+// setMultiChoices stores an arbitrary choices list. Lists that are the
+// canonical order (declared options in option order, then free text)
+// become bitset + refs; anything else is kept verbatim so ToSurvey
+// reproduces it exactly.
+func (d *Dataset) setMultiChoices(ci, i int, choices []string) {
+	c := &d.Schema.cols[ci]
+	var mask uint64
+	var others []string
+	canonical := true
+	lastOpt := int32(0)
+	for _, ch := range choices {
+		if code, ok := c.optCode[ch]; ok {
+			if len(others) > 0 || code <= lastOpt {
+				canonical = false
+				break
+			}
+			lastOpt = code
+			mask |= 1 << uint(code-1)
+		} else {
+			others = append(others, ch)
+		}
+	}
+	if !canonical {
+		refs := make([]int32, len(choices))
+		for k, ch := range choices {
+			refs[k] = d.strtab.intern(ch)
+		}
+		d.putExtra(ci, i, extra{refs: refs, verbatim: true})
+		d.bits[ci][i] = 0
+		return
+	}
+	d.bits[ci][i] = mask
+	if len(others) > 0 {
+		refs := make([]int32, len(others))
+		for k, ch := range others {
+			refs[k] = d.strtab.intern(ch)
+		}
+		d.putExtra(ci, i, extra{refs: refs})
+	}
+}
+
+func (d *Dataset) putExtra(ci, i int, e extra) {
+	if d.extras[ci] == nil {
+		d.extras[ci] = map[int]extra{}
+	}
+	d.extras[ci][i] = e
+}
+
+// setAnswer stores one row-form answer into its column. Empty answers
+// normalize to absent. It rejects answers whose shape does not fit the
+// column kind (those would not survive a round trip).
+func (d *Dataset) setAnswer(ci, i int, a survey.Answer) error {
+	if a.IsUnanswered() {
+		return nil
+	}
+	c := &d.Schema.cols[ci]
+	shapeErr := func() error {
+		return fmt.Errorf("colstore: question %q (%s): answer %+v does not fit the column kind",
+			c.ID, c.Kind, a)
+	}
+	switch c.Kind {
+	case survey.TrueFalse:
+		if len(a.Choices) != 0 || a.Level != 0 {
+			return shapeErr()
+		}
+		switch a.Choice {
+		case survey.AnswerTrue:
+			d.u8[ci][i] = TFTrue
+		case survey.AnswerFalse:
+			d.u8[ci][i] = TFFalse
+		case survey.AnswerDontKnow:
+			d.u8[ci][i] = TFDontKnow
+		default:
+			return fmt.Errorf("colstore: question %q: bad truefalse answer %q", c.ID, a.Choice)
+		}
+	case survey.Likert:
+		if len(a.Choices) != 0 || a.Choice != "" {
+			return shapeErr()
+		}
+		if a.Level < 1 || a.Level > c.Scale {
+			return fmt.Errorf("colstore: question %q: level %d out of 1..%d", c.ID, a.Level, c.Scale)
+		}
+		d.u8[ci][i] = uint8(a.Level)
+	case survey.SingleChoice:
+		if len(a.Choices) != 0 || a.Level != 0 {
+			return shapeErr()
+		}
+		if code, ok := c.optCode[a.Choice]; ok {
+			d.code[ci][i] = code
+		} else {
+			d.setSingleOther(ci, i, a.Choice)
+		}
+	case survey.MultiChoice:
+		if a.Choice != "" || a.Level != 0 {
+			return shapeErr()
+		}
+		d.setMultiChoices(ci, i, a.Choices)
+	}
+	return nil
+}
+
+// FromSurvey converts a row-form dataset into columns. Responses must
+// answer only questions in the schema; answer shapes must fit their
+// column kinds. Conversion is sequential (it may intern strings).
+func FromSurvey(s *Schema, ds *survey.Dataset) (*Dataset, error) {
+	d := s.NewDataset(ds.Version, len(ds.Responses))
+	d.nilResponses = ds.Responses == nil
+	d.tokens = make([]string, len(ds.Responses))
+	for i := range ds.Responses {
+		r := &ds.Responses[i]
+		d.tokens[i] = r.Token
+		for id, a := range r.Answers {
+			ci, ok := s.byID[id]
+			if !ok {
+				return nil, fmt.Errorf("colstore: response %d answers unknown question %q", i, id)
+			}
+			if err := d.setAnswer(ci, i, a); err != nil {
+				return nil, fmt.Errorf("colstore: response %d: %w", i, err)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Response materializes respondent i in row form.
+func (d *Dataset) Response(i int) survey.Response {
+	r := survey.Response{Token: d.Token(i), Answers: map[string]survey.Answer{}}
+	for ci := range d.Schema.cols {
+		c := &d.Schema.cols[ci]
+		switch c.Kind {
+		case survey.TrueFalse:
+			switch d.u8[ci][i] {
+			case TFTrue:
+				r.Answers[c.ID] = survey.Answer{Choice: survey.AnswerTrue}
+			case TFFalse:
+				r.Answers[c.ID] = survey.Answer{Choice: survey.AnswerFalse}
+			case TFDontKnow:
+				r.Answers[c.ID] = survey.Answer{Choice: survey.AnswerDontKnow}
+			}
+		case survey.Likert:
+			if lv := d.u8[ci][i]; lv != 0 {
+				r.Answers[c.ID] = survey.Answer{Level: int(lv)}
+			}
+		case survey.SingleChoice:
+			if d.code[ci][i] != 0 {
+				r.Answers[c.ID] = survey.Answer{Choice: d.SingleLabel(ci, i)}
+			}
+		case survey.MultiChoice:
+			if cs := d.MultiChoices(ci, i); cs != nil {
+				r.Answers[c.ID] = survey.Answer{Choices: cs}
+			}
+		}
+	}
+	return r
+}
+
+// ToSurvey materializes the whole dataset in row form, sequentially.
+// Use ToSurveyWorkers for large cohorts.
+func (d *Dataset) ToSurvey() *survey.Dataset { return d.ToSurveyWorkers(1) }
+
+// responsesInto fills out[i] = d.Response(i) for i in [lo, hi); the
+// caller shards the index space (Response is read-only on d, so
+// distinct indices are safe concurrently).
+func (d *Dataset) responsesInto(out []survey.Response, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = d.Response(i)
+	}
+}

@@ -1,0 +1,237 @@
+package colstore_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/survey"
+)
+
+// randomAnswer draws a random answer for q, exercising every storage
+// path the column kinds have: codes, free text ("other") references,
+// verbatim (shuffled) multi lists, free-text multi additions, and —
+// when allowEmpty is set — explicitly-present-but-empty answers.
+func randomAnswer(rng *rand.Rand, q survey.Question, allowEmpty bool) (survey.Answer, bool) {
+	if allowEmpty && rng.Intn(10) == 0 {
+		return survey.Answer{}, true // present but empty
+	}
+	switch q.Kind {
+	case survey.TrueFalse:
+		tf := []string{survey.AnswerTrue, survey.AnswerFalse, survey.AnswerDontKnow}
+		return survey.Answer{Choice: tf[rng.Intn(len(tf))]}, true
+	case survey.Likert:
+		return survey.Answer{Level: 1 + rng.Intn(q.Scale)}, true
+	case survey.SingleChoice:
+		if rng.Intn(8) == 0 {
+			// Free text: not in the option list, spills to the arena.
+			return survey.Answer{Choice: "write-in option &<js>"}, true
+		}
+		return survey.Answer{Choice: q.Options[rng.Intn(len(q.Options))]}, true
+	case survey.MultiChoice:
+		var choices []string
+		for _, o := range q.Options {
+			if rng.Intn(3) == 0 {
+				choices = append(choices, o)
+			}
+		}
+		switch rng.Intn(4) {
+		case 0:
+			if len(choices) > 1 {
+				// Verbatim path: a non-canonical order must round-trip
+				// exactly as given.
+				j := rng.Intn(len(choices) - 1)
+				choices[j], choices[j+1] = choices[j+1], choices[j]
+			}
+		case 1:
+			// Canonical prefix plus free-text additions.
+			choices = append(choices, "Befunge-93", "INTERCAL")
+		}
+		if choices == nil {
+			return survey.Answer{}, false // unanswered: omit entirely
+		}
+		return survey.Answer{Choices: choices}, true
+	}
+	return survey.Answer{}, false
+}
+
+// randomDataset builds a row-form dataset over the quiz instrument with
+// seeded-random answers. When allowEmpty is set some answers are
+// explicitly present but empty (the documented normalization case).
+func randomDataset(rng *rand.Rand, n int, allowEmpty bool) *survey.Dataset {
+	ins := quiz.Instrument()
+	d := &survey.Dataset{Instrument: ins.Title, Version: ins.Version,
+		Responses: make([]survey.Response, n)}
+	for i := range d.Responses {
+		r := &d.Responses[i]
+		r.Answers = map[string]survey.Answer{}
+		for _, q := range ins.Questions() {
+			if rng.Intn(5) == 0 {
+				continue // unanswered: absent from the map
+			}
+			if a, ok := randomAnswer(rng, q, allowEmpty); ok {
+				r.Answers[q.ID] = a
+			}
+		}
+	}
+	d.Anonymize()
+	return d
+}
+
+// normalize applies the two documented colstore normalizations to a
+// row-form dataset: explicitly-empty answers become absent, and nil
+// Answers maps become empty ones.
+func normalize(d *survey.Dataset) *survey.Dataset {
+	out := &survey.Dataset{Instrument: d.Instrument, Version: d.Version}
+	if d.Responses != nil {
+		out.Responses = make([]survey.Response, len(d.Responses))
+	}
+	for i, r := range d.Responses {
+		nr := survey.Response{Token: r.Token, Answers: map[string]survey.Answer{}}
+		for id, a := range r.Answers {
+			if !a.IsUnanswered() {
+				nr.Answers[id] = a
+			}
+		}
+		out.Responses[i] = nr
+	}
+	return out
+}
+
+// TestRoundTripProperty converts seeded-random row datasets to columns
+// and back, asserting deep equality up to the documented
+// normalizations. Covers free-text single answers, verbatim
+// (non-canonical) multi lists, free-text multi additions, explicitly
+// empty answers, and unanswered questions.
+func TestRoundTripProperty(t *testing.T) {
+	schema := quiz.Columns()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ds := randomDataset(rng, 1+rng.Intn(8), true)
+		cols, err := colstore.FromSurvey(schema, ds)
+		if err != nil {
+			t.Fatalf("trial %d: FromSurvey: %v", trial, err)
+		}
+		back := cols.ToSurvey()
+		want := normalize(ds)
+		if !reflect.DeepEqual(back, want) {
+			t.Fatalf("trial %d: round trip diverged\n got: %+v\nwant: %+v", trial, back, want)
+		}
+	}
+}
+
+// TestRoundTripNilAnswers checks the nil-map normalization and the
+// nil-vs-empty Responses distinction.
+func TestRoundTripNilAnswers(t *testing.T) {
+	schema := quiz.Columns()
+	ins := quiz.Instrument()
+	ds := &survey.Dataset{Instrument: ins.Title, Version: "1.0",
+		Responses: []survey.Response{{Token: "r0001", Answers: nil}}}
+	cols, err := colstore.FromSurvey(schema, ds)
+	if err != nil {
+		t.Fatalf("FromSurvey: %v", err)
+	}
+	back := cols.ToSurvey()
+	if back.Responses[0].Answers == nil {
+		t.Fatalf("nil Answers map should normalize to an empty map")
+	}
+	if len(back.Responses[0].Answers) != 0 {
+		t.Fatalf("empty response grew answers: %+v", back.Responses[0].Answers)
+	}
+
+	for _, responses := range [][]survey.Response{nil, {}} {
+		ds := &survey.Dataset{Instrument: ins.Title, Version: "1.0", Responses: responses}
+		cols, err := colstore.FromSurvey(schema, ds)
+		if err != nil {
+			t.Fatalf("FromSurvey: %v", err)
+		}
+		want, err := survey.EncodeDataset(ds)
+		if err != nil {
+			t.Fatalf("EncodeDataset: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := cols.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("nil=%v: WriteJSON diverged from EncodeDataset:\n got %q\nwant %q",
+				responses == nil, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestWriteJSONByteIdentity asserts WriteJSON emits byte-for-byte what
+// survey.EncodeDataset produces on the row form, for seeded-random
+// datasets with every answer shape the encoder supports (free text with
+// characters that hit encoding/json's HTML escaping included).
+func TestWriteJSONByteIdentity(t *testing.T) {
+	schema := quiz.Columns()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		// No explicitly-empty answers: those serialize as "id": {} in the
+		// row form and are normalized to absent by colstore (see the
+		// package fidelity contract).
+		ds := randomDataset(rng, 1+rng.Intn(8), false)
+		cols, err := colstore.FromSurvey(schema, ds)
+		if err != nil {
+			t.Fatalf("trial %d: FromSurvey: %v", trial, err)
+		}
+		want, err := survey.EncodeDataset(ds)
+		if err != nil {
+			t.Fatalf("trial %d: EncodeDataset: %v", trial, err)
+		}
+		var buf bytes.Buffer
+		if err := cols.WriteJSON(&buf); err != nil {
+			t.Fatalf("trial %d: WriteJSON: %v", trial, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			a, b := buf.Bytes(), want
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("trial %d: WriteJSON diverged from EncodeDataset at byte %d:\n got ...%s\nwant ...%s",
+				trial, i, a[lo:min(i+60, len(a))], b[lo:min(i+60, len(b))])
+		}
+	}
+}
+
+// TestInternedStrings checks arena accounting: identical free-text
+// payloads share one entry.
+func TestInternedStrings(t *testing.T) {
+	schema := quiz.Columns()
+	ins := quiz.Instrument()
+	var single string
+	for _, q := range ins.Questions() {
+		if q.Kind == survey.SingleChoice {
+			single = q.ID
+			break
+		}
+	}
+	ds := &survey.Dataset{Instrument: ins.Title, Version: "1.0",
+		Responses: []survey.Response{
+			{Token: "r0001", Answers: map[string]survey.Answer{single: {Choice: "write-in"}}},
+			{Token: "r0002", Answers: map[string]survey.Answer{single: {Choice: "write-in"}}},
+		}}
+	cols, err := colstore.FromSurvey(schema, ds)
+	if err != nil {
+		t.Fatalf("FromSurvey: %v", err)
+	}
+	if got := cols.InternedStrings(); got != 1 {
+		t.Fatalf("InternedStrings = %d, want 1 (identical payloads share an entry)", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,28 @@
+package colstore
+
+import (
+	"fpstudy/internal/parallel"
+
+	"fpstudy/internal/survey"
+)
+
+// ToSurveyWorkers materializes the dataset in row form, sharding the
+// respondent space across workers (<= 0 means GOMAXPROCS). Reading
+// columns is index-addressed, so the result is identical at any worker
+// count.
+func (d *Dataset) ToSurveyWorkers(workers int) *survey.Dataset {
+	ds := &survey.Dataset{Instrument: d.Schema.Title, Version: d.Version}
+	if d.n == 0 {
+		if !d.nilResponses {
+			ds.Responses = []survey.Response{}
+		}
+		return ds
+	}
+	out := make([]survey.Response, d.n)
+	parallel.MapShards(workers, d.n, func(lo, hi int) struct{} {
+		d.responsesInto(out, lo, hi)
+		return struct{}{}
+	})
+	ds.Responses = out
+	return ds
+}

@@ -19,12 +19,12 @@ func (r *Results) CalibrationReport() report.Table {
 		Title:  "Calibration: regenerated responses vs published distributions",
 		Header: []string{"Question", "chi2", "df", "crit(5%)", "fit"},
 	}
-	n := len(r.Main.Dataset.Responses)
+	n := len(r.MainDataset().Responses)
 	fails := 0
 	for i, q := range quiz.CoreQuestions() {
 		row := paperdata.Figure14Core[i]
 		var c, inc, dk, un int
-		for _, resp := range r.Main.Dataset.Responses {
+		for _, resp := range r.MainDataset().Responses {
 			switch quiz.ClassifyCore(resp, q) {
 			case quiz.OutcomeCorrect:
 				c++
@@ -95,7 +95,7 @@ func (r *Results) FactorAssociation() report.Table {
 	for _, f := range factors {
 		levels := map[string]int{}
 		var order []string
-		for _, resp := range r.Main.Dataset.Responses {
+		for _, resp := range r.MainDataset().Responses {
 			l := resp.Answer(f.id).Choice
 			if _, ok := levels[l]; !ok {
 				levels[l] = len(order)
@@ -106,7 +106,7 @@ func (r *Results) FactorAssociation() report.Table {
 		for i := range table {
 			table[i] = make([]int, 2)
 		}
-		for i, resp := range r.Main.Dataset.Responses {
+		for i, resp := range r.MainDataset().Responses {
 			l := levels[resp.Answer(f.id).Choice]
 			col := 0
 			if scores[i] > median {

@@ -50,7 +50,7 @@ func (r *Results) HeadlineClaims() []Claim {
 	for _, id := range []string{"core.identity", "core.divzero"} {
 		q, _ := quiz.CoreQuestionByID(id)
 		var c, inc int
-		for _, resp := range r.Main.Dataset.Responses {
+		for _, resp := range r.MainDataset().Responses {
 			switch quiz.ClassifyCore(resp, q) {
 			case quiz.OutcomeCorrect:
 				c++
@@ -71,7 +71,7 @@ func (r *Results) HeadlineClaims() []Claim {
 
 	// Area: physical-science/engineering developers perform at chance.
 	var physEng []float64
-	for i, resp := range r.Main.Dataset.Responses {
+	for i, resp := range r.MainDataset().Responses {
 		a := resp.Answer(quiz.BGArea).Choice
 		if a == "Other Physical Science Field" || a == "Other Engineering Field" {
 			physEng = append(physEng, float64(r.CoreTallies[i].Correct))
@@ -83,9 +83,9 @@ func (r *Results) HeadlineClaims() []Claim {
 
 	// Suspicion: Invalid most suspicious, then Overflow, then the rest;
 	// ~1/3 under-rate Invalid.
-	inv := SuspicionDistribution(r.Main.Dataset, "susp.invalid")
-	ovf := SuspicionDistribution(r.Main.Dataset, "susp.overflow")
-	und := SuspicionDistribution(r.Main.Dataset, "susp.underflow")
+	inv := SuspicionDistribution(r.MainDataset(), "susp.invalid")
+	ovf := SuspicionDistribution(r.MainDataset(), "susp.overflow")
+	und := SuspicionDistribution(r.MainDataset(), "susp.underflow")
 	add("suspicion-ordering",
 		inv.MeanLevel() > ovf.MeanLevel() && ovf.MeanLevel() > und.MeanLevel(),
 		"mean suspicion invalid %.2f > overflow %.2f > underflow %.2f",
@@ -95,9 +95,9 @@ func (r *Results) HeadlineClaims() []Claim {
 		"%.1f%% rate Invalid below maximum suspicion (paper: ~1/3)", underRate)
 
 	// Students are less suspicious of Underflow and Denorm.
-	sUnd := SuspicionDistribution(r.Students, "susp.underflow")
-	sDen := SuspicionDistribution(r.Students, "susp.denorm")
-	mDen := SuspicionDistribution(r.Main.Dataset, "susp.denorm")
+	sUnd := SuspicionDistribution(r.StudentDataset(), "susp.underflow")
+	sDen := SuspicionDistribution(r.StudentDataset(), "susp.denorm")
+	mDen := SuspicionDistribution(r.MainDataset(), "susp.denorm")
 	add("students-relaxed-underflow-denorm",
 		sUnd.MeanLevel() < und.MeanLevel() && sDen.MeanLevel() < mDen.MeanLevel(),
 		"students underflow %.2f < main %.2f; denorm %.2f < %.2f",
@@ -112,12 +112,12 @@ func (r *Results) HeadlineClaims() []Claim {
 			continue
 		}
 		var c int
-		for _, resp := range r.Main.Dataset.Responses {
+		for _, resp := range r.MainDataset().Responses {
 			if quiz.ClassifyCore(resp, q) == quiz.OutcomeCorrect {
 				c++
 			}
 		}
-		pc := 100 * float64(c) / float64(len(r.Main.Dataset.Responses))
+		pc := 100 * float64(c) / float64(len(r.MainDataset().Responses))
 		if pc < 40 || pc > 68 {
 			badBand++
 		}
@@ -132,7 +132,7 @@ func (r *Results) HeadlineClaims() []Claim {
 // background answer.
 func (r *Results) meanCoreByLevel(questionID, level string) float64 {
 	var scores []float64
-	for i, resp := range r.Main.Dataset.Responses {
+	for i, resp := range r.MainDataset().Responses {
 		if resp.Answer(questionID).Choice == level {
 			scores = append(scores, float64(r.CoreTallies[i].Correct))
 		}

@@ -22,7 +22,7 @@ func (r *Results) ItemAnalysis() report.Table {
 		Header: []string{"Question", "difficulty (pCorrect)", "discrimination (r_pb)", "DK rate", "grade"},
 	}
 	qs := quiz.CoreQuestions()
-	n := len(r.Main.Dataset.Responses)
+	n := len(r.MainDataset().Responses)
 
 	// Per-respondent per-item correctness and total scores.
 	correct := make([][]int, len(qs))
@@ -31,7 +31,7 @@ func (r *Results) ItemAnalysis() report.Table {
 	}
 	totals := make([]float64, n)
 	dkCount := make([]int, len(qs))
-	for j, resp := range r.Main.Dataset.Responses {
+	for j, resp := range r.MainDataset().Responses {
 		for i, q := range qs {
 			switch quiz.ClassifyCore(resp, q) {
 			case quiz.OutcomeCorrect:

@@ -7,7 +7,9 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/parallel"
 	"fpstudy/internal/quiz"
@@ -37,6 +39,14 @@ type Study struct {
 	// no-op handles). Telemetry never affects the produced data; the
 	// golden test pins bit-identical output with it on or off.
 	Telemetry *telemetry.Recorder
+	// ColumnarOnly skips materializing the row views (one
+	// map[string]Answer per respondent) after generation. Grading and
+	// all figure tallies read the columnar storage directly, so a
+	// figures-only pipeline never needs the rows; analyses that do
+	// (claims, item statistics, calibration) materialize them lazily
+	// via MainDataset/StudentDataset. At n=1M the row view is the
+	// dominant allocation cost, so fpbench measures with this set.
+	ColumnarOnly bool
 }
 
 // DefaultStudy mirrors the paper's cohort sizes.
@@ -46,9 +56,14 @@ func DefaultStudy() Study {
 
 // Results holds the generated cohorts and their grades.
 type Results struct {
-	Study    Study
-	Main     *respondent.Population
-	Students *survey.Dataset
+	Study Study
+	// Main is the main cohort. Main.Cols is always present; Main.Dataset
+	// (the row view) is materialized unless the study ran ColumnarOnly.
+	Main *respondent.Population
+	// StudentCols is the student cohort's columnar storage; Students is
+	// its row view (nil in ColumnarOnly runs until StudentDataset).
+	StudentCols *colstore.Dataset
+	Students    *survey.Dataset
 
 	// CoreTallies and OptTallies are per-respondent grades (OptTallies
 	// covers only the three T/F questions, the paper's Figure 12
@@ -77,28 +92,50 @@ func (s Study) Run() *Results {
 	pool := parallel.NewPool(2)
 	pool.Go(func() {
 		sp := root.StartChild("generate-main")
-		r.Main = respondent.GenerateMainInstrumented(s.Seed, s.NMain, s.Workers, nil,
+		r.Main = respondent.GenerateMainColumnar(s.Seed, s.NMain, s.Workers, nil,
 			respondent.Instrumentation{Span: sp, Progress: prog})
+		if !s.ColumnarOnly {
+			r.Main.MaterializeDataset(s.Workers)
+		}
 		sp.AddItems(int64(s.NMain))
 		sp.End()
 	})
 	pool.Go(func() {
 		sp := root.StartChild("generate-students")
-		r.Students = respondent.GenerateStudentsInstrumented(s.Seed+1, s.NStudent, s.Workers,
+		r.StudentCols = respondent.GenerateStudentsColumnar(s.Seed+1, s.NStudent, s.Workers,
 			respondent.Instrumentation{Span: sp})
+		if !s.ColumnarOnly {
+			r.Students = r.StudentCols.ToSurveyWorkers(s.Workers)
+		}
 		sp.AddItems(int64(s.NStudent))
 		sp.End()
 	})
 	pool.Wait()
 	gsp := root.StartChild("grade")
-	g := quiz.ScoreAll(r.Main.Dataset, s.Workers)
-	gsp.AddItems(int64(len(r.Main.Dataset.Responses)))
+	g := quiz.ScoreAllColumns(r.Main.Cols, s.Workers)
+	gsp.AddItems(int64(r.Main.Cols.Len()))
 	gsp.End()
 	r.CoreTallies, r.OptTallies, r.OptAllTallies = g.Core, g.OptScored, g.OptAll
 	root.AddItems(int64(s.NMain + s.NStudent))
 	root.End()
 	s.Telemetry.Registry().Counter(MetricRuns).Inc()
 	return r
+}
+
+// MainDataset returns the main cohort's row view, materializing it from
+// the columns on first use in a ColumnarOnly run. The figure tallies
+// never need it; the claim/item/calibration analyses do.
+func (r *Results) MainDataset() *survey.Dataset {
+	return r.Main.MaterializeDataset(r.workers)
+}
+
+// StudentDataset returns the student cohort's row view, materializing
+// it from the columns on first use in a ColumnarOnly run.
+func (r *Results) StudentDataset() *survey.Dataset {
+	if r.Students == nil {
+		r.Students = r.StudentCols.ToSurveyWorkers(r.workers)
+	}
+	return r.Students
 }
 
 // backgroundFigure describes one of Figures 1-11.
@@ -151,7 +188,7 @@ func (r *Results) FigureBackground(num int) report.Table {
 		t.Notes = append(t.Notes, err.Error())
 		return t
 	}
-	n := len(r.Main.Dataset.Responses)
+	n := r.Main.Cols.Len()
 	for _, e := range bf.paper {
 		got := tal[e.Label]
 		t.AddRow(e.Label,
@@ -164,27 +201,59 @@ func (r *Results) FigureBackground(num int) report.Table {
 	return t
 }
 
-// shardedTally tallies one background question over the main dataset
-// by sharding the responses and merging the per-shard counts. Counts
-// are order-insensitive, so the result is identical at any worker
-// count.
+// shardedTally tallies one background question over the main cohort's
+// columns, sharding the respondent space and merging the per-shard
+// counts. It mirrors survey.Instrument.Tally's semantics ("unanswered"
+// bucket, one count per selected multi-choice option) but walks the
+// dense column instead of hashing per-response maps. Counts are
+// order-insensitive, so the result is identical at any worker count.
 func (r *Results) shardedTally(questionID string) (map[string]int, error) {
-	ds := r.Main.Dataset
-	type shardResult struct {
-		tal map[string]int
-		err error
+	d := r.Main.Cols
+	ci, ok := d.Schema.ColumnIndex(questionID)
+	if !ok {
+		return nil, fmt.Errorf("survey: unknown question %q", questionID)
 	}
-	shards := parallel.MapShards(r.workers, len(ds.Responses), func(lo, hi int) shardResult {
-		sub := &survey.Dataset{Instrument: ds.Instrument, Version: ds.Version, Responses: ds.Responses[lo:hi]}
-		tal, err := r.instrument.Tally(sub, questionID)
-		return shardResult{tal, err}
+	col := d.Schema.Column(ci)
+	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) map[string]int {
+		tal := map[string]int{}
+		for i := lo; i < hi; i++ {
+			switch col.Kind {
+			case survey.TrueFalse:
+				switch d.TF(ci, i) {
+				case colstore.TFUnanswered:
+					tal["unanswered"]++
+				case colstore.TFTrue:
+					tal[survey.AnswerTrue]++
+				case colstore.TFFalse:
+					tal[survey.AnswerFalse]++
+				default:
+					tal[survey.AnswerDontKnow]++
+				}
+			case survey.Likert:
+				if lv := d.LikertLevel(ci, i); lv == 0 {
+					tal["unanswered"]++
+				} else {
+					tal[strconv.Itoa(lv)]++
+				}
+			case survey.SingleChoice:
+				if lbl := d.SingleLabel(ci, i); lbl == "" {
+					tal["unanswered"]++
+				} else {
+					tal[lbl]++
+				}
+			case survey.MultiChoice:
+				if d.MultiUnanswered(ci, i) {
+					tal["unanswered"]++
+				} else {
+					d.ForEachMultiChoice(ci, i, func(label string) { tal[label]++ })
+				}
+			}
+		}
+		return tal
 	})
 	merged := map[string]int{}
 	for _, s := range shards {
-		if s.err != nil {
-			return nil, s.err
-		}
-		for k, v := range s.tal {
+		for k, v := range s {
 			merged[k] += v
 		}
 	}
@@ -279,16 +348,16 @@ func (r *Results) Figure14() report.Table {
 			"paper %C", "flags"},
 	}
 	qs := quiz.CoreQuestions()
-	resps := r.Main.Dataset.Responses
-	n := float64(len(resps))
-	// One sharded pass over the responses classifies every (respondent,
+	d := r.Main.Cols
+	n := float64(d.Len())
+	// One sharded pass over the columns classifies every (respondent,
 	// question) pair; per-shard count matrices merge additively, so the
 	// totals are identical at any worker count.
-	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) [][4]int {
+	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
 		counts := make([][4]int, len(qs))
-		for _, resp := range resps[lo:hi] {
-			for qi, q := range qs {
-				counts[qi][quiz.ClassifyCore(resp, q)]++
+		for i := lo; i < hi; i++ {
+			for qi := range qs {
+				counts[qi][quiz.ClassifyCoreAt(d, i, qi)]++
 			}
 		}
 		return counts
@@ -334,13 +403,13 @@ func (r *Results) Figure15() report.Table {
 			"paper %C", "paper %DK"},
 	}
 	qs := quiz.OptQuestions()
-	resps := r.Main.Dataset.Responses
-	n := float64(len(resps))
-	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) [][4]int {
+	d := r.Main.Cols
+	n := float64(d.Len())
+	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
 		counts := make([][4]int, len(qs))
-		for _, resp := range resps[lo:hi] {
-			for qi, q := range qs {
-				counts[qi][quiz.ClassifyOpt(resp, q)]++
+		for i := lo; i < hi; i++ {
+			for qi := range qs {
+				counts[qi][quiz.ClassifyOptAt(d, i, qi)]++
 			}
 		}
 		return counts
@@ -384,11 +453,12 @@ func (r *Results) factorFigure(num int, title, questionID string, core bool,
 	// per-shard groups in shard order preserves respondent order within
 	// each level, so downstream means/sds are bit-identical at any
 	// worker count.
-	resps := r.Main.Dataset.Responses
-	shards := parallel.MapShards(r.workers, len(resps), func(lo, hi int) map[string][]float64 {
+	d := r.Main.Cols
+	ci := d.Schema.MustColumnIndex(questionID)
+	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) map[string][]float64 {
 		g := map[string][]float64{}
 		for i := lo; i < hi; i++ {
-			level := resps[i].Answer(questionID).Choice
+			level := d.SingleLabel(ci, i)
 			if level == "" {
 				level = "(unanswered)"
 			}
@@ -480,12 +550,25 @@ func (r *Results) Figure21() report.Table {
 }
 
 // SuspicionDistribution tabulates the Likert distribution of one
-// suspicion item over a dataset.
+// suspicion item over a row-form dataset.
 func SuspicionDistribution(ds *survey.Dataset, itemID string) stats.LikertDist {
 	var levels []int
 	for _, r := range ds.Responses {
 		if a := r.Answer(itemID); a.Level > 0 {
 			levels = append(levels, a.Level)
+		}
+	}
+	return stats.NewLikertDist(levels, 5)
+}
+
+// SuspicionDistributionCols is SuspicionDistribution over columnar
+// storage: a single walk of the item's Likert column.
+func SuspicionDistributionCols(d *colstore.Dataset, itemID string) stats.LikertDist {
+	ci := d.Schema.MustColumnIndex(itemID)
+	var levels []int
+	for i := 0; i < d.Len(); i++ {
+		if lv := d.LikertLevel(ci, i); lv > 0 {
+			levels = append(levels, lv)
 		}
 	}
 	return stats.NewLikertDist(levels, 5)
@@ -497,22 +580,21 @@ func (r *Results) Figure22() report.Table {
 		Title:  "Figure 22: Distribution of suspicion for exceptional conditions (percent reporting each level)",
 		Header: []string{"Group", "Condition", "1", "2", "3", "4", "5", "mean", "paper@5"},
 	}
-	for gi, grp := range []struct {
+	for _, grp := range []struct {
 		name  string
-		ds    *survey.Dataset
+		cols  *colstore.Dataset
 		paper []paperdata.SuspicionDist
 	}{
-		{"main", r.Main.Dataset, paperdata.Figure22Main},
-		{"student", r.Students, paperdata.Figure22Student},
+		{"main", r.Main.Cols, paperdata.Figure22Main},
+		{"student", r.StudentCols, paperdata.Figure22Student},
 	} {
 		for i, it := range quiz.SuspicionItems() {
-			d := SuspicionDistribution(grp.ds, it.ID)
+			d := SuspicionDistributionCols(grp.cols, it.ID)
 			t.AddRow(grp.name, it.Condition.String(),
 				report.Pct(d.Percent[0]), report.Pct(d.Percent[1]), report.Pct(d.Percent[2]),
 				report.Pct(d.Percent[3]), report.Pct(d.Percent[4]),
 				report.F2(d.MeanLevel()), report.Pct(grp.paper[i].Percent[4]))
 		}
-		_ = gi
 	}
 	t.Notes = append(t.Notes,
 		"ground-truth ranking (monitor): Invalid(5) > Overflow(4) > Underflow(2) = Denorm(2) > Precision(1)")

@@ -31,6 +31,18 @@ const (
 
 	MetricFPOps       = "fp.ops"
 	MetricFPDivByZero = "fp.exceptions.divbyzero"
+
+	// MetricHeapAlloc and MetricGCCount are gauges fed by
+	// telemetry.StartMemSampler (live heap bytes; cumulative GC cycles),
+	// so a long -n 1000000 run surfaces its memory behaviour on
+	// /debug/vars while executing.
+	MetricHeapAlloc = "mem.heap_alloc"
+	MetricGCCount   = "mem.gc_count"
+	// MetricInternedStrings gauges the size of the columnar string
+	// arena after generation (zero for generated cohorts — every answer
+	// is a code; nonzero only when converted row data carried free
+	// text).
+	MetricInternedStrings = "colstore.interned_strings"
 )
 
 // InstallPipelineTelemetry wires the process-wide instrumentation into

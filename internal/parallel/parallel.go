@@ -89,6 +89,19 @@ const grain = 64
 // independent of the worker count. ForEach returns when every call has
 // completed.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachWith(workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) { fn(i) })
+}
+
+// ForEachWith is ForEach with per-worker scratch state: each worker
+// goroutine calls newC once and passes the result to every fn it runs.
+// The index→worker assignment is dynamic (work stealing by grain), so
+// the scratch value must never influence fn's output — it exists to
+// hoist allocations out of the per-item path (a reusable RNG that is
+// reseeded per index, a scratch buffer). Under that contract the result
+// is independent of the worker count, exactly as for ForEach.
+func ForEachWith[C any](workers, n int, newC func() C, fn func(c C, i int)) {
 	workers = Workers(workers, n)
 	if n <= 0 {
 		return
@@ -100,8 +113,9 @@ func ForEach(workers, n int, fn func(i int)) {
 		if instrumented {
 			t0 = time.Now()
 		}
+		c := newC()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(c, i)
 		}
 		if instrumented {
 			h.ForEach(n, 1, time.Since(t0))
@@ -118,6 +132,7 @@ func ForEach(workers, n int, fn func(i int)) {
 				t0 := time.Now()
 				defer func() { busyNS.Add(int64(time.Since(t0))) }()
 			}
+			c := newC()
 			for {
 				lo := int(next.Add(grain)) - grain
 				if lo >= n {
@@ -128,7 +143,7 @@ func ForEach(workers, n int, fn func(i int)) {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					fn(i)
+					fn(c, i)
 				}
 			}
 		}()
@@ -262,4 +277,13 @@ func mix64(x uint64) uint64 {
 // generated in any order — or concurrently — with identical results.
 func RNG(seed int64, stream uint64, index int64) *rand.Rand {
 	return rand.New(rand.NewSource(Seed(seed, stream, index)))
+}
+
+// Reseed repositions rng onto the (seed, stream, index) stream,
+// producing exactly the draw sequence RNG(seed, stream, index) would.
+// Hot loops hold one rand.Rand per worker (see ForEachWith) and reseed
+// it per item, eliminating the per-item source allocation while keeping
+// the draws bit-identical to the allocate-per-item path.
+func Reseed(rng *rand.Rand, seed int64, stream uint64, index int64) {
+	rng.Seed(Seed(seed, stream, index))
 }

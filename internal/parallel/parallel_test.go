@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -218,5 +219,65 @@ func TestHookNilFastPath(t *testing.T) {
 	}
 	if before == 0 {
 		t.Fatal("hook never fired while installed")
+	}
+}
+
+func TestReseedMatchesFreshRNG(t *testing.T) {
+	// Reseed must reposition a reused rand.Rand onto exactly the draw
+	// sequence a freshly allocated per-index RNG would produce — the
+	// invariant that lets hot loops hold one RNG per worker.
+	reused := rand.New(rand.NewSource(0))
+	for index := int64(0); index < 50; index++ {
+		Reseed(reused, 42, 2, index)
+		fresh := RNG(42, 2, index)
+		for d := 0; d < 20; d++ {
+			if got, want := reused.Int63(), fresh.Int63(); got != want {
+				t.Fatalf("index %d draw %d: reseeded %d != fresh %d", index, d, got, want)
+			}
+		}
+	}
+	// Mid-stream reseeding must fully reset the state, not resume it.
+	Reseed(reused, 42, 2, 7)
+	reused.Float64()
+	reused.Intn(100)
+	Reseed(reused, 42, 2, 7)
+	if reused.Int63() != RNG(42, 2, 7).Int63() {
+		t.Fatal("reseed after partial consumption diverged")
+	}
+}
+
+func TestForEachWithMatchesForEach(t *testing.T) {
+	// ForEachWith with per-worker scratch must cover every index exactly
+	// once and produce worker-count-independent results when fn confines
+	// its writes to index i.
+	const n = 10_000
+	want := make([]int64, n)
+	ForEach(1, n, func(i int) { want[i] = RNG(9, 4, int64(i)).Int63() })
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		got := make([]int64, n)
+		var scratchMade atomic.Int64
+		ForEachWith(workers, n, func() *rand.Rand {
+			scratchMade.Add(1)
+			return rand.New(rand.NewSource(0))
+		}, func(rng *rand.Rand, i int) {
+			Reseed(rng, 9, 4, int64(i))
+			got[i] = rng.Int63()
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+		if w := Workers(workers, n); scratchMade.Load() > int64(w) {
+			t.Fatalf("workers=%d: %d scratch values made, want <= %d", workers, scratchMade.Load(), w)
+		}
+	}
+}
+
+func TestForEachWithZeroItems(t *testing.T) {
+	called := false
+	ForEachWith(4, 0, func() int { called = true; return 0 }, func(int, int) { called = true })
+	if called {
+		t.Fatal("ForEachWith ran scratch or body for n=0")
 	}
 }

@@ -1,0 +1,168 @@
+package respondent
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/parallel"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/survey"
+)
+
+// Pinned sha256 hashes of the serialized paper-sized cohorts. These are
+// the exact bytes survey.WriteDataset produced for the same seeds
+// before the columnar port; any drift here is a fidelity regression,
+// not a tuning change.
+const (
+	goldenMainSHA    = "5c019dfe9a8c069fae3cd433d1f44916b8db0a3dd1c90caaa6ef83d7920e9c8e" // seed 42, n=199
+	goldenStudentSHA = "cc54cdf85703623e4c94677f698ae956c42afbda09d5a161ff61e887868ff269" // seed 43, n=52
+)
+
+// TestColumnarGoldenHashes pins the serialized output of the columnar
+// generators to the pre-columnar byte stream for the paper's cohort
+// sizes and seeds.
+func TestColumnarGoldenHashes(t *testing.T) {
+	main := GenerateMainColumnar(42, paperdata.NMain, 0, nil, Instrumentation{})
+	var buf bytes.Buffer
+	if err := main.Cols.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenMainSHA {
+		t.Errorf("main cohort hash = %s, want %s", got, goldenMainSHA)
+	}
+
+	students := GenerateStudentsColumnar(43, paperdata.NStudent, 0, Instrumentation{})
+	buf.Reset()
+	if err := students.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	sum = sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != goldenStudentSHA {
+		t.Errorf("student cohort hash = %s, want %s", got, goldenStudentSHA)
+	}
+}
+
+// TestWriteJSONMatchesRowEncoding asserts that streaming serialization
+// from the columns produces exactly the bytes encoding/json produces on
+// the materialized row view — the invariant that lets fpgen skip
+// materialization entirely.
+func TestWriteJSONMatchesRowEncoding(t *testing.T) {
+	pop := GenerateMainColumnar(42, 60, 0, nil, Instrumentation{})
+	var buf bytes.Buffer
+	if err := pop.Cols.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	want, err := survey.EncodeDataset(pop.MaterializeDataset(0))
+	if err != nil {
+		t.Fatalf("EncodeDataset: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("columnar stream diverged from row encoding (%d vs %d bytes)",
+			buf.Len(), len(want))
+	}
+}
+
+// TestColumnarMaterializeEqualsLegacyRows checks the materialized row
+// view of a columnar cohort against the historical row generator
+// output shape: same tokens, same answers for a sample of respondents.
+func TestColumnarMaterializeEqualsLegacyRows(t *testing.T) {
+	pop := GenerateMain(11, 80)
+	if pop.Cols == nil || pop.Dataset == nil {
+		t.Fatal("GenerateMain must populate both columns and row view")
+	}
+	rt := pop.Cols.ToSurvey()
+	if len(rt.Responses) != len(pop.Dataset.Responses) {
+		t.Fatalf("row counts differ: %d vs %d", len(rt.Responses), len(pop.Dataset.Responses))
+	}
+	for _, i := range []int{0, 1, 37, 79} {
+		a, b := rt.Responses[i], pop.Dataset.Responses[i]
+		if a.Token != b.Token {
+			t.Fatalf("respondent %d token %q != %q", i, a.Token, b.Token)
+		}
+		if len(a.Answers) != len(b.Answers) {
+			t.Fatalf("respondent %d answer counts differ", i)
+		}
+		for id, ans := range b.Answers {
+			got := a.Answers[id]
+			if got.Choice != ans.Choice || got.Level != ans.Level ||
+				len(got.Choices) != len(ans.Choices) {
+				t.Fatalf("respondent %d question %s: %+v != %+v", i, id, got, ans)
+			}
+		}
+	}
+}
+
+// TestSampleZeroAlloc pins the zero-allocation contract of the
+// per-respondent sampling inner loop: reseeding the worker RNG and
+// sampling one respondent into the columns must not touch the heap.
+func TestSampleZeroAlloc(t *testing.T) {
+	profiles := make([]Profile, 64)
+	rng := newWorkerRNG()
+	for i := range profiles {
+		parallel.Reseed(rng, 42, streamProfile, int64(i))
+		profiles[i] = drawProfile(rng)
+	}
+	models := calibrateModels(0, profiles, Instrumentation{})
+	d := quiz.Columns().NewDataset("1.0", len(profiles))
+	cs := newColSampler(d, models, paperdata.Figure22Main)
+
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		parallel.Reseed(rng, 42, streamResponse, int64(i))
+		cs.sample(rng, i, &profiles[i])
+		i = (i + 1) % len(profiles)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampling inner loop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestStudentSampleZeroAlloc pins the same contract for the student
+// suspicion cohort's inner loop.
+func TestStudentSampleZeroAlloc(t *testing.T) {
+	d := quiz.Columns().NewDataset("1.0-student", 64)
+	items := quiz.SuspicionItems()
+	suspCI := make([]int, len(items))
+	for k, it := range items {
+		suspCI[k] = d.Schema.MustColumnIndex(it.ID)
+	}
+	dists := paperdata.Figure22Student
+	rng := newWorkerRNG()
+
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		parallel.Reseed(rng, 43, streamStudent, int64(i))
+		for k := range suspCI {
+			d.SetLikert(suspCI[k], i, drawLikert(rng, dists[k].Percent))
+		}
+		i = (i + 1) % 64
+	})
+	if allocs != 0 {
+		t.Fatalf("student inner loop allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSampleRespondent times the per-respondent sampling hot path
+// in isolation (models pre-calibrated, columns pre-allocated).
+func BenchmarkSampleRespondent(b *testing.B) {
+	profiles := make([]Profile, 1024)
+	rng := newWorkerRNG()
+	for i := range profiles {
+		parallel.Reseed(rng, 42, streamProfile, int64(i))
+		profiles[i] = drawProfile(rng)
+	}
+	models := calibrateModels(0, profiles, Instrumentation{})
+	d := quiz.Columns().NewDataset("1.0", len(profiles))
+	cs := newColSampler(d, models, paperdata.Figure22Main)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		i := n % len(profiles)
+		parallel.Reseed(rng, 42, streamResponse, int64(i))
+		cs.sample(rng, i, &profiles[i])
+	}
+}

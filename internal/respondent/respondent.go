@@ -28,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/parallel"
 	"fpstudy/internal/quiz"
@@ -85,10 +86,25 @@ type Profile struct {
 	OptAbility float64
 }
 
-// Population is a generated cohort with its survey dataset.
+// Population is a generated cohort. Cols is the primary storage: the
+// columnar dataset the respondents were sampled directly into (see
+// internal/colstore). Dataset is the row view (one map[string]Answer
+// per respondent); the Generate* entry points materialize it for
+// compatibility, while the *Columnar entry points leave it nil so
+// million-respondent pipelines never pay for a map per respondent.
 type Population struct {
 	Profiles []Profile
+	Cols     *colstore.Dataset
 	Dataset  *survey.Dataset
+}
+
+// MaterializeDataset fills in the row view from the columns (no-op if
+// already present) and returns it.
+func (p *Population) MaterializeDataset(workers int) *survey.Dataset {
+	if p.Dataset == nil {
+		p.Dataset = p.Cols.ToSurveyWorkers(workers)
+	}
+	return p.Dataset
 }
 
 // Effect sizes in core-quiz score points (digitized from Figures
@@ -383,14 +399,32 @@ func GenerateMainWithWorkers(seed int64, n, workers int, override func(*Profile)
 // generator: explicit worker count, optional background override, and
 // optional telemetry. The instrumentation records the stage span tree
 // (draw-profiles → calibrate → sample-responses) and streams per-item
-// progress; it never affects the generated data.
+// progress; it never affects the generated data. The row view is
+// materialized; use GenerateMainColumnar to skip it.
 func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile), inst Instrumentation) *Population {
+	p := GenerateMainColumnar(seed, n, workers, override, inst)
+	p.MaterializeDataset(workers)
+	return p
+}
+
+// newWorkerRNG allocates the per-worker reusable rand.Rand for
+// ForEachWith fan-outs. The seed is irrelevant: the generator reseeds
+// it per index (parallel.Reseed), which makes the draws bit-identical
+// to a freshly allocated per-index RNG.
+func newWorkerRNG() *rand.Rand { return rand.New(rand.NewSource(0)) }
+
+// GenerateMainColumnar generates the main cohort directly into columns,
+// with no row view: respondent i's answers are a handful of indexed
+// stores into per-question code columns, so the per-respondent sampling
+// loop performs zero heap allocations.
+func GenerateMainColumnar(seed int64, n, workers int, override func(*Profile), inst Instrumentation) *Population {
 	workers = parallel.Workers(workers, n)
 	sp := inst.Span.StartChild("draw-profiles")
-	profiles := parallel.Map(workers, n, func(i int) Profile {
-		p := drawProfileWith(parallel.RNG(seed, streamProfile, int64(i)), override)
+	profiles := make([]Profile, n)
+	parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
+		parallel.Reseed(rng, seed, streamProfile, int64(i))
+		profiles[i] = drawProfileWith(rng, override)
 		inst.Progress.Inc()
-		return p
 	})
 	sp.AddItems(int64(n))
 	sp.End()
@@ -401,8 +435,10 @@ func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile
 		// Each base profile replays the same per-index stream the
 		// treated profile consumed, minus the override — a paired
 		// (common-random-numbers) design.
-		calib = parallel.Map(workers, n, func(i int) Profile {
-			return drawProfile(parallel.RNG(seed, streamProfile, int64(i)))
+		calib = make([]Profile, n)
+		parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
+			parallel.Reseed(rng, seed, streamProfile, int64(i))
+			calib[i] = drawProfile(rng)
 		})
 	}
 	return generateFromProfiles(workers, seed, profiles, calib, inst)
@@ -412,7 +448,25 @@ func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile
 // calib cohort's abilities and then samples responses for profiles,
 // one independent RNG stream per respondent.
 func generateFromProfiles(workers int, seed int64, profiles, calib []Profile, inst Instrumentation) *Population {
-	// Build question models with calibration targets from Figure 14/15.
+	models := calibrateModels(workers, calib, inst)
+
+	ssp := inst.Span.StartChild("sample-responses")
+	d := quiz.Columns().NewDataset("1.0", len(profiles))
+	cs := newColSampler(d, models, paperdata.Figure22Main)
+	parallel.ForEachWith(workers, len(profiles), newWorkerRNG, func(rng *rand.Rand, i int) {
+		parallel.Reseed(rng, seed, streamResponse, int64(i))
+		cs.sample(rng, i, &profiles[i])
+		inst.Progress.Inc()
+	})
+	ssp.AddItems(int64(len(profiles)))
+	ssp.End()
+	return &Population{Profiles: profiles, Cols: d}
+}
+
+// calibrateModels builds the per-question response models with
+// calibration targets from Figures 14/15 and bisects each question's
+// difficulty offset against the calib cohort's ability distribution.
+func calibrateModels(workers int, calib []Profile, inst Instrumentation) []questionModel {
 	// The oracle-backed answer key is computed once (cached in quiz) and
 	// shared read-only by every worker.
 	coreAbil := abilitiesOf(calib, false)
@@ -464,32 +518,7 @@ func generateFromProfiles(workers int, seed int64, profiles, calib []Profile, in
 	})
 	csp.AddItems(int64(len(specs)))
 	csp.End()
-
-	ssp := inst.Span.StartChild("sample-responses")
-	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0"}
-	ds.Responses = parallel.Map(workers, len(profiles), func(i int) survey.Response {
-		rng := parallel.RNG(seed, streamResponse, int64(i))
-		p := profiles[i]
-		r := survey.Response{Answers: map[string]survey.Answer{}}
-		fillBackground(&r, p)
-		for _, qm := range models {
-			a := p.Ability
-			if qm.abilityOpt {
-				a = p.OptAbility
-			}
-			ans := qm.sample(rng, a)
-			if !ans.IsUnanswered() {
-				r.Answers[qm.id] = ans
-			}
-		}
-		fillSuspicion(&r, rng, paperdata.Figure22Main)
-		inst.Progress.Inc()
-		return r
-	})
-	ssp.AddItems(int64(len(profiles)))
-	ssp.End()
-	ds.Anonymize()
-	return &Population{Profiles: profiles, Dataset: ds}
+	return models
 }
 
 func abilitiesOf(ps []Profile, opt bool) []float64 {
@@ -504,67 +533,174 @@ func abilitiesOf(ps []Profile, opt bool) []float64 {
 	return out
 }
 
-// sample draws one answer from the question model for a respondent with
-// the given ability.
-func (qm questionModel) sample(rng *rand.Rand, ability float64) survey.Answer {
-	if rng.Float64() < qm.pUn {
-		return survey.Answer{}
+// colModel is a questionModel bound to its column: answer strings are
+// resolved to codes once at sampler construction, so drawing one answer
+// is a couple of RNG calls and a single indexed store.
+type colModel struct {
+	questionModel
+	ci int
+	// True/false codes (choiceSet empty): the correct answer and its
+	// flip.
+	correctTF uint8
+	wrongTF   uint8
+	// Single-choice codes (choiceSet nonempty).
+	correctCode int32
+	dkCode      int32
+	csCodes     []int32 // codes of choiceSet, same order
+}
+
+// sampleInto draws one answer and stores it. The RNG draw sequence is
+// exactly the historical row-path sequence (unanswered gate, don't-know
+// gate, correctness gate, then the wrong-choice retry loop for choice
+// questions), so columnar generation is bit-identical to the map-based
+// generator it replaced.
+func (m *colModel) sampleInto(d *colstore.Dataset, rng *rand.Rand, i int, ability float64) {
+	if rng.Float64() < m.pUn {
+		return // columns are zero-initialized: unanswered
 	}
-	if rng.Float64() < qm.dkProb(ability) {
-		return survey.Answer{Choice: survey.AnswerDontKnow}
+	if rng.Float64() < m.dkProb(ability) {
+		if m.csCodes == nil {
+			d.SetTF(m.ci, i, colstore.TFDontKnow)
+		} else {
+			d.SetSingle(m.ci, i, m.dkCode)
+		}
+		return
 	}
-	pc := invlogit(qm.offset + ability)
+	pc := invlogit(m.offset + ability)
 	if rng.Float64() < pc {
-		return survey.Answer{Choice: qm.correct}
+		if m.csCodes == nil {
+			d.SetTF(m.ci, i, m.correctTF)
+		} else {
+			d.SetSingle(m.ci, i, m.correctCode)
+		}
+		return
 	}
 	// Incorrect: for T/F flip the answer; for choice pick a wrong
 	// option uniformly.
-	if len(qm.choiceSet) == 0 {
-		wrong := survey.AnswerTrue
-		if qm.correct == survey.AnswerTrue {
-			wrong = survey.AnswerFalse
-		}
-		return survey.Answer{Choice: wrong}
+	if m.csCodes == nil {
+		d.SetTF(m.ci, i, m.wrongTF)
+		return
 	}
 	for {
-		c := qm.choiceSet[rng.Intn(len(qm.choiceSet))]
-		if c != qm.correct {
-			return survey.Answer{Choice: c}
+		k := rng.Intn(len(m.csCodes))
+		if m.csCodes[k] != m.correctCode {
+			d.SetSingle(m.ci, i, m.csCodes[k])
+			return
 		}
 	}
 }
 
-// fillBackground records the profile as survey answers.
-func fillBackground(r *survey.Response, p Profile) {
-	set := func(id, choice string) {
-		r.Answers[id] = survey.Answer{Choice: choice}
-	}
-	set(quiz.BGPosition, p.Position)
-	set(quiz.BGArea, p.Area)
-	set(quiz.BGFormalTraining, p.FormalTraining)
-	set(quiz.BGRole, p.Role)
-	set(quiz.BGContribSize, p.ContribSize)
-	set(quiz.BGContribExtent, p.ContribExtent)
-	set(quiz.BGInvolvedSize, p.InvolvedSize)
-	set(quiz.BGInvolvedExtent, p.InvolvedExtent)
-	if len(p.Informal) > 0 {
-		r.Answers[quiz.BGInformal] = survey.Answer{Choices: p.Informal}
-	}
-	if len(p.FPLanguages) > 0 {
-		r.Answers[quiz.BGFPLanguages] = survey.Answer{Choices: p.FPLanguages}
-	}
-	if len(p.ArbPrec) > 0 {
-		r.Answers[quiz.BGArbPrec] = survey.Answer{Choices: p.ArbPrec}
-	}
+// bgCol is one background question's column handle.
+type bgCol struct {
+	ci  int
+	col *colstore.Col
 }
 
-// fillSuspicion draws the five Likert answers from the published
-// distributions.
-func fillSuspicion(r *survey.Response, rng *rand.Rand, dists []paperdata.SuspicionDist) {
-	items := quiz.SuspicionItems()
-	for i, it := range items {
-		d := dists[i]
-		r.Answers[it.ID] = survey.Answer{Level: drawLikert(rng, d.Percent)}
+// colSampler writes whole respondents straight into a columnar dataset.
+// Everything string-shaped (question IDs, option labels, answer keys)
+// is resolved to column indices and codes at construction; the per-
+// respondent sample path allocates nothing.
+type colSampler struct {
+	d *colstore.Dataset
+
+	position, area, training, role bgCol
+	contribSize, contribExtent     bgCol
+	involvedSize, involvedExtent   bgCol
+	informal, languages, arbprec   bgCol
+
+	models []colModel
+
+	suspCI []int
+	dists  []paperdata.SuspicionDist
+}
+
+// newColSampler binds the calibrated question models and the background
+// and suspicion questions to d's columns.
+func newColSampler(d *colstore.Dataset, models []questionModel, dists []paperdata.SuspicionDist) *colSampler {
+	s := d.Schema
+	bind := func(id string) bgCol {
+		ci := s.MustColumnIndex(id)
+		return bgCol{ci: ci, col: s.Column(ci)}
+	}
+	cs := &colSampler{
+		d:              d,
+		position:       bind(quiz.BGPosition),
+		area:           bind(quiz.BGArea),
+		training:       bind(quiz.BGFormalTraining),
+		role:           bind(quiz.BGRole),
+		contribSize:    bind(quiz.BGContribSize),
+		contribExtent:  bind(quiz.BGContribExtent),
+		involvedSize:   bind(quiz.BGInvolvedSize),
+		involvedExtent: bind(quiz.BGInvolvedExtent),
+		informal:       bind(quiz.BGInformal),
+		languages:      bind(quiz.BGFPLanguages),
+		arbprec:        bind(quiz.BGArbPrec),
+		dists:          dists,
+	}
+	for _, qm := range models {
+		ci := s.MustColumnIndex(qm.id)
+		m := colModel{questionModel: qm, ci: ci}
+		if len(qm.choiceSet) == 0 {
+			if qm.correct == survey.AnswerTrue {
+				m.correctTF, m.wrongTF = colstore.TFTrue, colstore.TFFalse
+			} else {
+				m.correctTF, m.wrongTF = colstore.TFFalse, colstore.TFTrue
+			}
+		} else {
+			col := s.Column(ci)
+			m.correctCode = col.MustOptionCode(qm.correct)
+			m.dkCode = col.MustOptionCode(survey.AnswerDontKnow)
+			m.csCodes = make([]int32, len(qm.choiceSet))
+			for k, c := range qm.choiceSet {
+				m.csCodes[k] = col.MustOptionCode(c)
+			}
+		}
+		cs.models = append(cs.models, m)
+	}
+	for _, it := range quiz.SuspicionItems() {
+		cs.suspCI = append(cs.suspCI, s.MustColumnIndex(it.ID))
+	}
+	return cs
+}
+
+// maskOf folds a drawn multi-select list into its option bitset. Drawn
+// lists come from the same tables the option lists are built from, in
+// table order, so the mask reproduces the identical choices list.
+func maskOf(c *colstore.Col, labels []string) uint64 {
+	var mask uint64
+	for _, l := range labels {
+		mask |= 1 << uint(c.MustOptionCode(l)-1)
+	}
+	return mask
+}
+
+// sample writes respondent i — background, quiz answers, suspicion —
+// into the dataset. Only element i of each column is touched, so
+// distinct respondents sample concurrently (the shard-splittability
+// contract), and the whole path performs zero heap allocations.
+func (cs *colSampler) sample(rng *rand.Rand, i int, p *Profile) {
+	d := cs.d
+	d.SetSingle(cs.position.ci, i, cs.position.col.MustOptionCode(p.Position))
+	d.SetSingle(cs.area.ci, i, cs.area.col.MustOptionCode(p.Area))
+	d.SetSingle(cs.training.ci, i, cs.training.col.MustOptionCode(p.FormalTraining))
+	d.SetSingle(cs.role.ci, i, cs.role.col.MustOptionCode(p.Role))
+	d.SetSingle(cs.contribSize.ci, i, cs.contribSize.col.MustOptionCode(p.ContribSize))
+	d.SetSingle(cs.contribExtent.ci, i, cs.contribExtent.col.MustOptionCode(p.ContribExtent))
+	d.SetSingle(cs.involvedSize.ci, i, cs.involvedSize.col.MustOptionCode(p.InvolvedSize))
+	d.SetSingle(cs.involvedExtent.ci, i, cs.involvedExtent.col.MustOptionCode(p.InvolvedExtent))
+	d.SetMultiMask(cs.informal.ci, i, maskOf(cs.informal.col, p.Informal))
+	d.SetMultiMask(cs.languages.ci, i, maskOf(cs.languages.col, p.FPLanguages))
+	d.SetMultiMask(cs.arbprec.ci, i, maskOf(cs.arbprec.col, p.ArbPrec))
+	for k := range cs.models {
+		m := &cs.models[k]
+		a := p.Ability
+		if m.abilityOpt {
+			a = p.OptAbility
+		}
+		m.sampleInto(d, rng, i, a)
+	}
+	for k, ci := range cs.suspCI {
+		d.SetLikert(ci, i, drawLikert(rng, cs.dists[k].Percent))
 	}
 }
 
@@ -600,17 +736,27 @@ func GenerateStudentsWorkers(seed int64, n, workers int) *survey.Dataset {
 // telemetry handles (see Instrumentation; the student cohort has a
 // single sample-responses stage).
 func GenerateStudentsInstrumented(seed int64, n, workers int, inst Instrumentation) *survey.Dataset {
+	return GenerateStudentsColumnar(seed, n, workers, inst).ToSurveyWorkers(workers)
+}
+
+// GenerateStudentsColumnar generates the student cohort directly into
+// columns: five Likert stores per respondent, no maps.
+func GenerateStudentsColumnar(seed int64, n, workers int, inst Instrumentation) *colstore.Dataset {
 	sp := inst.Span.StartChild("sample-responses")
-	ds := &survey.Dataset{Instrument: quiz.Instrument().Title, Version: "1.0-student"}
-	ds.Responses = parallel.Map(workers, n, func(i int) survey.Response {
-		rng := parallel.RNG(seed, streamStudent, int64(i))
-		r := survey.Response{Answers: map[string]survey.Answer{}}
-		fillSuspicion(&r, rng, paperdata.Figure22Student)
+	d := quiz.Columns().NewDataset("1.0-student", n)
+	var suspCI []int
+	for _, it := range quiz.SuspicionItems() {
+		suspCI = append(suspCI, d.Schema.MustColumnIndex(it.ID))
+	}
+	dists := paperdata.Figure22Student
+	parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
+		parallel.Reseed(rng, seed, streamStudent, int64(i))
+		for k, ci := range suspCI {
+			d.SetLikert(ci, i, drawLikert(rng, dists[k].Percent))
+		}
 		inst.Progress.Inc()
-		return r
 	})
 	sp.AddItems(int64(n))
 	sp.End()
-	ds.Anonymize()
-	return ds
+	return d
 }

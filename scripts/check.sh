@@ -14,4 +14,14 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Optional memory gate: CHECK_BENCH_MEM=1 also runs the zero-allocation
+# tests and the allocation-reporting benchmarks of the sampling/grading
+# hot loops (make bench-mem). Off by default — the same assertions run
+# (race-enabled) in the suite above; this stage re-runs them without
+# the race detector's allocator interference and prints allocs/op.
+if [ "${CHECK_BENCH_MEM:-0}" = "1" ]; then
+	echo "==> make bench-mem"
+	make bench-mem
+fi
+
 echo "==> all checks passed"
