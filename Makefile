@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke bench-gate
 
 check:
 	sh scripts/check.sh
@@ -35,3 +35,22 @@ bench-pipeline:
 # -telemetry and asserts /debug/vars serves live fpstudy metrics.
 telemetry-smoke:
 	$(GO) run scripts/telemetry_smoke.go
+
+# End-to-end check of the tracing surface: generates n=199 with -trace
+# and validates the Chrome trace-event JSON (parses, contains all four
+# pipeline stages and per-worker lanes).
+trace-smoke:
+	$(GO) run scripts/trace_smoke.go
+
+# Perf-regression gate: re-times the pipeline at the small/medium
+# cohort sizes and compares against the committed BENCH_pipeline.json
+# with fpbench compare (default noise bands; appends the fresh run to
+# BENCH_history.jsonl). Exits nonzero if throughput, allocations, or GC
+# pauses regressed beyond the bands. CHECK_BENCH_GATE=1 make check runs
+# this as part of the full gate. Note: compare flags come before the
+# positional report paths.
+bench-gate:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o $$tmp/fpbench ./cmd/fpbench && \
+	$$tmp/fpbench -n 199,10000 -reps 2 -o $$tmp/new.json && \
+	$$tmp/fpbench compare -history BENCH_history.jsonl BENCH_pipeline.json $$tmp/new.json

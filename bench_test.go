@@ -190,6 +190,42 @@ func BenchmarkStudyPipelineTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkStudyPipelineTrace is BenchmarkStudyPipelineTelemetry plus
+// an installed tracer: the full observability stack with structured
+// event recording (stage/worker/shard/batch events into per-lane ring
+// buffers). Comparing it against BenchmarkStudyPipeline/n=10000
+// measures total tracing overhead; the budget is <5%.
+func BenchmarkStudyPipelineTrace(b *testing.B) {
+	const n = 10000
+	reg := telemetry.NewRegistry()
+	core.InstallPipelineTelemetry(reg)
+	defer core.UninstallPipelineTelemetry()
+	tracer := telemetry.NewDefaultTracer()
+	telemetry.SetTracer(tracer)
+	defer telemetry.SetTracer(nil)
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rec := telemetry.NewRecorder(reg)
+			s := core.Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers, Telemetry: rec}
+			// Prime the one-time oracle answer-key cache so the first
+			// timed run isn't charged for it.
+			core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: workers}.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := s.Run()
+				if len(r.CoreTallies) != n {
+					b.Fatalf("pipeline produced %d tallies, want %d", len(r.CoreTallies), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
+		})
+	}
+	if tracer.Recorded() == 0 {
+		b.Fatal("tracer recorded no events during the traced benchmark")
+	}
+}
+
 // Softfloat operation throughput (the substrate the oracles run on).
 
 func benchOp(b *testing.B, fn func(e *ieee754.Env, x, y uint64) uint64) {

@@ -1,16 +1,21 @@
 // Command fpbench times the end-to-end study pipeline (generation +
 // grading) across cohort sizes and worker counts and emits a
 // machine-readable JSON report, so performance changes can be tracked
-// across commits and machines.
+// across commits and machines. Its compare mode diffs two reports
+// against noise bands and maintains the BENCH_history.jsonl
+// trajectory — the perf-regression gate `make bench-gate` runs.
 //
 // Usage:
 //
 //	fpbench -o BENCH_pipeline.json
 //	fpbench -n 199,10000 -workers 1,2,4 -reps 3
 //	fpbench -telemetry 127.0.0.1:6060    # live /debug/vars + pprof while timing
+//	fpbench -trace out.trace.json        # export a Chrome/Perfetto trace of the timed reps
+//	fpbench compare old.json new.json    # exit 1 if new regressed beyond the noise bands
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,68 +25,10 @@ import (
 	"strings"
 	"time"
 
+	"fpstudy/internal/benchcmp"
 	"fpstudy/internal/core"
 	"fpstudy/internal/telemetry"
 )
-
-// schemaVersion is the BENCH_pipeline.json document version.
-//
-// History:
-//
-//	1 (implicit, field absent) — tool/timestamp/seed/host/runs with
-//	  per-run best_seconds, respondents_per_sec, speedup_vs_serial.
-//	2 — adds "schema_version" itself and per-run "spans": the stage
-//	  span breakdown (generate-main / generate-students / calibrate /
-//	  grade, with per-stage seconds, items, items/sec) of the best rep.
-//	3 — "speedup_vs_serial" is omitted (instead of a meaningless 0)
-//	  when no workers=1 baseline was timed for the same n; adds per-run
-//	  memory statistics from runtime.ReadMemStats deltas over the best
-//	  rep: "allocs_per_respondent", "total_alloc_mb" (MiB),
-//	  "gc_pause_total_ms", "gc_count". The pipeline is timed
-//	  ColumnarOnly (columnar generation + grading, no row-view
-//	  materialization) — the configuration large cohorts run.
-const schemaVersion = 3
-
-// host identifies the benchmarking machine.
-type host struct {
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	GoVersion  string `json:"go_version"`
-}
-
-// run is one timed pipeline execution configuration.
-type run struct {
-	N                 int     `json:"n"`
-	Workers           int     `json:"workers"`
-	Reps              int     `json:"reps"`
-	BestSeconds       float64 `json:"best_seconds"`
-	RespondentsPerSec float64 `json:"respondents_per_sec"`
-	// SpeedupVsSerial compares against the workers=1 run of the same n
-	// (1.0 when this is that run). It is omitted entirely when no
-	// workers=1 baseline was timed for this n — a missing baseline is
-	// not a measurement of 0.
-	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
-	// Memory statistics: runtime.ReadMemStats deltas over the best rep.
-	AllocsPerRespondent float64 `json:"allocs_per_respondent"`
-	TotalAllocMB        float64 `json:"total_alloc_mb"`
-	GCPauseTotalMS      float64 `json:"gc_pause_total_ms"`
-	GCCount             uint32  `json:"gc_count"`
-	// Spans is the stage breakdown of the best (fastest) rep, so slow
-	// stages can be attributed without rerunning under a profiler.
-	Spans []telemetry.SpanSnapshot `json:"spans"`
-}
-
-// report is the BENCH_pipeline.json document.
-type report struct {
-	SchemaVersion int    `json:"schema_version"`
-	Tool          string `json:"tool"`
-	Timestamp     string `json:"timestamp"`
-	Seed          int64  `json:"seed"`
-	Host          host   `json:"host"`
-	Runs          []run  `json:"runs"`
-}
 
 // memDelta captures the runtime.MemStats movement across one rep.
 type memDelta struct {
@@ -105,11 +52,87 @@ func parseInts(s, flagName string) []int {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:]))
+	}
+	benchMain()
+}
+
+// compareMain implements `fpbench compare [flags] old.json new.json`:
+// diff two benchmark reports against noise bands, append the new run
+// to the benchmark trajectory, exit 1 on regression (2 on usage or
+// I/O errors). Flags come before the positional report paths (Go flag
+// parsing stops at the first non-flag argument).
+func compareMain(args []string) int {
+	fs := flag.NewFlagSet("fpbench compare", flag.ExitOnError)
+	throughputBand := fs.Float64("throughput-band", 0, "tolerated relative throughput drop (default 0.05 = 5%)")
+	allocsBand := fs.Float64("allocs-band", 0, "tolerated relative allocs/respondent growth (default 0.10)")
+	gcBand := fs.Float64("gc-band", 0, "tolerated relative GC-pause growth (default 0.50)")
+	history := fs.String("history", "BENCH_history.jsonl", "benchmark trajectory to append the new run to (empty disables)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fpbench compare [flags] old.json new.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := benchcmp.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench compare:", err)
+		return 2
+	}
+	cur, err := benchcmp.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench compare:", err)
+		return 2
+	}
+
+	res := benchcmp.Compare(old, cur, benchcmp.Bands{
+		Throughput: *throughputBand,
+		Allocs:     *allocsBand,
+		GCPause:    *gcBand,
+	})
+	for _, d := range res.Deltas {
+		mark := "ok"
+		if d.Regression {
+			mark = "REGRESSION"
+		}
+		fmt.Fprintf(os.Stderr, "fpbench compare: n=%d workers=%d %-22s %12.3f -> %12.3f (%+.1f%%) %s\n",
+			d.N, d.Workers, d.Metric, d.Old, d.New, 100*d.Change, mark)
+	}
+	for _, c := range res.OnlyOld {
+		fmt.Fprintf(os.Stderr, "fpbench compare: %s only in %s (not gated)\n", c, fs.Arg(0))
+	}
+	for _, c := range res.OnlyNew {
+		fmt.Fprintf(os.Stderr, "fpbench compare: %s only in %s (not gated)\n", c, fs.Arg(1))
+	}
+
+	if *history != "" {
+		if err := benchcmp.AppendHistory(*history, cur, time.Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench compare:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "fpbench compare: appended run to %s\n", *history)
+	}
+
+	if regs := res.Regressions(); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "fpbench compare: %d regression(s) beyond the noise bands\n", len(regs))
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "fpbench compare: no regressions")
+	return 0
+}
+
+func benchMain() {
 	ns := flag.String("n", "199,10000", "comma-separated cohort sizes")
 	ws := flag.String("workers", "1,0", "comma-separated worker counts (0 means GOMAXPROCS)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best time is reported)")
 	seed := flag.Int64("seed", 42, "study seed")
 	out := flag.String("o", "BENCH_pipeline.json", "output file (- for stdout); also writes <out>.manifest.json")
+	force := flag.Bool("force", false, "overwrite the output even if it would drop cohort sizes present in the existing report")
+	tracePath := flag.String("trace", "", "export a structured trace of the timed reps (.json Chrome trace-event format, .jsonl JSON Lines)")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
@@ -124,6 +147,24 @@ func main() {
 		workerCounts = append(workerCounts, v)
 	}
 
+	// Truncation guard: overwriting the committed report with a run that
+	// drops cohort sizes (the default -n has no n=1M, the committed file
+	// does) would silently shrink the benchmark trajectory. Checked
+	// before any benchmarking so a refused run costs nothing.
+	if *out != "-" && !*force {
+		if existing, err := benchcmp.Load(*out); err == nil {
+			planned := &benchcmp.Report{}
+			for _, n := range sizes {
+				planned.Runs = append(planned.Runs, benchcmp.Run{N: n})
+			}
+			if missing := benchcmp.MissingNSizes(existing, planned); len(missing) > 0 {
+				fmt.Fprintf(os.Stderr, "fpbench: refusing to overwrite %s: it has runs at n=%v that this invocation would drop (pass -force to overwrite, or add the sizes to -n)\n",
+					*out, missing)
+				os.Exit(2)
+			}
+		}
+	}
+
 	// One registry accumulates across every rep (it feeds /debug/vars
 	// and the manifest); span recorders are per-rep so each run's stage
 	// breakdown is isolated. The benchmark numbers include the
@@ -132,22 +173,38 @@ func main() {
 	core.InstallPipelineTelemetry(reg)
 	procRec := telemetry.NewRecorder(reg)
 	procRec.PublishExpvar("fpstudy")
+
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewDefaultTracer()
+		telemetry.SetTracer(tracer)
+	}
+	// The mem sampler feeds the live gauges and, when tracing, marks GC
+	// cycles on the trace timeline.
+	stopMem := telemetry.StartMemSampler(
+		reg.Gauge(core.MetricHeapAlloc), reg.Gauge(core.MetricGCCount), 250*time.Millisecond)
+	defer stopMem()
+
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Serve(*telemetryAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort at exit
+		}()
 		fmt.Fprintf(os.Stderr, "fpbench: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
-	rep := report{
-		SchemaVersion: schemaVersion,
+	rep := benchcmp.Report{
+		SchemaVersion: benchcmp.SchemaVersion,
 		Tool:          "fpbench",
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		Seed:          *seed,
-		Host: host{
+		Host: benchcmp.Host{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
 			NumCPU:     runtime.NumCPU(),
@@ -202,7 +259,7 @@ func main() {
 				v := serial / best
 				speedup = &v
 			}
-			rep.Runs = append(rep.Runs, run{
+			rep.Runs = append(rep.Runs, benchcmp.Run{
 				N: n, Workers: w, Reps: *reps,
 				BestSeconds:         best,
 				RespondentsPerSec:   float64(n) / best,
@@ -216,6 +273,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec, %.1f allocs/respondent, %d GCs)\n",
 				n, w, best, float64(n)/best, float64(bestMem.allocs)/float64(n), bestMem.gcCount)
 		}
+	}
+
+	if tracer != nil {
+		stopMem() // final GC sample before export; idempotent with the defer
+		if err := telemetry.WriteTraceFile(*tracePath, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fpbench: wrote trace %s (%d events, %d dropped)\n",
+			*tracePath, tracer.Recorded()-tracer.Dropped(), tracer.Dropped())
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")

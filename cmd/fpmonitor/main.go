@@ -11,16 +11,20 @@
 //	fpmonitor                       # audit the whole suite
 //	fpmonitor -format binary32      # run in another format
 //	fpmonitor -ftz                  # non-standard flush-to-zero mode
+//	fpmonitor -telemetry 127.0.0.1:6060  # live per-kernel spans on /debug/vars
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fpstudy/internal/ieee754"
 	"fpstudy/internal/kernels"
 	"fpstudy/internal/monitor"
+	"fpstudy/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +32,7 @@ func main() {
 	name := flag.String("kernel", "", "run only the named kernel")
 	formatName := flag.String("format", "binary64", "binary16, binary32, or binary64")
 	ftz := flag.Bool("ftz", false, "enable flush-to-zero/denormals-are-zero (non-standard)")
+	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 
 	suite := kernels.All()
@@ -36,6 +41,29 @@ func main() {
 			fmt.Printf("%-18s %s\n", k.Name, k.Description)
 		}
 		return
+	}
+
+	// The kernel audits are observable like the pipeline tools: one
+	// span per kernel on /debug/vars while the suite runs. The nil
+	// Recorder makes all of this a no-op when -telemetry is unset.
+	var rec *telemetry.Recorder
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		rec = telemetry.NewRecorder(reg)
+		rec.PublishExpvar("fpstudy")
+		srv, err := telemetry.Serve(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpmonitor:", err)
+			os.Exit(1)
+		}
+		// Graceful shutdown releases the port at exit but lets an
+		// in-flight scrape finish (bounded).
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort at exit
+		}()
+		fmt.Fprintf(os.Stderr, "fpmonitor: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	var f ieee754.Format
@@ -57,9 +85,12 @@ func main() {
 			continue
 		}
 		ran++
+		span := rec.StartSpan(k.Name)
 		m := monitor.NewWithEnv(ieee754.Env{FTZ: *ftz, DAZ: *ftz})
 		res := k.Run(m.Env(), f)
 		rep := m.Report()
+		span.AddItems(int64(rep.TotalOps))
+		span.End()
 		fmt.Printf("=== %s (%s) ===\n", k.Name, k.Description)
 		fmt.Printf("result: %s\n", f.String(res))
 		fmt.Print(rep.String())

@@ -1,0 +1,388 @@
+// Package benchcmp is the perf-regression observatory over fpbench
+// reports: it parses BENCH_pipeline.json documents (schema v3), diffs
+// two of them metric-by-metric against configurable noise bands, and
+// maintains the append-only BENCH_history.jsonl trajectory. fpbench's
+// compare mode and the make bench-gate CI hook are thin wrappers over
+// this package, so the regression logic itself is unit-testable.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fpstudy/internal/telemetry"
+)
+
+// SchemaVersion is the BENCH_pipeline.json document version this
+// package reads and writes.
+//
+// History:
+//
+//	1 (implicit, field absent) — tool/timestamp/seed/host/runs with
+//	  per-run best_seconds, respondents_per_sec, speedup_vs_serial.
+//	2 — adds "schema_version" itself and per-run "spans": the stage
+//	  span breakdown (generate-main / generate-students / calibrate /
+//	  grade, with per-stage seconds, items, items/sec) of the best rep.
+//	3 — "speedup_vs_serial" is omitted (instead of a meaningless 0)
+//	  when no workers=1 baseline was timed for the same n; adds per-run
+//	  memory statistics from runtime.ReadMemStats deltas over the best
+//	  rep: "allocs_per_respondent", "total_alloc_mb" (MiB),
+//	  "gc_pause_total_ms", "gc_count". The pipeline is timed
+//	  ColumnarOnly (columnar generation + grading, no row-view
+//	  materialization) — the configuration large cohorts run.
+const SchemaVersion = 3
+
+// Host identifies the benchmarking machine.
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// Run is one timed pipeline execution configuration.
+type Run struct {
+	N                 int     `json:"n"`
+	Workers           int     `json:"workers"`
+	Reps              int     `json:"reps"`
+	BestSeconds       float64 `json:"best_seconds"`
+	RespondentsPerSec float64 `json:"respondents_per_sec"`
+	// SpeedupVsSerial compares against the workers=1 run of the same n
+	// (1.0 when this is that run). It is omitted entirely when no
+	// workers=1 baseline was timed for this n — a missing baseline is
+	// not a measurement of 0.
+	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
+	// Memory statistics: runtime.ReadMemStats deltas over the best rep.
+	AllocsPerRespondent float64 `json:"allocs_per_respondent"`
+	TotalAllocMB        float64 `json:"total_alloc_mb"`
+	GCPauseTotalMS      float64 `json:"gc_pause_total_ms"`
+	GCCount             uint32  `json:"gc_count"`
+	// Spans is the stage breakdown of the best (fastest) rep, so slow
+	// stages can be attributed without rerunning under a profiler.
+	Spans []telemetry.SpanSnapshot `json:"spans"`
+}
+
+// Report is the BENCH_pipeline.json document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	Timestamp     string `json:"timestamp"`
+	Seed          int64  `json:"seed"`
+	Host          Host   `json:"host"`
+	Runs          []Run  `json:"runs"`
+}
+
+// Parse decodes a BENCH_pipeline.json document.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchcmp: parse report: %w", err)
+	}
+	if r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("benchcmp: report schema v%d is newer than supported v%d", r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Load reads and decodes a BENCH_pipeline.json file.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// NSizes returns the distinct cohort sizes the report timed, ascending.
+func (r *Report) NSizes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, run := range r.Runs {
+		if !seen[run.N] {
+			seen[run.N] = true
+			out = append(out, run.N)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MissingNSizes returns the cohort sizes present in old but absent
+// from new, ascending — the sizes an overwrite would silently drop
+// from the benchmark trajectory. Empty when new covers old.
+func MissingNSizes(old, new *Report) []int {
+	have := map[int]bool{}
+	for _, run := range new.Runs {
+		have[run.N] = true
+	}
+	var missing []int
+	for _, n := range old.NSizes() {
+		if !have[n] {
+			missing = append(missing, n)
+		}
+	}
+	return missing
+}
+
+// Bands are the relative noise tolerances of a comparison: a metric
+// must move beyond its band (and beyond its absolute floor, where one
+// exists) in the bad direction to count as a regression. Zero values
+// mean "use the default for this band".
+type Bands struct {
+	// Throughput is the tolerated relative drop in respondents_per_sec
+	// (0.05 = 5%).
+	Throughput float64
+	// Allocs is the tolerated relative growth in allocs_per_respondent.
+	Allocs float64
+	// AllocsFloor is the minimum absolute growth (allocations per
+	// respondent) that can count as a regression — relative bands alone
+	// would flag 0.05 → 0.12 allocs/respondent, which is noise.
+	AllocsFloor float64
+	// GCPause is the tolerated relative growth in gc_pause_total_ms.
+	GCPause float64
+	// GCPauseFloorMS is the minimum absolute pause growth (ms) that can
+	// count as a regression.
+	GCPauseFloorMS float64
+}
+
+// DefaultBands are the bands the bench-gate runs with: 5% throughput,
+// 10% allocations (floor: one allocation per respondent), 50% GC pause
+// (floor: 5ms) — GC pause totals are by far the noisiest of the three.
+func DefaultBands() Bands {
+	return Bands{
+		Throughput:     0.05,
+		Allocs:         0.10,
+		AllocsFloor:    1.0,
+		GCPause:        0.50,
+		GCPauseFloorMS: 5.0,
+	}
+}
+
+// withDefaults fills zero fields from DefaultBands.
+func (b Bands) withDefaults() Bands {
+	d := DefaultBands()
+	if b.Throughput == 0 {
+		b.Throughput = d.Throughput
+	}
+	if b.Allocs == 0 {
+		b.Allocs = d.Allocs
+	}
+	if b.AllocsFloor == 0 {
+		b.AllocsFloor = d.AllocsFloor
+	}
+	if b.GCPause == 0 {
+		b.GCPause = d.GCPause
+	}
+	if b.GCPauseFloorMS == 0 {
+		b.GCPauseFloorMS = d.GCPauseFloorMS
+	}
+	return b
+}
+
+// Delta is one metric of one (n, workers) configuration, compared
+// across two reports. Change is the relative movement ((new-old)/old),
+// signed so that positive is "more of the metric" regardless of
+// direction-of-goodness.
+type Delta struct {
+	N          int     `json:"n"`
+	Workers    int     `json:"workers"`
+	Metric     string  `json:"metric"`
+	Old        float64 `json:"old"`
+	New        float64 `json:"new"`
+	Change     float64 `json:"change"`
+	Regression bool    `json:"regression"`
+}
+
+// Result is the outcome of comparing two reports.
+type Result struct {
+	// Deltas holds one entry per (configuration, metric) present in
+	// both reports, in old-report run order.
+	Deltas []Delta
+	// OnlyOld / OnlyNew list configurations ("n=199/workers=1") present
+	// in exactly one report; they are reported but never gate.
+	OnlyOld []string
+	OnlyNew []string
+}
+
+// Regressions returns the deltas that exceeded their band.
+func (r *Result) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// configKey identifies one timed configuration.
+type configKey struct{ n, workers int }
+
+// relChange returns (new-old)/old, and 0 when old is 0 (a metric
+// appearing from nothing has no meaningful relative change; the
+// absolute floors handle that case).
+func relChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// Compare diffs two reports metric-by-metric. For every (n, workers)
+// configuration present in both, it emits deltas for throughput
+// (respondents_per_sec, regression = drop beyond the band),
+// allocations per respondent and GC pause total (regression = growth
+// beyond both the relative band and the absolute floor). Matching is
+// by configuration, not position, so reordered or partially
+// overlapping reports compare correctly.
+func Compare(old, new *Report, bands Bands) *Result {
+	bands = bands.withDefaults()
+	newRuns := map[configKey]Run{}
+	for _, run := range new.Runs {
+		newRuns[configKey{run.N, run.Workers}] = run
+	}
+	oldSeen := map[configKey]bool{}
+
+	res := &Result{}
+	for _, o := range old.Runs {
+		key := configKey{o.N, o.Workers}
+		oldSeen[key] = true
+		n, ok := newRuns[key]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld, fmt.Sprintf("n=%d/workers=%d", o.N, o.Workers))
+			continue
+		}
+
+		thr := relChange(o.RespondentsPerSec, n.RespondentsPerSec)
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Workers: o.Workers, Metric: "respondents_per_sec",
+			Old: o.RespondentsPerSec, New: n.RespondentsPerSec, Change: thr,
+			Regression: thr < -bands.Throughput,
+		})
+
+		alloc := relChange(o.AllocsPerRespondent, n.AllocsPerRespondent)
+		allocGrowth := n.AllocsPerRespondent - o.AllocsPerRespondent
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Workers: o.Workers, Metric: "allocs_per_respondent",
+			Old: o.AllocsPerRespondent, New: n.AllocsPerRespondent, Change: alloc,
+			Regression: allocGrowth > bands.AllocsFloor &&
+				(alloc > bands.Allocs || o.AllocsPerRespondent == 0),
+		})
+
+		gc := relChange(o.GCPauseTotalMS, n.GCPauseTotalMS)
+		gcGrowth := n.GCPauseTotalMS - o.GCPauseTotalMS
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Workers: o.Workers, Metric: "gc_pause_total_ms",
+			Old: o.GCPauseTotalMS, New: n.GCPauseTotalMS, Change: gc,
+			Regression: gcGrowth > bands.GCPauseFloorMS &&
+				(gc > bands.GCPause || o.GCPauseTotalMS == 0),
+		})
+	}
+	for _, n := range new.Runs {
+		if !oldSeen[configKey{n.N, n.Workers}] {
+			res.OnlyNew = append(res.OnlyNew, fmt.Sprintf("n=%d/workers=%d", n.N, n.Workers))
+		}
+	}
+	return res
+}
+
+// HistoryRun is the compact per-configuration record kept in the
+// benchmark trajectory (the full span trees stay in the report files).
+type HistoryRun struct {
+	N                   int     `json:"n"`
+	Workers             int     `json:"workers"`
+	BestSeconds         float64 `json:"best_seconds"`
+	RespondentsPerSec   float64 `json:"respondents_per_sec"`
+	AllocsPerRespondent float64 `json:"allocs_per_respondent"`
+	GCPauseTotalMS      float64 `json:"gc_pause_total_ms"`
+	GCCount             uint32  `json:"gc_count"`
+}
+
+// HistoryEntry is one line of BENCH_history.jsonl: one benchmark run,
+// appended at comparison time so the trajectory accretes across
+// commits and machines.
+type HistoryEntry struct {
+	Timestamp string       `json:"timestamp"`
+	Appended  string       `json:"appended"` // when this line was written
+	Seed      int64        `json:"seed"`
+	Host      Host         `json:"host"`
+	Runs      []HistoryRun `json:"runs"`
+}
+
+// HistoryFromReport compacts a report into its trajectory record.
+// appendedAt stamps when the line is written (distinct from the
+// report's own timestamp, which records when it was measured).
+func HistoryFromReport(r *Report, appendedAt time.Time) HistoryEntry {
+	e := HistoryEntry{
+		Timestamp: r.Timestamp,
+		Appended:  appendedAt.UTC().Format(time.RFC3339),
+		Seed:      r.Seed,
+		Host:      r.Host,
+	}
+	for _, run := range r.Runs {
+		e.Runs = append(e.Runs, HistoryRun{
+			N: run.N, Workers: run.Workers,
+			BestSeconds:         run.BestSeconds,
+			RespondentsPerSec:   run.RespondentsPerSec,
+			AllocsPerRespondent: run.AllocsPerRespondent,
+			GCPauseTotalMS:      run.GCPauseTotalMS,
+			GCCount:             run.GCCount,
+		})
+	}
+	return e
+}
+
+// AppendHistory appends one JSONL line for the report to path
+// (O_APPEND: concurrent appenders interleave whole lines, and an
+// existing trajectory is never rewritten).
+func AppendHistory(path string, r *Report, appendedAt time.Time) error {
+	line, err := json.Marshal(HistoryFromReport(r, appendedAt))
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadHistory parses a BENCH_history.jsonl trajectory, oldest first.
+// Blank lines are skipped; a malformed line is an error (the file is
+// machine-written).
+func ReadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("benchcmp: %s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// mkReport builds a two-configuration report for comparison tests.
+func mkReport(thr199, thr10k, allocs, gcPause float64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "fpbench",
+		Timestamp:     "2026-01-01T00:00:00Z",
+		Seed:          42,
+		Runs: []Run{
+			{N: 199, Workers: 1, BestSeconds: 199 / thr199, RespondentsPerSec: thr199,
+				AllocsPerRespondent: allocs, GCPauseTotalMS: gcPause},
+			{N: 10000, Workers: 0, BestSeconds: 10000 / thr10k, RespondentsPerSec: thr10k,
+				AllocsPerRespondent: allocs, GCPauseTotalMS: gcPause},
+		},
+	}
+}
+
+// TestCompareDetectsThroughputRegression pins the acceptance
+// criterion: an artificially injected 20% throughput drop is a
+// regression under the default 5% band.
+func TestCompareDetectsThroughputRegression(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2)
+	cur := mkReport(8000, 26400, 7.3, 2) // −20% on both configurations
+
+	res := Compare(old, cur, Bands{})
+	regs := res.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (throughput on both configs): %+v", len(regs), regs)
+	}
+	for _, d := range regs {
+		if d.Metric != "respondents_per_sec" {
+			t.Fatalf("unexpected regression metric %q", d.Metric)
+		}
+		if d.Change > -0.19 || d.Change < -0.21 {
+			t.Fatalf("change = %.3f, want ≈ -0.20", d.Change)
+		}
+	}
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2)
+	cur := mkReport(9700, 32100, 7.5, 2.5) // ~3% thr drop, small alloc/gc noise
+
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("noise flagged as regression: %+v", regs)
+	}
+	if len(res.Deltas) != 6 {
+		t.Fatalf("got %d deltas, want 6 (3 metrics × 2 configs)", len(res.Deltas))
+	}
+}
+
+func TestCompareImprovementNeverRegresses(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 10)
+	cur := mkReport(20000, 66000, 1.0, 0.5)
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", regs)
+	}
+}
+
+// TestCompareAllocFloor pins the absolute floor: tiny absolute alloc
+// growth never gates even when relatively large, and growth from a
+// zero baseline gates once past the floor.
+func TestCompareAllocFloor(t *testing.T) {
+	old := mkReport(10000, 33000, 0.05, 2)
+	cur := mkReport(10000, 33000, 0.5, 2) // 10× relative, +0.45 absolute
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor alloc growth gated: %+v", regs)
+	}
+
+	old = mkReport(10000, 33000, 0, 2)
+	cur = mkReport(10000, 33000, 8, 2) // from zero past the floor
+	regs := Compare(old, cur, Bands{}).Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("allocs-from-zero not gated: %+v", regs)
+	}
+	for _, d := range regs {
+		if d.Metric != "allocs_per_respondent" {
+			t.Fatalf("unexpected regression metric %q", d.Metric)
+		}
+	}
+}
+
+func TestCompareGCPauseFloor(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 1)
+	cur := mkReport(10000, 33000, 7.3, 4) // 4× relative but only +3ms
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor GC pause growth gated: %+v", regs)
+	}
+	cur = mkReport(10000, 33000, 7.3, 20) // +19ms and 20× — gates
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 2 {
+		t.Fatalf("GC pause blow-up not gated: %+v", regs)
+	}
+}
+
+func TestCompareCustomBands(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2)
+	cur := mkReport(9000, 29700, 7.3, 2) // −10%
+	if regs := Compare(old, cur, Bands{Throughput: 0.15}).Regressions(); len(regs) != 0 {
+		t.Fatalf("−10%% gated under a 15%% band: %+v", regs)
+	}
+	if regs := Compare(old, cur, Bands{Throughput: 0.02}).Regressions(); len(regs) != 2 {
+		t.Fatalf("−10%% not gated under a 2%% band: %+v", regs)
+	}
+}
+
+func TestCompareDisjointConfigs(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2)
+	cur := &Report{Runs: []Run{{N: 199, Workers: 1, RespondentsPerSec: 10000,
+		AllocsPerRespondent: 7.3, GCPauseTotalMS: 2}, {N: 50, Workers: 2, RespondentsPerSec: 1}}}
+
+	res := Compare(old, cur, Bands{})
+	if len(res.Deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (only the shared config)", len(res.Deltas))
+	}
+	if !reflect.DeepEqual(res.OnlyOld, []string{"n=10000/workers=0"}) {
+		t.Fatalf("OnlyOld = %v", res.OnlyOld)
+	}
+	if !reflect.DeepEqual(res.OnlyNew, []string{"n=50/workers=2"}) {
+		t.Fatalf("OnlyNew = %v", res.OnlyNew)
+	}
+}
+
+func TestNSizesAndMissing(t *testing.T) {
+	r := mkReport(1, 1, 0, 0)
+	if got := r.NSizes(); !reflect.DeepEqual(got, []int{199, 10000}) {
+		t.Fatalf("NSizes = %v", got)
+	}
+	big := &Report{Runs: []Run{{N: 199}, {N: 10000}, {N: 1000000}}}
+	if got := MissingNSizes(big, r); !reflect.DeepEqual(got, []int{1000000}) {
+		t.Fatalf("MissingNSizes = %v, want [1000000]", got)
+	}
+	if got := MissingNSizes(r, big); got != nil {
+		t.Fatalf("superset reported missing sizes: %v", got)
+	}
+}
+
+func TestParseRejectsNewerSchema(t *testing.T) {
+	if _, err := Parse([]byte(`{"schema_version": 99}`)); err == nil {
+		t.Fatal("schema v99 accepted")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	r := mkReport(10000, 33000, 7.3, 2)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestHistoryAppendRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	r1 := mkReport(10000, 33000, 7.3, 2)
+	r2 := mkReport(11000, 35000, 7.0, 1)
+	at := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	if err := AppendHistory(path, r1, at); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, r2, at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d history entries, want 2", len(entries))
+	}
+	if entries[0].Appended != "2026-08-06T12:00:00Z" {
+		t.Fatalf("appended stamp = %q", entries[0].Appended)
+	}
+	if len(entries[1].Runs) != 2 || entries[1].Runs[1].RespondentsPerSec != 35000 {
+		t.Fatalf("history run data mangled: %+v", entries[1].Runs)
+	}
+	// Appends accrete: the first entry is untouched by the second write.
+	if entries[0].Runs[0].RespondentsPerSec != 10000 {
+		t.Fatalf("first entry rewritten: %+v", entries[0].Runs[0])
+	}
+}
+
+func TestReadHistoryRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.jsonl")
+	if err := os.WriteFile(path, []byte("{\"timestamp\":\"x\"}\nnot-json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(path); err == nil {
+		t.Fatal("malformed history line accepted")
+	}
+}

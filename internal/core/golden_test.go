@@ -114,3 +114,56 @@ func TestGoldenTelemetryInvariance(t *testing.T) {
 		t.Error("telemetry was installed but recorded no spans")
 	}
 }
+
+// TestGoldenTraceInvariance extends the invariance contract to the
+// tracing layer: a run with the tracer installed (on top of the full
+// telemetry stack) must produce byte-identical datasets and figures at
+// any worker count, and the tracer must actually have captured stage,
+// worker, and shard events (so the test cannot pass vacuously).
+func TestGoldenTraceInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple 2000-respondent studies; skipped in -short mode")
+	}
+	const n = 2000
+
+	want := goldenSnapshot(t, n, 1, nil)
+
+	reg := telemetry.NewRegistry()
+	rec := InstallPipelineTelemetry(reg)
+	defer UninstallPipelineTelemetry()
+	tracer := telemetry.NewTracer(8, 1<<12)
+	telemetry.SetTracer(tracer)
+	defer telemetry.SetTracer(nil)
+
+	for _, workers := range []int{1, 4, 16} {
+		got := goldenSnapshot(t, n, workers, rec)
+		if got.main != want.main {
+			t.Errorf("workers=%d: tracing changed the main dataset", workers)
+		}
+		if got.students != want.students {
+			t.Errorf("workers=%d: tracing changed the student dataset", workers)
+		}
+		for fig := 1; fig <= 22; fig++ {
+			if got.figures[fig-1] != want.figures[fig-1] {
+				t.Errorf("workers=%d: tracing changed figure %d", workers, fig)
+			}
+		}
+	}
+
+	kinds := map[telemetry.EventKind]int{}
+	for _, ev := range tracer.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[telemetry.EvStage] == 0 {
+		t.Error("tracer captured no stage events")
+	}
+	if kinds[telemetry.EvWorker] == 0 {
+		t.Error("tracer captured no worker events")
+	}
+	if kinds[telemetry.EvShard] == 0 {
+		t.Error("tracer captured no shard events")
+	}
+	if kinds[telemetry.EvBatch] == 0 {
+		t.Error("tracer captured no grading batch events")
+	}
+}

@@ -82,6 +82,17 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 			poolTasks.Inc()
 			poolBusyNS.Add(int64(busy))
 		},
+		// Trace lanes: worker w records on lane w+1 (lane 0 is the
+		// pipeline control lane). Both callbacks reduce to one atomic
+		// load when no tracer is installed.
+		WorkerSpan: func(w int, busy time.Duration) {
+			telemetry.EmitSpan(telemetry.EvWorker, w+1, "worker",
+				time.Now().Add(-busy), busy, int64(w), 0)
+		},
+		ShardSpan: func(w, shard, items int, d time.Duration) {
+			telemetry.EmitSpan(telemetry.EvShard, w+1, "shard",
+				time.Now().Add(-d), d, int64(shard), int64(items))
+		},
 	})
 
 	conds := map[monitor.Condition]monitor.EventCounter{}

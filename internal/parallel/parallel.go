@@ -39,9 +39,20 @@ type Hook struct {
 	// time (wall time each worker spent inside the fan-out, so
 	// busy/(workers*elapsed) approximates utilization).
 	ForEach func(items, workers int, busy time.Duration)
+	// WorkerSpan fires once per worker goroutine as it finishes a
+	// ForEach/ForEachWith/MapShards fan-out, with the worker's index in
+	// [0, workers) and its busy time. Together the calls of one fan-out
+	// tile its wall-clock: this is the per-lane view the tracer renders.
+	WorkerSpan func(worker int, busy time.Duration)
 	// Shards fires once per MapShards/SumShards call with the number of
 	// fixed-width shards dispatched.
 	Shards func(n int)
+	// ShardSpan fires once per shard executed by MapShards/SumShards,
+	// with the index of the worker that ran it, the shard index, the
+	// shard's item count, and its run time. Which worker runs which
+	// shard is scheduling-dependent; the shard boundaries and results
+	// are not.
+	ShardSpan func(worker, shard, items int, d time.Duration)
 	// PoolTask fires after each Pool task completes, with its run time.
 	PoolTask func(busy time.Duration)
 }
@@ -102,23 +113,40 @@ func ForEach(workers, n int, fn func(i int)) {
 // reseeded per index, a scratch buffer). Under that contract the result
 // is independent of the worker count, exactly as for ForEach.
 func ForEachWith[C any](workers, n int, newC func() C, fn func(c C, i int)) {
+	forEachIndexed(workers, n, newC, func(c C, _, i int) { fn(c, i) })
+}
+
+// forEachIndexed is the work-stealing engine under ForEach/ForEachWith/
+// MapShards: like ForEachWith, but fn additionally receives the index w
+// of the worker goroutine executing it. The worker index exists only
+// for observation (labeling trace lanes); by the work-stealing
+// contract, fn's output must never depend on it.
+func forEachIndexed[C any](workers, n int, newC func() C, fn func(c C, w, i int)) {
 	workers = Workers(workers, n)
 	if n <= 0 {
 		return
 	}
 	h := hook.Load()
-	instrumented := h != nil && h.ForEach != nil
+	foreachHook := h != nil && h.ForEach != nil
+	workerHook := h != nil && h.WorkerSpan != nil
+	timed := foreachHook || workerHook
 	if workers == 1 {
 		var t0 time.Time
-		if instrumented {
+		if timed {
 			t0 = time.Now()
 		}
 		c := newC()
 		for i := 0; i < n; i++ {
-			fn(c, i)
+			fn(c, 0, i)
 		}
-		if instrumented {
-			h.ForEach(n, 1, time.Since(t0))
+		if timed {
+			busy := time.Since(t0)
+			if workerHook {
+				h.WorkerSpan(0, busy)
+			}
+			if foreachHook {
+				h.ForEach(n, 1, busy)
+			}
 		}
 		return
 	}
@@ -126,11 +154,17 @@ func ForEachWith[C any](workers, n int, newC func() C, fn func(c C, i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			if instrumented {
+			if timed {
 				t0 := time.Now()
-				defer func() { busyNS.Add(int64(time.Since(t0))) }()
+				defer func() {
+					busy := time.Since(t0)
+					busyNS.Add(int64(busy))
+					if workerHook {
+						h.WorkerSpan(w, busy)
+					}
+				}()
 			}
 			c := newC()
 			for {
@@ -143,13 +177,13 @@ func ForEachWith[C any](workers, n int, newC func() C, fn func(c C, i int)) {
 					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					fn(c, i)
+					fn(c, w, i)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
-	if instrumented {
+	if foreachHook {
 		h.ForEach(n, workers, time.Duration(busyNS.Load()))
 	}
 }
@@ -184,13 +218,25 @@ func ShardBounds(s, n int) (lo, hi int) {
 // independent of the worker count), applies fn to each shard in
 // parallel, and returns the shard results in shard order.
 func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
-	if h := hook.Load(); h != nil && h.Shards != nil {
+	h := hook.Load()
+	if h != nil && h.Shards != nil {
 		h.Shards(NumShards(n))
 	}
-	return Map(workers, NumShards(n), func(s int) T {
-		lo, hi := ShardBounds(s, n)
-		return fn(lo, hi)
-	})
+	shardHook := h != nil && h.ShardSpan != nil
+	out := make([]T, NumShards(n))
+	forEachIndexed(workers, NumShards(n),
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, w, s int) {
+			lo, hi := ShardBounds(s, n)
+			if shardHook {
+				t0 := time.Now()
+				out[s] = fn(lo, hi)
+				h.ShardSpan(w, s, hi-lo, time.Since(t0))
+				return
+			}
+			out[s] = fn(lo, hi)
+		})
+	return out
 }
 
 // SumShards computes a deterministic parallel sum: fn reduces each

@@ -281,3 +281,66 @@ func TestForEachWithZeroItems(t *testing.T) {
 		t.Fatal("ForEachWith ran scratch or body for n=0")
 	}
 }
+
+// TestWorkerShardSpanHooks pins the trace-feeding callbacks: every
+// fan-out fires one WorkerSpan per worker goroutine (indices within
+// [0, workers)), and MapShards fires one ShardSpan per shard whose
+// item counts tile [0, n) — while results stay identical to the
+// unhooked run.
+func TestWorkerShardSpanHooks(t *testing.T) {
+	defer SetHook(nil)
+
+	const n = 10000
+	baseline := MapShards(4, n, func(lo, hi int) int { return hi - lo })
+
+	var workerSpans, shardSpans, shardItems atomic.Int64
+	var badWorker, badDur atomic.Int64
+	SetHook(&Hook{
+		WorkerSpan: func(w int, busy time.Duration) {
+			workerSpans.Add(1)
+			if w < 0 {
+				badWorker.Add(1)
+			}
+			if busy < 0 {
+				badDur.Add(1)
+			}
+		},
+		ShardSpan: func(w, shard, items int, d time.Duration) {
+			shardSpans.Add(1)
+			shardItems.Add(int64(items))
+			if w < 0 || shard < 0 || shard >= NumShards(n) {
+				badWorker.Add(1)
+			}
+			if d < 0 {
+				badDur.Add(1)
+			}
+		},
+	})
+
+	got := MapShards(4, n, func(lo, hi int) int { return hi - lo })
+	for i := range got {
+		if got[i] != baseline[i] {
+			t.Fatalf("hook changed shard result %d: %d != %d", i, got[i], baseline[i])
+		}
+	}
+	if badWorker.Load() != 0 || badDur.Load() != 0 {
+		t.Fatalf("hook saw out-of-range worker/shard (%d) or negative duration (%d)",
+			badWorker.Load(), badDur.Load())
+	}
+	if got, want := shardSpans.Load(), int64(NumShards(n)); got != want {
+		t.Fatalf("ShardSpan fired %d times, want %d", got, want)
+	}
+	if shardItems.Load() != n {
+		t.Fatalf("ShardSpan item counts sum to %d, want %d (shards must tile the index space)", shardItems.Load(), n)
+	}
+	if workerSpans.Load() == 0 {
+		t.Fatal("WorkerSpan never fired")
+	}
+
+	// The single-worker inline path reports its one worker too.
+	workerSpans.Store(0)
+	ForEach(1, 64, func(i int) {})
+	if workerSpans.Load() != 1 {
+		t.Fatalf("sequential ForEach fired %d WorkerSpans, want 1", workerSpans.Load())
+	}
+}

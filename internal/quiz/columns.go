@@ -2,10 +2,12 @@ package quiz
 
 import (
 	"sync"
+	"time"
 
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/parallel"
 	"fpstudy/internal/survey"
+	"fpstudy/internal/telemetry"
 )
 
 // Columns returns the interned columnar schema of the paper's
@@ -162,8 +164,12 @@ func ScoreColumnsAt(d *colstore.Dataset, i int) (core, optScored, optAll Tally) 
 // inner loop reads dense code columns instead of hashing map keys, and
 // performs zero allocations.
 func ScoreAllColumns(d *colstore.Dataset, workers int) Grades {
+	t0 := time.Now()
+	_, exc0 := OracleTraceCounts()
 	// Force the one-time oracle evaluation (and table build) before
-	// fanning out, so workers never contend on the sync.Once.
+	// fanning out, so workers never contend on the sync.Once. Measured
+	// inside the batch window so the FP-exception delta attributes any
+	// answer-key derivation to the batch that triggered it.
 	colScoreFor(d.Schema)
 	n := d.Len()
 	g := Grades{
@@ -174,6 +180,8 @@ func ScoreAllColumns(d *colstore.Dataset, workers int) Grades {
 	parallel.ForEach(workers, n, func(i int) {
 		g.Core[i], g.OptScored[i], g.OptAll[i] = ScoreColumnsAt(d, i)
 	})
+	_, exc1 := OracleTraceCounts()
+	telemetry.EmitSpan(telemetry.EvBatch, 0, "grade-batch", t0, time.Since(t0), int64(n), exc1-exc0)
 	return g
 }
 

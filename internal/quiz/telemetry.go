@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"fpstudy/internal/ieee754"
+	"fpstudy/internal/telemetry"
 )
 
 // oracleObserver holds the process-wide observer installed on every
@@ -36,12 +37,40 @@ func SetOracleObserver(fn func(ieee754.OpEvent)) {
 	oracleObserver.Store(&fn)
 }
 
+// oracleOps / oracleExcs count softfloat operations and raised-flag
+// events across all observed oracle evaluations, feeding the per-batch
+// FP-exception deltas in grading trace events. They accumulate only
+// while an observer or tracer is active (see oracleEnv), which keeps
+// the common observer-free path on the softfloat's fast finish.
+var oracleOps, oracleExcs atomic.Int64
+
+// OracleTraceCounts returns the cumulative (operations, exception
+// events) observed during traced/observed oracle evaluations. Callers
+// diff two readings to attribute FP activity to a batch.
+func OracleTraceCounts() (ops, exceptions int64) {
+	return oracleOps.Load(), oracleExcs.Load()
+}
+
 // oracleEnv returns the default IEEE environment the quiz oracles
-// evaluate under, with the process observer (if any) attached.
+// evaluate under. When a process observer or a tracer is active it
+// attaches a counting shim (operation + raised-flag totals for trace
+// batches) that forwards to the user observer; otherwise it returns
+// the bare environment so oracle evaluation keeps the observer-free
+// fast path.
 func oracleEnv() ieee754.Env {
 	var e ieee754.Env
-	if p := oracleObserver.Load(); p != nil {
-		e.Observer = *p
+	user := oracleObserver.Load()
+	if user == nil && telemetry.ActiveTracer() == nil {
+		return e
+	}
+	e.Observer = func(ev ieee754.OpEvent) {
+		oracleOps.Add(1)
+		if ev.Raised != 0 {
+			oracleExcs.Add(1)
+		}
+		if user != nil {
+			(*user)(ev)
+		}
 	}
 	return e
 }

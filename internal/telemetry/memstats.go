@@ -2,24 +2,33 @@ package telemetry
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
 // StartMemSampler launches a goroutine that samples runtime.ReadMemStats
 // every interval into the given gauges: heapAlloc receives the live heap
-// bytes, gcCount the cumulative completed GC cycles. The returned stop
-// function takes one final sample and halts the goroutine.
+// bytes, gcCount the cumulative completed GC cycles. When a tracer is
+// installed, each sample that observes new GC cycles also emits an EvGC
+// instant event, so collections appear as marks on the trace timeline.
+// The returned stop function takes one final sample and halts the
+// goroutine; it is idempotent.
 //
 // ReadMemStats briefly stops the world (microseconds), so intervals
 // below ~100ms buy resolution with measurable overhead; the samplers in
 // this repository use 250ms. Sampling observes only — it never touches
 // pipeline state, so generated data is unchanged with it on or off.
 func StartMemSampler(heapAlloc, gcCount *Gauge, interval time.Duration) (stop func()) {
+	var lastGC uint32
 	sample := func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		heapAlloc.Set(float64(ms.HeapAlloc))
 		gcCount.Set(float64(ms.NumGC))
+		if ms.NumGC > lastGC {
+			lastGC = ms.NumGC
+			EmitInstant(EvGC, 0, "gc", int64(ms.NumGC), int64(ms.PauseTotalNs))
+		}
 	}
 	sample()
 	done := make(chan struct{})
@@ -37,9 +46,12 @@ func StartMemSampler(heapAlloc, gcCount *Gauge, interval time.Duration) (stop fu
 			}
 		}
 	}()
+	var once sync.Once
 	return func() {
-		close(done)
-		<-finished
-		sample()
+		once.Do(func() {
+			close(done)
+			<-finished
+			sample()
+		})
 	}
 }

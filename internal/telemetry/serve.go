@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -50,10 +51,28 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the server and releases the port. No-op on nil.
+// Close stops the server immediately and releases the port, dropping
+// any in-flight requests. No-op on nil. Prefer Shutdown at process
+// exit.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown gracefully stops the server: the listener closes at once
+// (releasing the port), in-flight requests — a scrape mid-response, a
+// pprof profile still streaming — run to completion or until ctx
+// expires, whichever is first. On ctx expiry the remaining connections
+// are force-closed and ctx.Err() is returned. No-op on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		s.srv.Close() //nolint:errcheck // best-effort after failed graceful stop
+	}
+	return err
 }

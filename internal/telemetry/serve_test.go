@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerShutdownReleasesPort pins the graceful-shutdown satellite:
+// after Shutdown returns, the port is free to rebind immediately.
+func TestServerShutdownReleasesPort(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("server not reachable before shutdown: %v", err)
+	}
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The exact address must be rebindable: the listener is closed, not
+	// lingering until process exit.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Shutdown: %v", err)
+	}
+	ln.Close()
+
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("server still serving after Shutdown")
+	}
+}
+
+func TestServerShutdownNil(t *testing.T) {
+	var srv *Server
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("nil Shutdown: %v", err)
+	}
+}

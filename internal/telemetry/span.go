@@ -58,15 +58,25 @@ func (s *Span) Items() int64 {
 // End closes the span. Idempotent; no-op on nil. A span left open still
 // snapshots (with the duration measured up to the snapshot moment), so
 // live introspection of an in-flight run works.
+//
+// The first End also emits an EvStage trace event on the pipeline
+// control lane, so the stage tree shows up in exported traces without
+// any per-package threading: whoever times a stage with a Span gets
+// trace coverage for free.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.mu.Lock()
-	if s.end.IsZero() {
+	first := s.end.IsZero()
+	if first {
 		s.end = time.Now()
 	}
+	end := s.end
 	s.mu.Unlock()
+	if first {
+		EmitSpan(EvStage, 0, s.name, s.start, end.Sub(s.start), s.items.Load(), 0)
+	}
 }
 
 // SpanSnapshot is the JSON-ready view of one span subtree.

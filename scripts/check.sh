@@ -24,4 +24,14 @@ if [ "${CHECK_BENCH_MEM:-0}" = "1" ]; then
 	make bench-mem
 fi
 
+# Optional perf-regression gate: CHECK_BENCH_GATE=1 re-times the
+# pipeline (n=199 and n=10000) and compares against the committed
+# BENCH_pipeline.json with fpbench compare, failing on regressions
+# beyond the noise bands. Off by default — it takes a few minutes and
+# only means something on a quiet machine.
+if [ "${CHECK_BENCH_GATE:-0}" = "1" ]; then
+	echo "==> make bench-gate"
+	make bench-gate
+fi
+
 echo "==> all checks passed"

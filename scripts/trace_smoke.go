@@ -1,0 +1,107 @@
+//go:build ignore
+
+// Trace smoke test: builds fpgen, runs a small (n=199) generation with
+// -trace, then validates the emitted file as Chrome trace-event JSON —
+// it must parse, carry the traceEvents array, and contain all four
+// pipeline stages of an fpgen run (draw-profiles, calibrate,
+// sample-responses, write) plus per-worker lane metadata. Exercises the
+// full path a Perfetto/chrome://tracing user depends on: flag parsing,
+// tracer install, event emission through the pipeline, export.
+//
+// Run via `make trace-smoke` (or `go run scripts/trace_smoke.go` from
+// the repo root). Exits 0 and prints PASS on success.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trace-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fpstudy-trace-smoke-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "fpgen")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/fpgen")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fail("building fpgen: %v", err)
+	}
+
+	tracePath := filepath.Join(tmp, "run.trace.json")
+	gen := exec.Command(bin,
+		"-n", "199",
+		"-trace", tracePath,
+		"-o", filepath.Join(tmp, "out.json"))
+	gen.Stderr = os.Stderr
+	if err := gen.Run(); err != nil {
+		fail("running fpgen -trace: %v", err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		fail("reading trace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("trace is not valid Chrome trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("trace has an empty traceEvents array")
+	}
+
+	// The four pipeline stages of an fpgen main-cohort run must appear
+	// as stage events.
+	stages := map[string]bool{}
+	cats := map[string]int{}
+	threadNames := 0
+	for _, ev := range doc.TraceEvents {
+		cats[ev.Cat]++
+		if ev.Cat == "stage" {
+			stages[ev.Name] = true
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			threadNames++
+		}
+	}
+	for _, want := range []string{"draw-profiles", "calibrate", "sample-responses", "write"} {
+		if !stages[want] {
+			var got []string
+			for s := range stages {
+				got = append(got, s)
+			}
+			fail("trace is missing pipeline stage %q (stages present: %s)",
+				want, strings.Join(got, " "))
+		}
+	}
+	if cats["worker"] == 0 {
+		fail("trace has no per-worker events")
+	}
+	if threadNames == 0 {
+		fail("trace has no thread_name lane metadata")
+	}
+
+	fmt.Printf("trace-smoke: PASS: %d events (%d stage, %d worker, %d shard), all four pipeline stages present\n",
+		len(doc.TraceEvents), cats["stage"], cats["worker"], cats["shard"])
+}
