@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke bench-gate
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke bench-gate
 
 check:
 	sh scripts/check.sh
@@ -41,6 +41,13 @@ telemetry-smoke:
 # pipeline stages and per-worker lanes).
 trace-smoke:
 	$(GO) run scripts/trace_smoke.go
+
+# End-to-end check of the dataset file formats: fpgen writes an
+# n=10000 cohort as FPDS binary and as row JSON, and `fpreport -data`
+# off each file must reproduce the in-process report byte for byte.
+# CHECK_IO_SMOKE=1 make check runs this as part of the full gate.
+io-smoke:
+	$(GO) run scripts/io_smoke.go
 
 # Perf-regression gate: re-times the pipeline at the small/medium
 # cohort sizes and compares against the committed BENCH_pipeline.json

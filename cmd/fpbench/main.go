@@ -1,32 +1,43 @@
 // Command fpbench times the end-to-end study pipeline (generation +
 // grading) across cohort sizes and worker counts and emits a
 // machine-readable JSON report, so performance changes can be tracked
-// across commits and machines. Its compare mode diffs two reports
-// against noise bands and maintains the BENCH_history.jsonl
-// trajectory — the perf-regression gate `make bench-gate` runs.
+// across commits and machines. Each size also gets an io section:
+// dataset serialization through real files (FPDS binary and JSON,
+// encode and decode, plus the legacy row decoder as the json-rows
+// baseline), reported as MB/s and respondents/sec. Its compare mode
+// diffs two reports against noise bands and maintains the
+// BENCH_history.jsonl trajectory — the perf-regression gate
+// `make bench-gate` runs.
 //
 // Usage:
 //
 //	fpbench -o BENCH_pipeline.json
 //	fpbench -n 199,10000 -workers 1,2,4 -reps 3
+//	fpbench -io=false                    # skip the serialization benchmarks
 //	fpbench -telemetry 127.0.0.1:6060    # live /debug/vars + pprof while timing
 //	fpbench -trace out.trace.json        # export a Chrome/Perfetto trace of the timed reps
 //	fpbench compare old.json new.json    # exit 1 if new regressed beyond the noise bands
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"fpstudy/internal/benchcmp"
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/core"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/respondent"
+	"fpstudy/internal/survey"
 	"fpstudy/internal/telemetry"
 )
 
@@ -99,8 +110,8 @@ func compareMain(args []string) int {
 		if d.Regression {
 			mark = "REGRESSION"
 		}
-		fmt.Fprintf(os.Stderr, "fpbench compare: n=%d workers=%d %-22s %12.3f -> %12.3f (%+.1f%%) %s\n",
-			d.N, d.Workers, d.Metric, d.Old, d.New, 100*d.Change, mark)
+		fmt.Fprintf(os.Stderr, "fpbench compare: %-28s %-22s %12.3f -> %12.3f (%+.1f%%) %s\n",
+			d.Config(), d.Metric, d.Old, d.New, 100*d.Change, mark)
 	}
 	for _, c := range res.OnlyOld {
 		fmt.Fprintf(os.Stderr, "fpbench compare: %s only in %s (not gated)\n", c, fs.Arg(0))
@@ -134,6 +145,7 @@ func benchMain() {
 	force := flag.Bool("force", false, "overwrite the output even if it would drop cohort sizes present in the existing report")
 	tracePath := flag.String("trace", "", "export a structured trace of the timed reps (.json Chrome trace-event format, .jsonl JSON Lines)")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
+	ioBench := flag.Bool("io", true, "benchmark dataset serialization (encode/decode, binary and JSON) at each -n size")
 	flag.Parse()
 
 	sizes := parseInts(*ns, "n")
@@ -273,6 +285,14 @@ func benchMain() {
 			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec, %.1f allocs/respondent, %d GCs)\n",
 				n, w, best, float64(n)/best, float64(bestMem.allocs)/float64(n), bestMem.gcCount)
 		}
+		if *ioBench {
+			runs, err := ioBenchSize(n, *seed, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpbench:", err)
+				os.Exit(1)
+			}
+			rep.IO = append(rep.IO, runs...)
+		}
 	}
 
 	if tracer != nil {
@@ -307,4 +327,138 @@ func benchMain() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "fpbench: wrote %s (manifest %s)\n", *out, mpath)
+}
+
+// ioBenchSize times dataset serialization at one cohort size through
+// real files in a temp directory: FPDS binary encode/decode, columnar
+// JSON encode (WriteJSON) and streaming decode (DecodeJSON), plus the
+// legacy whole-document row decoder (survey.DecodeDataset) as the
+// "json-rows" baseline the binary decoder is measured against. The
+// cohort is generated once; each op runs reps times and reports its
+// best.
+func ioBenchSize(n int, seed int64, reps int) ([]benchcmp.IORun, error) {
+	dir, err := os.MkdirTemp("", "fpbench-io-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cols := respondent.GenerateMainColumnar(seed, n, 0, nil, respondent.Instrumentation{}).Cols
+	schema := quiz.Columns()
+	binPath := filepath.Join(dir, "cohort"+colstore.BinaryExt)
+	jsonPath := filepath.Join(dir, "cohort.json")
+
+	var runs []benchcmp.IORun
+	bench := func(format, op, path string, fn func() error) error {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return fmt.Errorf("io %s/%s at n=%d: %w", format, op, n, err)
+			}
+			if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+				best = sec
+			}
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, benchcmp.IORun{
+			N: n, Format: format, Op: op, Reps: reps,
+			Bytes:             st.Size(),
+			BestSeconds:       best,
+			MBPerSec:          float64(st.Size()) / (1 << 20) / best,
+			RespondentsPerSec: float64(n) / best,
+		})
+		fmt.Fprintf(os.Stderr, "fpbench: n=%d io/%s/%s best=%.3fs (%.1f MB/s, %.0f respondents/sec)\n",
+			n, format, op, best, float64(st.Size())/(1<<20)/best, float64(n)/best)
+		return nil
+	}
+
+	steps := []struct {
+		format, op, path string
+		fn               func() error
+	}{
+		{"binary", "encode", binPath, func() error {
+			f, err := os.Create(binPath)
+			if err != nil {
+				return err
+			}
+			if err := cols.EncodeBinary(f, colstore.IOOptions{}); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}},
+		{"binary", "decode", binPath, func() error {
+			f, err := os.Open(binPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			d, err := colstore.DecodeBinary(schema, bufio.NewReaderSize(f, 1<<20), colstore.IOOptions{})
+			if err != nil {
+				return err
+			}
+			if d.Len() != n {
+				return fmt.Errorf("decoded %d respondents, want %d", d.Len(), n)
+			}
+			return nil
+		}},
+		{"json", "encode", jsonPath, func() error {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			bw := bufio.NewWriterSize(f, 1<<20)
+			if err := cols.WriteJSON(bw); err != nil {
+				f.Close()
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}},
+		{"json", "decode", jsonPath, func() error {
+			f, err := os.Open(jsonPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			d, err := colstore.DecodeJSON(schema, f)
+			if err != nil {
+				return err
+			}
+			if d.Len() != n {
+				return fmt.Errorf("decoded %d respondents, want %d", d.Len(), n)
+			}
+			return nil
+		}},
+		// The legacy path buffers the whole document and materializes
+		// row maps — timing includes the read, because needing the whole
+		// file in memory is part of its cost.
+		{"json-rows", "decode", jsonPath, func() error {
+			data, err := os.ReadFile(jsonPath)
+			if err != nil {
+				return err
+			}
+			ds, err := survey.DecodeDataset(data)
+			if err != nil {
+				return err
+			}
+			if len(ds.Responses) != n {
+				return fmt.Errorf("decoded %d respondents, want %d", len(ds.Responses), n)
+			}
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := bench(s.format, s.op, s.path, s.fn); err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
 }

@@ -8,6 +8,7 @@
 //	fpreport -claims             # headline claims only
 //	fpreport -csv -fig 22        # figure as CSV
 //	fpreport -n 1000 -seed 7     # larger cohort / different seed
+//	fpreport -data big.fpds -all # report off a serialized dataset
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"os"
 	"time"
 
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/core"
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/quiz"
 	"fpstudy/internal/telemetry"
 )
 
@@ -36,6 +39,8 @@ func main() {
 	n := flag.Int("n", paperdata.NMain, "main cohort size")
 	nStudents := flag.Int("nstudents", paperdata.NStudent, "student cohort size")
 	seed := flag.Int64("seed", 42, "study seed")
+	data := flag.String("data", "", "run the report off a main-cohort dataset file (row JSON or .fpds binary) instead of regenerating")
+	studentData := flag.String("studentdata", "", "student-cohort dataset file (with -data; default regenerates students from -seed/-nstudents)")
 	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	manifest := flag.String("manifest", "", "write a run manifest (seed, workers, stage spans, counters) to this path")
@@ -66,7 +71,24 @@ func main() {
 	// analysis) materialize them lazily on first use.
 	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers,
 		Telemetry: rec, ColumnarOnly: true}
-	results := study.Run()
+	var results *core.Results
+	if *data != "" {
+		// Loaded-data mode: grade and report on a serialized cohort. At
+		// the generating seed and size this reproduces an in-process run
+		// bit-for-bit (the golden test pins it).
+		var err error
+		results, err = resultsFromFiles(study, reg, *data, *studentData)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpreport:", err)
+			os.Exit(1)
+		}
+	} else {
+		if *studentData != "" {
+			fmt.Fprintln(os.Stderr, "fpreport: -studentdata requires -data")
+			os.Exit(2)
+		}
+		results = study.Run()
+	}
 	if *manifest != "" {
 		m := rec.Manifest("fpreport", *seed, *n, *workers)
 		m.Timestamp = time.Now().UTC().Format(time.RFC3339)
@@ -120,6 +142,36 @@ func main() {
 		emit(13)
 		printClaims(results)
 	}
+}
+
+// resultsFromFiles loads the main (and optionally student) cohort
+// through the format-sniffing columnar loader and builds graded results
+// off the columns.
+func resultsFromFiles(study core.Study, reg *telemetry.Registry, dataPath, studentPath string) (*core.Results, error) {
+	opt := colstore.IOOptions{Workers: study.Workers, BytesRead: reg.Counter(core.MetricIOBytesRead)}
+	sp := study.Telemetry.StartSpan("load-data")
+	main, info, err := colstore.LoadFile(quiz.Columns(), dataPath, opt)
+	if err != nil {
+		return nil, err
+	}
+	sp.AddItems(int64(main.Len()))
+	sp.End()
+	fmt.Fprintf(os.Stderr, "fpreport: loaded %s: %s, %d responses, %.1f MB, %.2fs\n",
+		dataPath, info.Format, main.Len(), float64(info.Bytes)/(1<<20), info.Elapsed.Seconds())
+	var students *colstore.Dataset
+	if studentPath != "" {
+		ssp := study.Telemetry.StartSpan("load-studentdata")
+		var sinfo colstore.LoadInfo
+		students, sinfo, err = colstore.LoadFile(quiz.Columns(), studentPath, opt)
+		if err != nil {
+			return nil, err
+		}
+		ssp.AddItems(int64(students.Len()))
+		ssp.End()
+		fmt.Fprintf(os.Stderr, "fpreport: loaded %s: %s, %d responses, %.1f MB, %.2fs\n",
+			studentPath, sinfo.Format, students.Len(), float64(sinfo.Bytes)/(1<<20), sinfo.Elapsed.Seconds())
+	}
+	return study.ResultsFromColumns(main, students)
 }
 
 func printClaims(results *core.Results) {

@@ -2,11 +2,18 @@
 // datasets: print the instrument as JSON, validate a dataset against
 // it, tally a question, or anonymize a dataset in place.
 //
+// Datasets load through the streaming columnar ingest layer
+// (internal/colstore): the format is sniffed from the leading bytes, so
+// every operation accepts both row JSON and FPDS binary shards, and
+// JSON parses token-at-a-time straight into columns instead of a
+// whole-file unmarshal. Each load prints a one-line ingest summary
+// (format, respondents, MB, seconds) to stderr.
+//
 // Usage:
 //
 //	fpsurvey -instrument                 # dump the instrument JSON
 //	fpsurvey -validate data.json         # check a dataset
-//	fpsurvey -tally bg.area data.json    # tabulate one question
+//	fpsurvey -tally bg.area data.fpds    # tabulate one question
 //	fpsurvey -anonymize data.json        # rewrite with opaque tokens
 package main
 
@@ -15,9 +22,12 @@ import (
 	"fmt"
 	"os"
 
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/survey"
 )
+
+var workers = flag.Int("workers", 0, "worker goroutines for codec/view fan-out (<=0 means GOMAXPROCS)")
 
 func main() {
 	instrument := flag.Bool("instrument", false, "print the survey instrument JSON")
@@ -43,41 +53,50 @@ func main() {
 		fmt.Println()
 
 	case *validate != "":
-		ds := load(*validate)
-		if err := ins.ValidateDataset(ds); err != nil {
+		cols, _ := load(*validate)
+		if err := ins.ValidateDataset(rows(cols)); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("fpsurvey: %s: %d responses, all valid\n", *validate, len(ds.Responses))
+		fmt.Printf("fpsurvey: %s: %d responses, all valid\n", *validate, cols.Len())
 
 	case *tally != "":
 		if flag.NArg() < 1 {
-			fatal(fmt.Errorf("usage: fpsurvey -tally <questionID> <dataset.json>"))
+			fatal(fmt.Errorf("usage: fpsurvey -tally <questionID> <dataset>"))
 		}
-		ds := load(flag.Arg(0))
-		t, err := ins.Tally(ds, *tally)
+		cols, _ := load(flag.Arg(0))
+		t, err := ins.Tally(rows(cols), *tally)
 		if err != nil {
 			fatal(err)
 		}
-		total := len(ds.Responses)
+		total := cols.Len()
 		for _, k := range survey.SortedKeys(t) {
 			fmt.Printf("%-60s %4d  %5.1f%%\n", k, t[k], 100*float64(t[k])/float64(total))
 		}
 
 	case *csv != "":
-		ds := load(*csv)
-		fmt.Print(ins.FlattenCSV(ds))
+		cols, _ := load(*csv)
+		fmt.Print(ins.FlattenCSV(rows(cols)))
 
 	case *anonymize != "":
-		ds := load(*anonymize)
-		ds.Anonymize()
-		data, err := survey.EncodeDataset(ds)
+		cols, info := load(*anonymize)
+		cols.Anonymize()
+		f, err := os.Create(*anonymize)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*anonymize, data, 0o644); err != nil {
+		// Rewrite in the format the file arrived in.
+		if info.Format == colstore.FormatBinary {
+			err = cols.EncodeBinary(f, colstore.IOOptions{Workers: *workers})
+		} else {
+			err = cols.WriteJSON(f)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("fpsurvey: anonymized %d responses in %s\n", len(ds.Responses), *anonymize)
+		fmt.Printf("fpsurvey: anonymized %d responses in %s\n", cols.Len(), *anonymize)
 
 	default:
 		flag.Usage()
@@ -85,16 +104,22 @@ func main() {
 	}
 }
 
-func load(path string) *survey.Dataset {
-	data, err := os.ReadFile(path)
+// load streams a dataset file into columns, sniffing the format, and
+// prints the ingest summary to stderr.
+func load(path string) (*colstore.Dataset, colstore.LoadInfo) {
+	cols, info, err := colstore.LoadFile(quiz.Columns(), path, colstore.IOOptions{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := survey.DecodeDataset(data)
-	if err != nil {
-		fatal(err)
-	}
-	return ds
+	fmt.Fprintf(os.Stderr, "fpsurvey: loaded %s: %s, %d responses, %.1f MB, %.2fs\n",
+		path, info.Format, cols.Len(), float64(info.Bytes)/(1<<20), info.Elapsed.Seconds())
+	return cols, info
+}
+
+// rows materializes the row view for the operations that consume
+// survey.Dataset (validation, tallies, CSV export).
+func rows(cols *colstore.Dataset) *survey.Dataset {
+	return cols.ToSurveyWorkers(*workers)
 }
 
 func fatal(err error) {

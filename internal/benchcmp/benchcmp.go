@@ -34,7 +34,15 @@ import (
 //	  "gc_pause_total_ms", "gc_count". The pipeline is timed
 //	  ColumnarOnly (columnar generation + grading, no row-view
 //	  materialization) — the configuration large cohorts run.
-const SchemaVersion = 3
+//	4 — adds the top-level "io" array: dataset serialization
+//	  benchmarks, one entry per (n, format, op) with best_seconds, the
+//	  on-disk byte size, mb_per_sec and respondents_per_sec. Formats
+//	  are "binary" (the FPDS shard codec), "json" (columnar
+//	  WriteJSON / streaming DecodeJSON), and "json-rows" (the legacy
+//	  whole-document survey.DecodeDataset row decoder — the baseline
+//	  the binary decoder is measured against; decode only). io
+//	  throughput is gated by Compare under the throughput band.
+const SchemaVersion = 4
 
 // Host identifies the benchmarking machine.
 type Host struct {
@@ -67,6 +75,25 @@ type Run struct {
 	Spans []telemetry.SpanSnapshot `json:"spans"`
 }
 
+// IORun is one timed dataset-serialization configuration: encoding or
+// decoding one cohort in one format. Throughput is reported both as
+// raw bandwidth (MB/s over the serialized size) and as domain
+// throughput (respondents/sec), because format changes move the two
+// in different directions — a denser format can lose MB/s while
+// gaining respondents/sec.
+type IORun struct {
+	N      int    `json:"n"`
+	Format string `json:"format"` // "binary", "json", or "json-rows"
+	Op     string `json:"op"`     // "encode" or "decode"
+	Reps   int    `json:"reps"`
+	// Bytes is the serialized dataset size (identical across reps — the
+	// codecs are deterministic).
+	Bytes             int64   `json:"bytes"`
+	BestSeconds       float64 `json:"best_seconds"`
+	MBPerSec          float64 `json:"mb_per_sec"`
+	RespondentsPerSec float64 `json:"respondents_per_sec"`
+}
+
 // Report is the BENCH_pipeline.json document.
 type Report struct {
 	SchemaVersion int    `json:"schema_version"`
@@ -75,6 +102,9 @@ type Report struct {
 	Seed          int64  `json:"seed"`
 	Host          Host   `json:"host"`
 	Runs          []Run  `json:"runs"`
+	// IO holds the dataset serialization benchmarks (schema v4+; absent
+	// from older reports and from runs invoked with -io=false).
+	IO []IORun `json:"io,omitempty"`
 }
 
 // Parse decodes a BENCH_pipeline.json document.
@@ -184,18 +214,35 @@ func (b Bands) withDefaults() Bands {
 	return b
 }
 
-// Delta is one metric of one (n, workers) configuration, compared
-// across two reports. Change is the relative movement ((new-old)/old),
+// Delta is one metric of one configuration, compared across two
+// reports. Pipeline deltas identify their configuration by (N,
+// Workers); io deltas by (N, Format, Op), with Workers zero and
+// Format/Op set. Change is the relative movement ((new-old)/old),
 // signed so that positive is "more of the metric" regardless of
 // direction-of-goodness.
 type Delta struct {
 	N          int     `json:"n"`
 	Workers    int     `json:"workers"`
+	Format     string  `json:"format,omitempty"`
+	Op         string  `json:"op,omitempty"`
 	Metric     string  `json:"metric"`
 	Old        float64 `json:"old"`
 	New        float64 `json:"new"`
 	Change     float64 `json:"change"`
 	Regression bool    `json:"regression"`
+}
+
+// IsIO reports whether the delta came from the io section.
+func (d Delta) IsIO() bool { return d.Format != "" }
+
+// Config renders the delta's configuration for display:
+// "n=199/workers=1" for pipeline deltas, "n=199/io/binary/decode" for
+// io deltas.
+func (d Delta) Config() string {
+	if d.IsIO() {
+		return fmt.Sprintf("n=%d/io/%s/%s", d.N, d.Format, d.Op)
+	}
+	return fmt.Sprintf("n=%d/workers=%d", d.N, d.Workers)
 }
 
 // Result is the outcome of comparing two reports.
@@ -220,8 +267,14 @@ func (r *Result) Regressions() []Delta {
 	return out
 }
 
-// configKey identifies one timed configuration.
+// configKey identifies one timed pipeline configuration.
 type configKey struct{ n, workers int }
+
+// ioKey identifies one timed serialization configuration.
+type ioKey struct {
+	n          int
+	format, op string
+}
 
 // relChange returns (new-old)/old, and 0 when old is 0 (a metric
 // appearing from nothing has no meaningful relative change; the
@@ -288,6 +341,43 @@ func Compare(old, new *Report, bands Bands) *Result {
 			res.OnlyNew = append(res.OnlyNew, fmt.Sprintf("n=%d/workers=%d", n.N, n.Workers))
 		}
 	}
+
+	// io section: both throughput views gate under the throughput band —
+	// mb_per_sec is the bandwidth the walkthroughs quote, and
+	// respondents_per_sec is what survives a format change that moves
+	// the byte size. Byte size itself is reported via the deltas but
+	// never gates (a format revision legitimately changes it).
+	newIO := map[ioKey]IORun{}
+	for _, run := range new.IO {
+		newIO[ioKey{run.N, run.Format, run.Op}] = run
+	}
+	ioSeen := map[ioKey]bool{}
+	for _, o := range old.IO {
+		key := ioKey{o.N, o.Format, o.Op}
+		ioSeen[key] = true
+		n, ok := newIO[key]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld, Delta{N: o.N, Format: o.Format, Op: o.Op}.Config())
+			continue
+		}
+		mb := relChange(o.MBPerSec, n.MBPerSec)
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Format: o.Format, Op: o.Op, Metric: "mb_per_sec",
+			Old: o.MBPerSec, New: n.MBPerSec, Change: mb,
+			Regression: mb < -bands.Throughput,
+		})
+		rps := relChange(o.RespondentsPerSec, n.RespondentsPerSec)
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Format: o.Format, Op: o.Op, Metric: "respondents_per_sec",
+			Old: o.RespondentsPerSec, New: n.RespondentsPerSec, Change: rps,
+			Regression: rps < -bands.Throughput,
+		})
+	}
+	for _, n := range new.IO {
+		if !ioSeen[ioKey{n.N, n.Format, n.Op}] {
+			res.OnlyNew = append(res.OnlyNew, Delta{N: n.N, Format: n.Format, Op: n.Op}.Config())
+		}
+	}
 	return res
 }
 
@@ -312,6 +402,9 @@ type HistoryEntry struct {
 	Seed      int64        `json:"seed"`
 	Host      Host         `json:"host"`
 	Runs      []HistoryRun `json:"runs"`
+	// IO carries the serialization benchmarks verbatim — IORun is
+	// already compact (no span trees to strip).
+	IO []IORun `json:"io,omitempty"`
 }
 
 // HistoryFromReport compacts a report into its trajectory record.
@@ -334,6 +427,7 @@ func HistoryFromReport(r *Report, appendedAt time.Time) HistoryEntry {
 			GCCount:             run.GCCount,
 		})
 	}
+	e.IO = append(e.IO, r.IO...)
 	return e
 }
 

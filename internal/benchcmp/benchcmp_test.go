@@ -145,6 +145,80 @@ func TestNSizesAndMissing(t *testing.T) {
 	}
 }
 
+// mkIOReport builds a report whose io section has one binary decode
+// and one json-rows decode entry at n=10000.
+func mkIOReport(binMB, rowsMB float64) *Report {
+	const bytes = 1 << 20
+	mk := func(format string, mbps float64) IORun {
+		return IORun{
+			N: 10000, Format: format, Op: "decode", Reps: 2, Bytes: bytes,
+			BestSeconds: 1 / mbps, MBPerSec: mbps, RespondentsPerSec: 10000 * mbps,
+		}
+	}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		IO:            []IORun{mk("binary", binMB), mk("json-rows", rowsMB)},
+	}
+}
+
+// TestCompareIOGatesThroughput pins the io regression gate: a drop in
+// one format's decode bandwidth beyond the throughput band gates, and
+// matching is by (n, format, op) so the other format is untouched.
+func TestCompareIOGatesThroughput(t *testing.T) {
+	old := mkIOReport(500, 20)
+	cur := mkIOReport(400, 20) // binary −20%, json-rows flat
+
+	res := Compare(old, cur, Bands{})
+	regs := res.Regressions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (mb_per_sec + respondents_per_sec on binary): %+v", len(regs), regs)
+	}
+	for _, d := range regs {
+		if !d.IsIO() || d.Format != "binary" || d.Op != "decode" {
+			t.Fatalf("regression on the wrong configuration: %+v", d)
+		}
+		if d.Config() != "n=10000/io/binary/decode" {
+			t.Fatalf("Config() = %q", d.Config())
+		}
+	}
+
+	// Within-band io noise passes.
+	cur = mkIOReport(490, 19.6) // −2%
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("io noise gated: %+v", regs)
+	}
+}
+
+// TestCompareIODisjoint checks io configurations present in only one
+// report are listed but never gate — the shape of a schema v3→v4
+// baseline upgrade.
+func TestCompareIODisjoint(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2) // no io section at all
+	cur := mkIOReport(500, 20)
+	cur.Runs = old.Runs
+
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("new io section gated against nothing: %+v", regs)
+	}
+	if !reflect.DeepEqual(res.OnlyNew, []string{"n=10000/io/binary/decode", "n=10000/io/json-rows/decode"}) {
+		t.Fatalf("OnlyNew = %v", res.OnlyNew)
+	}
+	res = Compare(cur, old, Bands{})
+	if !reflect.DeepEqual(res.OnlyOld, []string{"n=10000/io/binary/decode", "n=10000/io/json-rows/decode"}) {
+		t.Fatalf("OnlyOld = %v", res.OnlyOld)
+	}
+}
+
+// TestHistoryCarriesIO checks the trajectory line keeps the io runs.
+func TestHistoryCarriesIO(t *testing.T) {
+	r := mkIOReport(500, 20)
+	e := HistoryFromReport(r, time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC))
+	if !reflect.DeepEqual(e.IO, r.IO) {
+		t.Fatalf("history io section = %+v, want %+v", e.IO, r.IO)
+	}
+}
+
 func TestParseRejectsNewerSchema(t *testing.T) {
 	if _, err := Parse([]byte(`{"schema_version": 99}`)); err == nil {
 		t.Fatal("schema v99 accepted")

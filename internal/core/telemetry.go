@@ -43,6 +43,12 @@ const (
 	// is a code; nonzero only when converted row data carried free
 	// text).
 	MetricInternedStrings = "colstore.interned_strings"
+
+	// MetricIOBytesWritten and MetricIOBytesRead count dataset bytes
+	// moved by the serialization layer (colstore.IOOptions counters):
+	// encode output and decode/load input respectively, either format.
+	MetricIOBytesWritten = "io.bytes_written"
+	MetricIOBytesRead    = "io.bytes_read"
 )
 
 // InstallPipelineTelemetry wires the process-wide instrumentation into

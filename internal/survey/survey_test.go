@@ -1,6 +1,7 @@
 package survey
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -249,5 +250,48 @@ func TestWriteDatasetMatchesEncode(t *testing.T) {
 			t.Errorf("WriteDataset output differs from EncodeDataset for %q:\n--- streamed\n%s\n--- encoded\n%s",
 				d.Instrument, b.String(), want)
 		}
+	}
+}
+
+// TestDecodeDatasetErrors pins the structured decode diagnostics: a
+// malformed dataset names the first offending respondent index and,
+// when the damage is inside one answer, the question ID.
+func TestDecodeDatasetErrors(t *testing.T) {
+	mk := func(answers string) string {
+		return `{"instrument":"I","version":"1","responses":[` +
+			`{"token":"r0001","answers":{"q1":{"choice":"true"}}},` +
+			`{"token":"r0002","answers":{` + answers + `}}]}`
+	}
+	cases := []struct {
+		name, in       string
+		wantRespondent int
+		wantQuestion   string
+	}{
+		{"bad answer value", mk(`"q7":{"level":"high"}`), 1, "q7"},
+		{"answer not an object", mk(`"q2":5`), 1, "q2"},
+		{"response not an object", `{"responses":[{"token":"a","answers":{}},17]}`, 1, ""},
+		{"document broken", `{"responses": 12}`, -1, ""},
+	}
+	for _, tc := range cases {
+		_, err := DecodeDataset([]byte(tc.in))
+		if err == nil {
+			t.Fatalf("%s: decoded without error", tc.name)
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("%s: err is %T (%v), want *DecodeError", tc.name, err, err)
+		}
+		if de.Respondent != tc.wantRespondent || de.Question != tc.wantQuestion {
+			t.Fatalf("%s: located respondent %d question %q, want %d %q (err: %v)",
+				tc.name, de.Respondent, de.Question, tc.wantRespondent, tc.wantQuestion, err)
+		}
+		if de.Unwrap() == nil {
+			t.Fatalf("%s: DecodeError lost its cause", tc.name)
+		}
+	}
+
+	// A valid dataset still decodes.
+	if _, err := DecodeDataset([]byte(mk(`"q2":{"level":3}`))); err != nil {
+		t.Fatalf("valid dataset: %v", err)
 	}
 }

@@ -24,6 +24,17 @@ if [ "${CHECK_BENCH_MEM:-0}" = "1" ]; then
 	make bench-mem
 fi
 
+# Optional I/O smoke gate: CHECK_IO_SMOKE=1 generates an n=10000
+# cohort in both file formats with the real fpgen binary and requires
+# `fpreport -data` off each file to reproduce the in-process report
+# byte for byte (make io-smoke). Off by default — the same contract is
+# pinned in-process at n=199 by the golden tests in the suite above;
+# this stage additionally exercises the built binaries and real files.
+if [ "${CHECK_IO_SMOKE:-0}" = "1" ]; then
+	echo "==> make io-smoke"
+	make io-smoke
+fi
+
 # Optional perf-regression gate: CHECK_BENCH_GATE=1 re-times the
 # pipeline (n=199 and n=10000) and compares against the committed
 # BENCH_pipeline.json with fpbench compare, failing on regressions

@@ -1,0 +1,106 @@
+//go:build ignore
+
+// I/O smoke test: the end-to-end contract of the dataset file formats.
+// Generates an n=10000 cohort with fpgen in both serializations (FPDS
+// binary via .fpds auto-detection, row JSON via -format), then runs
+// `fpreport -data <file> -all` off each file and requires the full
+// report — every figure plus the headline claims — to match an
+// in-process `fpreport -all` regeneration at the same seed and size,
+// byte for byte. Exercises the whole path a dataset consumer depends
+// on: columnar generation, parallel binary encode, format sniffing,
+// streaming decode, grading off loaded columns, reporting.
+//
+// Run via `make io-smoke` (or `go run scripts/io_smoke.go` from the
+// repo root). Exits 0 and prints PASS on success.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "io-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// run executes the binary, captures stdout, and returns it with the
+// exit code. Claims legitimately FAIL at non-paper cohort sizes
+// (fpreport exits 1 then); the smoke test asserts the loaded-data and
+// regenerated runs agree, including on that verdict.
+func run(bin string, args ...string) ([]byte, int) {
+	cmd := exec.Command(bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			fail("running %s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.Bytes(), code
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fpstudy-io-smoke-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fpgen := filepath.Join(tmp, "fpgen")
+	fpreport := filepath.Join(tmp, "fpreport")
+	for _, b := range []struct{ bin, pkg string }{{fpgen, "./cmd/fpgen"}, {fpreport, "./cmd/fpreport"}} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fail("building %s: %v", b.pkg, err)
+		}
+	}
+
+	const n = "10000"
+	binPath := filepath.Join(tmp, "cohort.fpds")
+	jsonPath := filepath.Join(tmp, "cohort.json")
+	if _, code := run(fpgen, "-n", n, "-seed", "42", "-o", binPath); code != 0 {
+		fail("fpgen binary write exited %d", code)
+	}
+	if _, code := run(fpgen, "-n", n, "-seed", "42", "-format", "json", "-o", jsonPath); code != 0 {
+		fail("fpgen json write exited %d", code)
+	}
+	head := make([]byte, 4)
+	f, err := os.Open(binPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if _, err := f.Read(head); err != nil || string(head) != "FPDS" {
+		fail("%s does not start with the FPDS magic (got %q)", binPath, head)
+	}
+	f.Close()
+
+	want, wantCode := run(fpreport, "-all", "-n", n, "-seed", "42")
+	if len(want) == 0 {
+		fail("in-process fpreport produced no output")
+	}
+	for _, data := range []string{binPath, jsonPath} {
+		got, code := run(fpreport, "-data", data, "-all", "-seed", "42")
+		if code != wantCode {
+			fail("fpreport -data %s exited %d, in-process run exited %d", data, code, wantCode)
+		}
+		if !bytes.Equal(got, want) {
+			fail("fpreport -data %s output differs from the in-process run (%d vs %d bytes)",
+				data, len(got), len(want))
+		}
+	}
+
+	st, _ := os.Stat(binPath)
+	jst, _ := os.Stat(jsonPath)
+	fmt.Printf("io-smoke: PASS: n=%s reports identical from .fpds (%.1f MB) and .json (%.1f MB) to the in-process run (%d bytes of report)\n",
+		n, float64(st.Size())/(1<<20), float64(jst.Size())/(1<<20), len(want))
+}
