@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke bench-gate
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke bench-gate profile
 
 check:
 	sh scripts/check.sh
@@ -17,14 +17,14 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Memory gate: fails if the per-respondent sampling or grading inner
-# loops allocate (the Test*ZeroAlloc tests assert 0 allocs/op via
-# testing.AllocsPerRun), then prints the allocation profile of the hot
-# benchmarks. CHECK_BENCH_MEM=1 make check runs this as part of the
-# full gate.
+# Memory gate: fails if the per-respondent sampling, calibration, or
+# grading inner loops allocate (the Test*ZeroAlloc tests assert the
+# contracts via testing.AllocsPerRun), then prints the allocation
+# profile of the per-stage hot-path benchmarks. CHECK_BENCH_MEM=1
+# make check runs this as part of the full gate.
 bench-mem:
 	$(GO) test -run 'ZeroAlloc' -v ./internal/respondent/ ./internal/quiz/
-	$(GO) test -run - -bench 'BenchmarkSampleRespondent|BenchmarkScoreColumns' \
+	$(GO) test -run - -bench 'BenchmarkSampleBlock|BenchmarkScoreColumns|BenchmarkCalibrateModels|BenchmarkSampleResponses' \
 		-benchmem ./internal/respondent/ ./internal/quiz/
 
 # End-to-end pipeline timing; writes BENCH_pipeline.json.
@@ -61,3 +61,20 @@ bench-gate:
 	$(GO) build -o $$tmp/fpbench ./cmd/fpbench && \
 	$$tmp/fpbench -n 199,10000 -reps 2 -o $$tmp/new.json && \
 	$$tmp/fpbench compare -history BENCH_history.jsonl BENCH_pipeline.json $$tmp/new.json
+
+# One-command profiling session: times the n=1M pipeline once with the
+# full observability stack and drops every artifact under profiles/ —
+# a CPU profile and heap profile (go tool pprof), plus a Chrome
+# trace-event file (load in https://ui.perfetto.dev or chrome://tracing;
+# see README "Tracing the pipeline"). -io=false keeps the run focused
+# on the generation+grading hot path.
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/fpbench -n 1000000 -workers 1,0 -reps 1 -io=false \
+		-o profiles/BENCH_profile.json \
+		-trace profiles/pipeline.trace.json \
+		-cpuprofile profiles/cpu.pprof -memprofile profiles/heap.pprof
+	@echo "profile artifacts in profiles/: inspect with"
+	@echo "  go tool pprof -top profiles/cpu.pprof"
+	@echo "  go tool pprof -top profiles/heap.pprof"
+	@echo "  perfetto/chrome://tracing <- profiles/pipeline.trace.json"

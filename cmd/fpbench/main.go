@@ -16,7 +16,15 @@
 //	fpbench -io=false                    # skip the serialization benchmarks
 //	fpbench -telemetry 127.0.0.1:6060    # live /debug/vars + pprof while timing
 //	fpbench -trace out.trace.json        # export a Chrome/Perfetto trace of the timed reps
+//	fpbench -cpuprofile cpu.pprof -memprofile heap.pprof  # profile the timed reps
 //	fpbench compare old.json new.json    # exit 1 if new regressed beyond the noise bands
+//
+// The default -workers sweep is 1,2,4,0 (0 = GOMAXPROCS), recording the
+// full scaling curve per cohort size. compare additionally gates the
+// new report's own scaling: workers=0 must be at least as fast as
+// workers=1 at every n, within the throughput band. On a GOMAXPROCS=1
+// host every worker count clamps to serial; fpbench warns loudly and
+// tags the report "serial_host": true.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -138,7 +147,7 @@ func compareMain(args []string) int {
 
 func benchMain() {
 	ns := flag.String("n", "199,10000", "comma-separated cohort sizes")
-	ws := flag.String("workers", "1,0", "comma-separated worker counts (0 means GOMAXPROCS)")
+	ws := flag.String("workers", "1,2,4,0", "comma-separated worker counts (0 means GOMAXPROCS)")
 	reps := flag.Int("reps", 3, "repetitions per configuration (best time is reported)")
 	seed := flag.Int64("seed", 42, "study seed")
 	out := flag.String("o", "BENCH_pipeline.json", "output file (- for stdout); also writes <out>.manifest.json")
@@ -146,6 +155,8 @@ func benchMain() {
 	tracePath := flag.String("trace", "", "export a structured trace of the timed reps (.json Chrome trace-event format, .jsonl JSON Lines)")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	ioBench := flag.Bool("io", true, "benchmark dataset serialization (encode/decode, binary and JSON) at each -n size")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the timed reps to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the timed reps) to this file")
 	flag.Parse()
 
 	sizes := parseInts(*ns, "n")
@@ -222,8 +233,57 @@ func benchMain() {
 			NumCPU:     runtime.NumCPU(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			GoVersion:  runtime.Version(),
+			SerialHost: runtime.GOMAXPROCS(0) == 1,
 		},
 	}
+	if rep.Host.SerialHost {
+		fmt.Fprintln(os.Stderr, strings.Repeat("*", 72))
+		fmt.Fprintln(os.Stderr, "fpbench: WARNING: GOMAXPROCS=1 — every -workers value clamps to a")
+		fmt.Fprintln(os.Stderr, "fpbench: serial run on this host. The scaling curve in this report")
+		fmt.Fprintln(os.Stderr, "fpbench: measures the host, not the code; the report is tagged")
+		fmt.Fprintln(os.Stderr, `fpbench: "serial_host": true so downstream readers can tell.`)
+		fmt.Fprintln(os.Stderr, strings.Repeat("*", 72))
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "fpbench: wrote CPU profile %s\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "fpbench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "fpbench: wrote heap profile %s\n", *memProfile)
+		}()
+	}
+
+	// Prime the process-wide one-time costs — the oracle answer key and
+	// the generator's background tables — before any timing. Without
+	// this the first configuration timed absorbs the whole answer-key
+	// derivation, which at -reps 1 skews the serial baseline (and with
+	// it every speedup_vs_serial and the scaling gate).
+	core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: 1, ColumnarOnly: true}.Run()
 
 	for _, n := range sizes {
 		serial := 0.0

@@ -42,7 +42,15 @@ import (
 //	  whole-document survey.DecodeDataset row decoder — the baseline
 //	  the binary decoder is measured against; decode only). io
 //	  throughput is gated by Compare under the throughput band.
-const SchemaVersion = 4
+//	5 — adds "host.serial_host": true when the report was measured
+//	  with GOMAXPROCS=1, where every -workers value degenerates to a
+//	  serial run and scaling numbers say nothing about the code.
+//	  Compare additionally gates scaling within the NEW report: at
+//	  every n with both a workers=1 and a workers=0 run, the all-cores
+//	  run must not be slower than serial beyond the throughput band
+//	  (metric "scaling_all_vs_serial"). The default -workers sweep
+//	  grew from {1, 0} to {1, 2, 4, 0} so the full curve is recorded.
+const SchemaVersion = 5
 
 // Host identifies the benchmarking machine.
 type Host struct {
@@ -51,6 +59,13 @@ type Host struct {
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	GoVersion  string `json:"go_version"`
+	// SerialHost tags reports measured with GOMAXPROCS=1: parallel.Workers
+	// clamps every worker count to GOMAXPROCS, so all "parallel" legs of
+	// such a report are really serial runs and its scaling curve is a
+	// property of the host, not the code. fpbench sets it and prints a
+	// loud warning; readers of the trajectory should skip scaling
+	// conclusions from tagged entries.
+	SerialHost bool `json:"serial_host,omitempty"`
 }
 
 // Run is one timed pipeline execution configuration.
@@ -178,11 +193,18 @@ type Bands struct {
 	// GCPauseFloorMS is the minimum absolute pause growth (ms) that can
 	// count as a regression.
 	GCPauseFloorMS float64
+	// IOFloorSeconds is the minimum best_seconds an io run must reach
+	// (in either report) for its throughput to gate: sub-millisecond
+	// serializations of tiny cohorts sit below the timer noise floor,
+	// where a ±10% "change" is jitter, not a measurement. Such deltas
+	// are still reported, never regressions.
+	IOFloorSeconds float64
 }
 
 // DefaultBands are the bands the bench-gate runs with: 5% throughput,
 // 10% allocations (floor: one allocation per respondent), 50% GC pause
-// (floor: 5ms) — GC pause totals are by far the noisiest of the three.
+// (floor: 5ms) — GC pause totals are by far the noisiest of the three —
+// and a 1ms io timing floor.
 func DefaultBands() Bands {
 	return Bands{
 		Throughput:     0.05,
@@ -190,6 +212,7 @@ func DefaultBands() Bands {
 		AllocsFloor:    1.0,
 		GCPause:        0.50,
 		GCPauseFloorMS: 5.0,
+		IOFloorSeconds: 0.001,
 	}
 }
 
@@ -210,6 +233,9 @@ func (b Bands) withDefaults() Bands {
 	}
 	if b.GCPauseFloorMS == 0 {
 		b.GCPauseFloorMS = d.GCPauseFloorMS
+	}
+	if b.IOFloorSeconds == 0 {
+		b.IOFloorSeconds = d.IOFloorSeconds
 	}
 	return b
 }
@@ -360,17 +386,21 @@ func Compare(old, new *Report, bands Bands) *Result {
 			res.OnlyOld = append(res.OnlyOld, Delta{N: o.N, Format: o.Format, Op: o.Op}.Config())
 			continue
 		}
+		// Below the timing floor in both reports, throughput "changes"
+		// are clock jitter — report them, never gate on them.
+		measurable := o.BestSeconds >= bands.IOFloorSeconds ||
+			n.BestSeconds >= bands.IOFloorSeconds
 		mb := relChange(o.MBPerSec, n.MBPerSec)
 		res.Deltas = append(res.Deltas, Delta{
 			N: o.N, Format: o.Format, Op: o.Op, Metric: "mb_per_sec",
 			Old: o.MBPerSec, New: n.MBPerSec, Change: mb,
-			Regression: mb < -bands.Throughput,
+			Regression: measurable && mb < -bands.Throughput,
 		})
 		rps := relChange(o.RespondentsPerSec, n.RespondentsPerSec)
 		res.Deltas = append(res.Deltas, Delta{
 			N: o.N, Format: o.Format, Op: o.Op, Metric: "respondents_per_sec",
 			Old: o.RespondentsPerSec, New: n.RespondentsPerSec, Change: rps,
-			Regression: rps < -bands.Throughput,
+			Regression: measurable && rps < -bands.Throughput,
 		})
 	}
 	for _, n := range new.IO {
@@ -378,7 +408,48 @@ func Compare(old, new *Report, bands Bands) *Result {
 			res.OnlyNew = append(res.OnlyNew, Delta{N: n.N, Format: n.Format, Op: n.Op}.Config())
 		}
 	}
+
+	// Scaling gate: a property of the new report alone — parallel must
+	// never lose to serial. The old report only establishes history; the
+	// claim "workers=all >= workers=1" has to hold on every fresh run.
+	res.Deltas = append(res.Deltas, ScalingDeltas(new, bands)...)
 	return res
+}
+
+// ScalingDeltas checks the parallel-scaling invariant of one report:
+// at every cohort size with both a serial (workers=1) and an all-cores
+// (workers=0) run, the all-cores run must be at least as fast, within
+// the throughput noise band. The returned deltas use metric
+// "scaling_all_vs_serial" with Old = serial and New = all-cores
+// respondents/sec; a violation means adding workers made the pipeline
+// slower — the scaling cliff the batched kernels exist to prevent.
+// Reports tagged serial_host still gate (their "all-cores" run is the
+// same serial run, so the invariant holds trivially within noise).
+func ScalingDeltas(r *Report, bands Bands) []Delta {
+	bands = bands.withDefaults()
+	serial := map[int]Run{}
+	for _, run := range r.Runs {
+		if run.Workers == 1 {
+			serial[run.N] = run
+		}
+	}
+	var out []Delta
+	for _, run := range r.Runs {
+		if run.Workers != 0 {
+			continue
+		}
+		s, ok := serial[run.N]
+		if !ok {
+			continue
+		}
+		change := relChange(s.RespondentsPerSec, run.RespondentsPerSec)
+		out = append(out, Delta{
+			N: run.N, Workers: 0, Metric: "scaling_all_vs_serial",
+			Old: s.RespondentsPerSec, New: run.RespondentsPerSec, Change: change,
+			Regression: change < -bands.Throughput,
+		})
+	}
+	return out
 }
 
 // HistoryRun is the compact per-configuration record kept in the

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -282,5 +283,145 @@ func TestReadHistoryRejectsMalformed(t *testing.T) {
 	}
 	if _, err := ReadHistory(path); err == nil {
 		t.Fatal("malformed history line accepted")
+	}
+}
+
+// scalingReport builds a one-size report with a serial and an
+// all-cores run at the given throughputs.
+func scalingReport(serial, all float64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Runs: []Run{
+			{N: 10000, Workers: 1, BestSeconds: 10000 / serial, RespondentsPerSec: serial},
+			{N: 10000, Workers: 4, BestSeconds: 10000 / serial, RespondentsPerSec: serial},
+			{N: 10000, Workers: 0, BestSeconds: 10000 / all, RespondentsPerSec: all},
+		},
+	}
+}
+
+// TestScalingDeltasGateSlowParallel pins the scaling cliff gate: an
+// all-cores run 20% slower than serial is a regression of the report
+// itself, regardless of history.
+func TestScalingDeltasGateSlowParallel(t *testing.T) {
+	ds := ScalingDeltas(scalingReport(10000, 8000), Bands{})
+	if len(ds) != 1 {
+		t.Fatalf("got %d scaling deltas, want 1: %+v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Metric != "scaling_all_vs_serial" || !d.Regression {
+		t.Fatalf("slow parallel run not gated: %+v", d)
+	}
+	if d.Config() != "n=10000/workers=0" {
+		t.Fatalf("config = %q", d.Config())
+	}
+}
+
+// TestScalingDeltasPassFastOrEqual: parity (the GOMAXPROCS=1 host,
+// where all runs clamp to serial) and genuine speedups both pass, as
+// does a within-band wobble.
+func TestScalingDeltasPassFastOrEqual(t *testing.T) {
+	for _, tc := range []struct{ serial, all float64 }{
+		{10000, 10000}, // parity: serial host
+		{10000, 31000}, // real speedup
+		{10000, 9700},  // 3% wobble, inside the default 5% band
+	} {
+		for _, d := range ScalingDeltas(scalingReport(tc.serial, tc.all), Bands{}) {
+			if d.Regression {
+				t.Fatalf("serial=%.0f all=%.0f flagged: %+v", tc.serial, tc.all, d)
+			}
+		}
+	}
+}
+
+// TestScalingDeltasNeedBothLegs: a report without a workers=1 baseline
+// (or without an all-cores run) yields no scaling delta rather than a
+// spurious verdict.
+func TestScalingDeltasNeedBothLegs(t *testing.T) {
+	r := &Report{Runs: []Run{{N: 199, Workers: 0, RespondentsPerSec: 5000}}}
+	if ds := ScalingDeltas(r, Bands{}); len(ds) != 0 {
+		t.Fatalf("scaling delta without serial baseline: %+v", ds)
+	}
+	r = &Report{Runs: []Run{{N: 199, Workers: 1, RespondentsPerSec: 5000}}}
+	if ds := ScalingDeltas(r, Bands{}); len(ds) != 0 {
+		t.Fatalf("scaling delta without all-cores run: %+v", ds)
+	}
+}
+
+// TestCompareRunsScalingGate: the gate rides along in Compare, so
+// `fpbench compare` (and make bench-gate) enforce it with no extra
+// invocation.
+func TestCompareRunsScalingGate(t *testing.T) {
+	old := scalingReport(10000, 10000)
+	cur := scalingReport(10000, 7000) // parallel now loses to serial
+	var found *Delta
+	res := Compare(old, cur, Bands{})
+	for i, d := range res.Deltas {
+		if d.Metric == "scaling_all_vs_serial" {
+			found = &res.Deltas[i]
+			break
+		}
+	}
+	if found == nil || !found.Regression {
+		t.Fatalf("Compare did not gate the scaling cliff: %+v", found)
+	}
+}
+
+// TestSerialHostRoundTrip pins the schema-v5 host tag: set it
+// survives encode/decode, unset it is omitted entirely.
+func TestSerialHostRoundTrip(t *testing.T) {
+	r := &Report{SchemaVersion: SchemaVersion, Host: Host{GOMAXPROCS: 1, SerialHost: true}}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Host.SerialHost {
+		t.Fatal("serial_host tag lost in round trip")
+	}
+	data, _ = json.Marshal(&Report{SchemaVersion: SchemaVersion})
+	if bytesContains(data, `"serial_host"`) {
+		t.Fatalf("untagged report serializes serial_host: %s", data)
+	}
+}
+
+func bytesContains(b []byte, s string) bool { return strings.Contains(string(b), s) }
+
+// TestCompareIOTimerNoiseFloor pins the io timing floor: a tiny-cohort
+// serialization finishing in tens of microseconds in both reports is
+// below timer resolution, so even a large relative throughput "drop" is
+// reported but never gates. Crossing the floor in either report gates
+// normally.
+func TestCompareIOTimerNoiseFloor(t *testing.T) {
+	mk := func(sec float64) *Report {
+		return &Report{SchemaVersion: SchemaVersion, IO: []IORun{{
+			N: 199, Format: "binary", Op: "decode", Bytes: 2048,
+			BestSeconds: sec, MBPerSec: 0.002 / sec, RespondentsPerSec: 199 / sec,
+		}}}
+	}
+	old, cur := mk(0.00005), mk(0.00007) // -29% throughput, 50µs vs 70µs
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor io jitter gated: %+v", regs)
+	}
+	var saw bool
+	for _, d := range res.Deltas {
+		if d.IsIO() && d.Metric == "mb_per_sec" {
+			saw = true
+			if d.Change > -0.25 {
+				t.Fatalf("sub-floor delta not reported faithfully: %+v", d)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("sub-floor io delta dropped from the report")
+	}
+
+	// The same relative drop above the floor still gates.
+	old, cur = mk(0.05), mk(0.07)
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 2 {
+		t.Fatalf("above-floor io drop not gated: %+v", regs)
 	}
 }

@@ -2,11 +2,26 @@ package core
 
 import (
 	"crypto/sha256"
+	"runtime"
 	"testing"
 
 	"fpstudy/internal/survey"
 	"fpstudy/internal/telemetry"
 )
+
+// raiseGOMAXPROCS lifts GOMAXPROCS to at least p for the duration of a
+// test. parallel.Workers clamps explicit worker counts to GOMAXPROCS
+// (the bench-host honesty fix), so on a small host the workers=4/16
+// legs of the invariance gates would silently degrade to serial runs —
+// raising the P count keeps the gates exercising real concurrency.
+func raiseGOMAXPROCS(t *testing.T, p int) {
+	t.Helper()
+	if runtime.GOMAXPROCS(0) >= p {
+		return
+	}
+	old := runtime.GOMAXPROCS(p)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
 
 // goldenSnapshot runs an n-respondent study at the given worker count
 // and hashes the encoded datasets plus all 22 figure tables. rec may be
@@ -49,6 +64,7 @@ func TestGoldenParallelDeterminism(t *testing.T) {
 		t.Skip("5000-respondent study; skipped in -short mode")
 	}
 	const n = 5000
+	raiseGOMAXPROCS(t, 16)
 
 	want := goldenSnapshot(t, n, 1, nil)
 	for _, workers := range []int{4, 16} {
@@ -78,6 +94,7 @@ func TestGoldenTelemetryInvariance(t *testing.T) {
 		t.Skip("multiple 2000-respondent studies; skipped in -short mode")
 	}
 	const n = 2000
+	raiseGOMAXPROCS(t, 16)
 
 	want := goldenSnapshot(t, n, 1, nil)
 
@@ -125,6 +142,7 @@ func TestGoldenTraceInvariance(t *testing.T) {
 		t.Skip("multiple 2000-respondent studies; skipped in -short mode")
 	}
 	const n = 2000
+	raiseGOMAXPROCS(t, 16)
 
 	want := goldenSnapshot(t, n, 1, nil)
 

@@ -353,11 +353,12 @@ func (r *Results) Figure14() report.Table {
 	// One sharded pass over the columns classifies every (respondent,
 	// question) pair; per-shard count matrices merge additively, so the
 	// totals are identical at any worker count.
+	st := quiz.ScoreTableFor(d.Schema)
 	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
 		counts := make([][4]int, len(qs))
 		for i := lo; i < hi; i++ {
 			for qi := range qs {
-				counts[qi][quiz.ClassifyCoreAt(d, i, qi)]++
+				counts[qi][st.ClassifyCore(d, i, qi)]++
 			}
 		}
 		return counts
@@ -405,11 +406,12 @@ func (r *Results) Figure15() report.Table {
 	qs := quiz.OptQuestions()
 	d := r.Main.Cols
 	n := float64(d.Len())
+	st := quiz.ScoreTableFor(d.Schema)
 	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
 		counts := make([][4]int, len(qs))
 		for i := lo; i < hi; i++ {
 			for qi := range qs {
-				counts[qi][quiz.ClassifyOptAt(d, i, qi)]++
+				counts[qi][st.ClassifyOpt(d, i, qi)]++
 			}
 		}
 		return counts

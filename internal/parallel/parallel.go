@@ -73,11 +73,16 @@ func SetHook(h *Hook) { hook.Store(h) }
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Workers normalizes a requested worker count: values <= 0 become
-// DefaultWorkers(), and the count is capped at n (no point spawning
-// more workers than work items).
+// DefaultWorkers(), the count is capped at GOMAXPROCS (extra goroutines
+// beyond the scheduler's P count only add handoff overhead — on a
+// single-CPU host every "parallel" request degrades to serial, which is
+// the honest execution), and the count is capped at n (no point
+// spawning more workers than work items).
 func Workers(workers, n int) int {
 	if workers <= 0 {
 		workers = DefaultWorkers()
+	} else if maxp := DefaultWorkers(); workers > maxp {
+		workers = maxp
 	}
 	if n >= 0 && workers > n {
 		workers = n
@@ -246,6 +251,19 @@ func MapShards[T any](workers, n int, fn func(lo, hi int) T) []T {
 // result is bit-identical at any parallelism, and identical to a
 // sequential shard-by-shard evaluation.
 func SumShards(workers, n int, fn func(lo, hi int) float64) float64 {
+	shards := NumShards(n)
+	if Workers(workers, shards) == 1 && hook.Load() == nil {
+		// Serial, unobserved: accumulate directly in shard order with no
+		// subtotal slice. Identical boundaries and accumulation order
+		// keep the result bit-identical to the fan-out path while making
+		// the calibration inner loop allocation-free.
+		s := 0.0
+		for sh := 0; sh < shards; sh++ {
+			lo, hi := ShardBounds(sh, n)
+			s += fn(lo, hi)
+		}
+		return s
+	}
 	subs := MapShards(workers, n, fn)
 	s := 0.0
 	for _, v := range subs {

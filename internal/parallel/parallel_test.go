@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -135,6 +136,9 @@ func TestRNGPerIndexStreams(t *testing.T) {
 }
 
 func TestWorkersNormalization(t *testing.T) {
+	// Raise GOMAXPROCS so the explicit-count assertions are not
+	// short-circuited by the GOMAXPROCS clamp on a small host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(16))
 	if Workers(0, 100) != DefaultWorkers() && DefaultWorkers() <= 100 {
 		t.Fatal("workers<=0 should default to GOMAXPROCS")
 	}
@@ -143,6 +147,23 @@ func TestWorkersNormalization(t *testing.T) {
 	}
 	if Workers(-1, 0) != 1 {
 		t.Fatal("degenerate inputs should give 1 worker")
+	}
+}
+
+// TestWorkersClampToGOMAXPROCS pins the bench-host honesty fix: asking
+// for more workers than the scheduler has Ps must degrade to the P
+// count, so a single-CPU host never reports fake "parallel" numbers.
+func TestWorkersClampToGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	if got := Workers(16, 1000); got != 2 {
+		t.Fatalf("Workers(16, 1000) at GOMAXPROCS=2 = %d, want 2", got)
+	}
+	if got := Workers(1, 1000); got != 1 {
+		t.Fatalf("explicit workers=1 must stay serial, got %d", got)
+	}
+	runtime.GOMAXPROCS(1)
+	if got := Workers(4, 1000); got != 1 {
+		t.Fatalf("Workers(4, 1000) at GOMAXPROCS=1 = %d, want 1", got)
 	}
 }
 

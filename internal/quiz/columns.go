@@ -39,10 +39,15 @@ type colItem struct {
 	correct uint8
 }
 
-// colScoreTable binds the answer key to a schema's column indices, so
-// grading a respondent is a walk over dense code columns with no string
-// hashing at all.
-type colScoreTable struct {
+// ScoreTable is the oracle answer key bound to a schema's column
+// indices: the one-stop grading table for columnar datasets. The
+// ieee754 oracles behind the answer key run once per (question, mode)
+// for the whole process — the canonical schema's table is built under a
+// sync.Once and shared read-only — so grading and figure loops consult
+// pure in-memory codes no matter how many respondents they touch.
+// Fetch it once per batch with ScoreTableFor and call the Classify
+// methods per cell.
+type ScoreTable struct {
 	core  []colItem // 15 core questions, paper order
 	optTF []colItem // the three T/F optimization questions, paper order
 	// The Standard-compliant Level single-choice question.
@@ -53,14 +58,14 @@ type colScoreTable struct {
 
 var (
 	colScoreOnce sync.Once
-	colScore     *colScoreTable
+	colScore     *ScoreTable
 )
 
 // buildColScoreTable derives the columnar grading table for an
 // arbitrary schema holding the instrument's questions (runs the oracles
 // on first use, via the cached answer keys).
-func buildColScoreTable(s *colstore.Schema) *colScoreTable {
-	t := &colScoreTable{}
+func buildColScoreTable(s *colstore.Schema) *ScoreTable {
+	t := &ScoreTable{}
 	for _, q := range CoreQuestions() {
 		t.core = append(t.core, colItem{
 			ci:      s.MustColumnIndex(q.ID),
@@ -81,10 +86,10 @@ func buildColScoreTable(s *colstore.Schema) *colScoreTable {
 	return t
 }
 
-// colScoreFor returns the grading table for a schema: the canonical
-// Columns() schema hits a cached table; any other schema over the same
-// instrument is derived on the fly.
-func colScoreFor(s *colstore.Schema) *colScoreTable {
+// ScoreTableFor returns the grading table for a schema: the canonical
+// Columns() schema hits the process-wide cached table; any other schema
+// over the same instrument is derived on the fly.
+func ScoreTableFor(s *colstore.Schema) *ScoreTable {
 	if s == Columns() {
 		colScoreOnce.Do(func() { colScore = buildColScoreTable(s) })
 		return colScore
@@ -121,7 +126,7 @@ func classifyTFCode(code, correct uint8) PerQuestionOutcome {
 
 // classifyLevelCode maps a Standard-compliant Level single-choice code
 // to an outcome.
-func (t *colScoreTable) classifyLevelCode(code int32) PerQuestionOutcome {
+func (t *ScoreTable) classifyLevelCode(code int32) PerQuestionOutcome {
 	switch code {
 	case 0:
 		return OutcomeUnanswered
@@ -137,7 +142,7 @@ func (t *colScoreTable) classifyLevelCode(code int32) PerQuestionOutcome {
 // tally, the three-question T/F optimization tally (the Figure 12
 // view), and the all-four optimization tally. It allocates nothing.
 func ScoreColumnsAt(d *colstore.Dataset, i int) (core, optScored, optAll Tally) {
-	t := colScoreFor(d.Schema)
+	t := ScoreTableFor(d.Schema)
 	for _, it := range t.core {
 		core.countTF(d.TF(it.ci, i), it.correct)
 	}
@@ -170,7 +175,7 @@ func ScoreAllColumns(d *colstore.Dataset, workers int) Grades {
 	// fanning out, so workers never contend on the sync.Once. Measured
 	// inside the batch window so the FP-exception delta attributes any
 	// answer-key derivation to the batch that triggered it.
-	colScoreFor(d.Schema)
+	ScoreTableFor(d.Schema)
 	n := d.Len()
 	g := Grades{
 		Core:      make([]Tally, n),
@@ -185,19 +190,17 @@ func ScoreAllColumns(d *colstore.Dataset, workers int) Grades {
 	return g
 }
 
-// ClassifyCoreAt returns the outcome of respondent i on core question
-// k (paper order) of a columnar dataset.
-func ClassifyCoreAt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
-	t := colScoreFor(d.Schema)
+// ClassifyCore returns the outcome of respondent i on core question k
+// (paper order). Figure loops fetch the table once per batch and call
+// this per cell, keeping the per-cell cost at two column reads.
+func (t *ScoreTable) ClassifyCore(d *colstore.Dataset, i, k int) PerQuestionOutcome {
 	it := t.core[k]
 	return classifyTFCode(d.TF(it.ci, i), it.correct)
 }
 
-// ClassifyOptAt returns the outcome of respondent i on optimization
-// question k (paper order: MADD, FTZ, Level, Fast-math) of a columnar
-// dataset.
-func ClassifyOptAt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
-	t := colScoreFor(d.Schema)
+// ClassifyOpt returns the outcome of respondent i on optimization
+// question k (paper order: MADD, FTZ, Level, Fast-math).
+func (t *ScoreTable) ClassifyOpt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
 	switch k {
 	case 0:
 		return classifyTFCode(d.TF(t.optTF[0].ci, i), t.optTF[0].correct)
@@ -208,4 +211,17 @@ func ClassifyOptAt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
 	default:
 		return classifyTFCode(d.TF(t.optTF[2].ci, i), t.optTF[2].correct)
 	}
+}
+
+// ClassifyCoreAt returns the outcome of respondent i on core question
+// k (paper order) of a columnar dataset.
+func ClassifyCoreAt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
+	return ScoreTableFor(d.Schema).ClassifyCore(d, i, k)
+}
+
+// ClassifyOptAt returns the outcome of respondent i on optimization
+// question k (paper order: MADD, FTZ, Level, Fast-math) of a columnar
+// dataset.
+func ClassifyOptAt(d *colstore.Dataset, i, k int) PerQuestionOutcome {
+	return ScoreTableFor(d.Schema).ClassifyOpt(d, i, k)
 }

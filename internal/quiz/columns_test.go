@@ -1,9 +1,11 @@
 package quiz
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"fpstudy/internal/colstore"
+	"fpstudy/internal/ieee754"
 )
 
 // columnarFixture builds a small columnar cohort by hand: respondent 0
@@ -100,7 +102,7 @@ func TestClassifyAtMatchesRows(t *testing.T) {
 // columnar grading.
 func TestScoreColumnsZeroAlloc(t *testing.T) {
 	d := columnarFixture(t)
-	colScoreFor(d.Schema) // warm the one-time table build
+	ScoreTableFor(d.Schema) // warm the one-time table build
 	var sink Tally
 	allocs := testing.AllocsPerRun(200, func() {
 		for i := 0; i < d.Len(); i++ {
@@ -133,10 +135,37 @@ func TestScoreAllColumnsWorkersInvariant(t *testing.T) {
 // BenchmarkScoreColumns times columnar grading of one respondent.
 func BenchmarkScoreColumns(b *testing.B) {
 	d := columnarFixture(b)
-	colScoreFor(d.Schema)
+	ScoreTableFor(d.Schema)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		ScoreColumnsAt(d, n%d.Len())
+	}
+}
+
+// TestScoreTableCachedOncePerProcess pins the oracle-cache contract:
+// the canonical schema's grading table is one shared instance, and once
+// the answer key exists, scoring any number of datasets consults it
+// without ever re-running an ieee754 oracle.
+func TestScoreTableCachedOncePerProcess(t *testing.T) {
+	a := ScoreTableFor(Columns())
+	b := ScoreTableFor(Columns())
+	if a != b {
+		t.Fatal("canonical ScoreTable not cached: distinct instances returned")
+	}
+
+	// With the key warm, further table fetches and full gradings must
+	// not evaluate a single oracle operation. The observer would count
+	// any softfloat activity the oracles perform.
+	var evals atomic.Int64
+	SetOracleObserver(func(ieee754.OpEvent) { evals.Add(1) })
+	defer SetOracleObserver(nil)
+
+	d := Columns().NewDataset("1.0", 16)
+	_ = ScoreAllColumns(d, 1)
+	_ = ScoreTableFor(Columns())
+	_ = CoreAnswer(CoreQuestions()[0].ID)
+	if n := evals.Load(); n != 0 {
+		t.Fatalf("grading after answer-key build re-ran oracles (%d softfloat ops observed)", n)
 	}
 }

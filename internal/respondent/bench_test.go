@@ -1,0 +1,90 @@
+package respondent
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/parallel"
+	"fpstudy/internal/quiz"
+)
+
+// benchSizes are the cohort sizes the per-stage benchmarks run at. The
+// 1M case takes seconds per rep and is gated behind FPSTUDY_BENCH_LARGE=1,
+// matching the top-level BenchmarkStudyPipeline convention.
+var benchSizes = []int{10000, 1000000}
+
+func skipLarge(b *testing.B, n int) {
+	if n >= 1000000 && os.Getenv("FPSTUDY_BENCH_LARGE") == "" {
+		b.Skip("set FPSTUDY_BENCH_LARGE=1 to run the 1M-respondent benchmark")
+	}
+}
+
+// benchProfiles draws an n-respondent profile cohort once (setup, not
+// timed by the callers).
+func benchProfiles(n int) []Profile {
+	profiles := make([]Profile, n)
+	drawProfileBlocks(0, 42, profiles, nil, nil)
+	return profiles
+}
+
+// BenchmarkCalibrateModels times the calibration stage in isolation:
+// building the ability kernels and bisecting every question model's
+// difficulty offset against the paper's Figure 14/15 targets. Reported
+// per respondent of the calibration cohort (capped at calibrationCap).
+func BenchmarkCalibrateModels(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			profiles := benchProfiles(n)
+			cohort := len(profiles)
+			if cohort > calibrationCap {
+				cohort = calibrationCap
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				models := calibrateModels(0, profiles, Instrumentation{})
+				if len(models) == 0 {
+					b.Fatal("calibration produced no models")
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(cohort), "ns/respondent")
+		})
+	}
+}
+
+// BenchmarkSampleResponses times the sampling stage in isolation:
+// column-major block sampling of every answer column into a
+// pre-allocated dataset, with models already calibrated. Reported per
+// respondent.
+func BenchmarkSampleResponses(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			skipLarge(b, n)
+			profiles := benchProfiles(n)
+			models := calibrateModels(0, profiles, Instrumentation{})
+			d := quiz.Columns().NewDataset("1.0", n)
+			cs := newColSampler(d, models, paperdata.Figure22Main)
+			coreAbil := abilitiesOf(profiles, false)
+			optAbil := abilitiesOf(profiles, true)
+			rng := parallel.NewXRand()
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Blocks mirror the generator's fixed shard width, so the
+			// benchmark exercises the same reseed cadence.
+			const blockN = 4096
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < n; lo += blockN {
+					hi := lo + blockN
+					if hi > n {
+						hi = n
+					}
+					cs.sampleBlock(rng, 42, lo, hi, profiles, coreAbil, optAbil)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/respondent")
+		})
+	}
+}

@@ -12,13 +12,20 @@ import (
 	"fpstudy/internal/survey"
 )
 
-// Pinned sha256 hashes of the serialized paper-sized cohorts. These are
-// the exact bytes survey.WriteDataset produced for the same seeds
-// before the columnar port; any drift here is a fidelity regression,
-// not a tuning change.
+// Pinned sha256 hashes of the serialized paper-sized cohorts. Any
+// drift here is a fidelity regression, not a tuning change.
+//
+// Re-pinned once for the batched-generation rewrite (see DESIGN.md,
+// "Generation hot path"): the hot path moved from math/rand to the
+// repositionable xoshiro256++ generator with per-(respondent, column)
+// sub-streams, and calibration's invlogit(offset+a) was refactored to
+// 1/(1+exp(-offset)·exp(-a)), both of which change the serialized
+// stream. The statistical gates (marginals, factor effects, Figure
+// 14/15/22 breakdowns) held across the re-pin, and worker-count
+// invariance is still enforced against these exact bytes.
 const (
-	goldenMainSHA    = "5c019dfe9a8c069fae3cd433d1f44916b8db0a3dd1c90caaa6ef83d7920e9c8e" // seed 42, n=199
-	goldenStudentSHA = "cc54cdf85703623e4c94677f698ae956c42afbda09d5a161ff61e887868ff269" // seed 43, n=52
+	goldenMainSHA    = "4c72166dec3d1510317a1e9ad175309bd67d40a488df500064b4d85f900fbdd3" // seed 42, n=199
+	goldenStudentSHA = "af40b7a73515f1588b3853d2d5f076a2a5b9889981f027aafe9540925ce6a15b" // seed 43, n=52
 )
 
 // TestColumnarGoldenHashes pins the serialized output of the columnar
@@ -97,72 +104,102 @@ func TestColumnarMaterializeEqualsLegacyRows(t *testing.T) {
 }
 
 // TestSampleZeroAlloc pins the zero-allocation contract of the
-// per-respondent sampling inner loop: reseeding the worker RNG and
-// sampling one respondent into the columns must not touch the heap.
+// sampling inner loop: repositioning the worker generator and sampling
+// a whole block of respondents into the columns must not touch the
+// heap.
 func TestSampleZeroAlloc(t *testing.T) {
 	profiles := make([]Profile, 64)
-	rng := newWorkerRNG()
+	rng := parallel.NewXRand()
 	for i := range profiles {
-		parallel.Reseed(rng, 42, streamProfile, int64(i))
+		rng.SeedAt(42, streamProfile, int64(i))
 		profiles[i] = drawProfile(rng)
 	}
 	models := calibrateModels(0, profiles, Instrumentation{})
 	d := quiz.Columns().NewDataset("1.0", len(profiles))
 	cs := newColSampler(d, models, paperdata.Figure22Main)
+	coreAbil := abilitiesOf(profiles, false)
+	optAbil := abilitiesOf(profiles, true)
 
-	i := 0
-	allocs := testing.AllocsPerRun(200, func() {
-		parallel.Reseed(rng, 42, streamResponse, int64(i))
-		cs.sample(rng, i, &profiles[i])
-		i = (i + 1) % len(profiles)
+	allocs := testing.AllocsPerRun(50, func() {
+		cs.sampleBlock(rng, 42, 0, len(profiles), profiles, coreAbil, optAbil)
 	})
 	if allocs != 0 {
-		t.Fatalf("sampling inner loop allocates %.1f allocs/op, want 0", allocs)
+		t.Fatalf("sampling block allocates %.1f allocs/block, want 0", allocs)
 	}
 }
 
 // TestStudentSampleZeroAlloc pins the same contract for the student
-// suspicion cohort's inner loop.
+// suspicion cohort's column-major inner loop.
 func TestStudentSampleZeroAlloc(t *testing.T) {
 	d := quiz.Columns().NewDataset("1.0-student", 64)
 	items := quiz.SuspicionItems()
 	suspCI := make([]int, len(items))
+	suspCum := make([][5]float64, len(items))
 	for k, it := range items {
 		suspCI[k] = d.Schema.MustColumnIndex(it.ID)
+		suspCum[k] = cumulative(paperdata.Figure22Student[k].Percent)
 	}
-	dists := paperdata.Figure22Student
-	rng := newWorkerRNG()
+	rng := parallel.NewXRand()
 
-	i := 0
-	allocs := testing.AllocsPerRun(200, func() {
-		parallel.Reseed(rng, 43, streamStudent, int64(i))
+	allocs := testing.AllocsPerRun(50, func() {
 		for k := range suspCI {
-			d.SetLikert(suspCI[k], i, drawLikert(rng, dists[k].Percent))
+			for i := 0; i < 64; i++ {
+				rng.SeedAt(43, streamStudent, int64(i)<<subStreamBits|int64(k))
+				d.SetLikert(suspCI[k], i, drawLikert(rng, &suspCum[k]))
+			}
 		}
-		i = (i + 1) % 64
 	})
 	if allocs != 0 {
-		t.Fatalf("student inner loop allocates %.1f allocs/op, want 0", allocs)
+		t.Fatalf("student inner loop allocates %.1f allocs/block, want 0", allocs)
 	}
 }
 
-// BenchmarkSampleRespondent times the per-respondent sampling hot path
-// in isolation (models pre-calibrated, columns pre-allocated).
-func BenchmarkSampleRespondent(b *testing.B) {
-	profiles := make([]Profile, 1024)
-	rng := newWorkerRNG()
+// TestCalibrationSweepZeroAlloc pins the batched calibration kernel's
+// inner loop: one bisection-step sweep over the cohort must cost at
+// most the fixed closure setup — 0 allocs per respondent.
+func TestCalibrationSweepZeroAlloc(t *testing.T) {
+	abil := make([]float64, 4096)
+	rng := parallel.NewXRand()
+	rng.SeedAt(1, 1, 1)
+	for i := range abil {
+		a, _ := rng.NormPair()
+		abil[i] = a
+	}
+	k := newAbilityKernel(1, abil)
+	qm := questionModel{pUn: 0.05, pDK: 0.2}
+	w := make([]float64, len(abil))
+	k.weights(qm, w)
+	allocs := testing.AllocsPerRun(50, func() {
+		_ = k.expectCorrect(1, w, 0.3)
+	})
+	// The sweep closure itself may cost a fixed allocation; anything
+	// scaling with the cohort is a regression.
+	if allocs > 2 {
+		t.Fatalf("calibration sweep allocates %.1f allocs/sweep over %d respondents, want <= 2 fixed",
+			allocs, len(abil))
+	}
+}
+
+// BenchmarkSampleBlock times the block sampling hot path in isolation
+// (models pre-calibrated, columns pre-allocated), reported per
+// respondent.
+func BenchmarkSampleBlock(b *testing.B) {
+	const blockN = 1024
+	profiles := make([]Profile, blockN)
+	rng := parallel.NewXRand()
 	for i := range profiles {
-		parallel.Reseed(rng, 42, streamProfile, int64(i))
+		rng.SeedAt(42, streamProfile, int64(i))
 		profiles[i] = drawProfile(rng)
 	}
 	models := calibrateModels(0, profiles, Instrumentation{})
-	d := quiz.Columns().NewDataset("1.0", len(profiles))
+	d := quiz.Columns().NewDataset("1.0", blockN)
 	cs := newColSampler(d, models, paperdata.Figure22Main)
+	coreAbil := abilitiesOf(profiles, false)
+	optAbil := abilitiesOf(profiles, true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		i := n % len(profiles)
-		parallel.Reseed(rng, 42, streamResponse, int64(i))
-		cs.sample(rng, i, &profiles[i])
+		cs.sampleBlock(rng, 42, 0, blockN, profiles, coreAbil, optAbil)
 	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/blockN, "ns/respondent")
 }

@@ -22,11 +22,16 @@
 // (seed, stream, index) via internal/parallel, so cohorts are generated
 // concurrently with output bit-identical to sequential generation at
 // any worker count.
+//
+// The hot path is batched (see DESIGN.md "Generation hot path"):
+// profiles and responses are produced in fixed 4096-respondent blocks,
+// responses column-major within a block, with one xoshiro generator per
+// worker repositioned per (respondent, column) sub-stream.
 package respondent
 
 import (
 	"math"
-	"math/rand"
+	"math/bits"
 
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/paperdata"
@@ -47,43 +52,70 @@ type Instrumentation struct {
 	// Span is the parent span for this generation; stage children
 	// (draw-profiles, calibrate, sample-responses) are attached to it.
 	Span *telemetry.Span
-	// Progress is advanced once per pipeline item: once when a
-	// respondent's profile is drawn and once when its responses are
-	// sampled, so a full main-cohort generation advances it by 2n (the
-	// student cohort, which has no profile stage, advances it by n).
-	// fpgen -progress streams this counter to stderr.
+	// Progress advances by the block size as each fixed block of
+	// respondents clears a pipeline stage; a full main-cohort generation
+	// advances it by 2n in total (profiles + responses; the student
+	// cohort, which has no profile stage, advances it by n). fpgen
+	// -progress streams this counter to stderr.
 	Progress *telemetry.Counter
 }
 
 // RNG stream identifiers. Each respondent index owns one independent
 // stream per phase, which is what makes generation order-independent:
 // respondent i's draws never depend on how many respondents came
-// before it.
+// before it. Within the response and student streams, the index is
+// packed as (respondent << subStreamBits | column), giving every
+// (respondent, question) cell its own stream — the property that lets
+// the sampler traverse blocks column-major.
 const (
 	streamProfile  uint64 = 10 // background + ability noise
 	streamResponse uint64 = 2  // quiz answers + suspicion
 	streamStudent  uint64 = 3  // student suspicion answers
 )
 
+// subStreamBits is the width of the per-column sub-stream field packed
+// into the low bits of a response-stream index: up to 32 columns per
+// respondent (15 core + 4 opt + 5 suspicion used today).
+const subStreamBits = 5
+
+// profileIdx caches each single-choice factor's entry index in its
+// paperdata table (= its bgTables entry), resolved at draw time and
+// re-derived when an override rewrites the labels. The sampler and the
+// ability model address tables by these indices instead of hashing
+// label strings per respondent.
+type profileIdx struct {
+	position, area, training, role int16
+	contribSize, contribExtent     int16
+	involvedSize, involvedExtent   int16
+}
+
 // Profile is one synthetic participant's background.
 type Profile struct {
 	Position       string
 	Area           string
 	FormalTraining string
-	Informal       []string
 	Role           string
-	FPLanguages    []string
-	ArbPrec        []string
 	ContribSize    string
 	ContribExtent  string
 	InvolvedSize   string
 	InvolvedExtent string
+
+	// The multi-select factors as option bitsets over their schema
+	// columns (bit j = option with code j+1, table order). The paper's
+	// analysis only ever consumes these lists by size ("very short
+	// lists predict bad scores") and by serialized choice set, both of
+	// which the mask carries without a per-respondent allocation.
+	InformalMask    uint64
+	FPLanguagesMask uint64
+	ArbPrecMask     uint64
 
 	// Ability is the latent core-quiz skill in logit units (0 =
 	// population average).
 	Ability float64
 	// OptAbility is the latent optimization-quiz skill.
 	OptAbility float64
+
+	idx profileIdx
 }
 
 // Population is a generated cohort. Cols is the primary storage: the
@@ -181,33 +213,9 @@ const pointsPerLogit = 2.9
 // (3 scored T/F questions, mostly unanswered/DK, so the slope is small).
 const optPointsPerLogit = 0.55
 
-// weightedChoice draws a label proportional to the published counts.
-func weightedChoice(rng *rand.Rand, entries []paperdata.CountEntry) string {
-	total := paperdata.Total(entries)
-	r := rng.Intn(total)
-	for _, e := range entries {
-		r -= e.N
-		if r < 0 {
-			return e.Label
-		}
-	}
-	return entries[len(entries)-1].Label
-}
-
-// multiSelect includes each option independently with its marginal
-// probability.
-func multiSelect(rng *rand.Rand, entries []paperdata.CountEntry, denom int) []string {
-	var out []string
-	for _, e := range entries {
-		if rng.Float64() < float64(e.N)/float64(denom) {
-			out = append(out, e.Label)
-		}
-	}
-	return out
-}
-
 // centeredEffect looks up an effect and subtracts the population mean
-// of the effect under the given marginals.
+// of the effect under the given marginals. Used once per table entry at
+// bgTables construction; the hot path reads the precomputed arrays.
 func centeredEffect(effects map[string]float64, def float64, level string, marginals []paperdata.CountEntry) float64 {
 	get := func(l string) float64 {
 		if v, ok := effects[l]; ok {
@@ -227,7 +235,7 @@ func centeredEffect(effects map[string]float64, def float64, level string, margi
 
 // drawProfile generates one background profile and its latent
 // abilities.
-func drawProfile(rng *rand.Rand) Profile {
+func drawProfile(rng *parallel.XRand) Profile {
 	return drawProfileWith(rng, nil)
 }
 
@@ -235,56 +243,84 @@ func drawProfile(rng *rand.Rand) Profile {
 // the background factors, and then derives abilities — so an
 // intervention (forcing a factor level) feeds through the ability model
 // exactly as the fitted effects dictate.
-func drawProfileWith(rng *rand.Rand, override func(*Profile)) Profile {
+func drawProfileWith(rng *parallel.XRand, override func(*Profile)) Profile {
 	p := drawBackground(rng)
 	if override != nil {
 		override(&p)
+		reindexProfile(&p)
 	}
-	assignAbilities(&p, rng.NormFloat64(), rng.NormFloat64())
+	noiseCore, noiseOpt := rng.NormPair()
+	assignAbilities(&p, noiseCore, noiseOpt)
 	return p
 }
 
-func drawBackground(rng *rand.Rand) Profile {
-	return Profile{
-		Position:       weightedChoice(rng, paperdata.Figure1Positions),
-		Area:           weightedChoice(rng, paperdata.Figure2Areas),
-		FormalTraining: weightedChoice(rng, paperdata.Figure3FormalTraining),
-		Informal:       multiSelect(rng, paperdata.Figure4InformalTraining, paperdata.NMain),
-		Role:           weightedChoice(rng, paperdata.Figure5Roles),
-		FPLanguages:    multiSelect(rng, paperdata.Figure6FPLanguages, paperdata.NMain),
-		ArbPrec:        multiSelect(rng, paperdata.Figure7ArbPrec, paperdata.NMain),
-		ContribSize:    weightedChoice(rng, paperdata.Figure8ContribSize),
-		ContribExtent:  weightedChoice(rng, paperdata.Figure9ContribExtent),
-		InvolvedSize:   weightedChoice(rng, paperdata.Figure10InvolvedSize),
-		InvolvedExtent: weightedChoice(rng, paperdata.Figure11InvolvedExtent),
-	}
+func drawBackground(rng *parallel.XRand) Profile {
+	t := tables()
+	var p Profile
+	p.idx.position = t.position.draw(rng)
+	p.Position = t.position.labels[p.idx.position]
+	p.idx.area = t.area.draw(rng)
+	p.Area = t.area.labels[p.idx.area]
+	p.idx.training = t.training.draw(rng)
+	p.FormalTraining = t.training.labels[p.idx.training]
+	p.InformalMask = t.informal.draw(rng)
+	p.idx.role = t.role.draw(rng)
+	p.Role = t.role.labels[p.idx.role]
+	p.FPLanguagesMask = t.languages.draw(rng)
+	p.ArbPrecMask = t.arbprec.draw(rng)
+	p.idx.contribSize = t.contribSize.draw(rng)
+	p.ContribSize = t.contribSize.labels[p.idx.contribSize]
+	p.idx.contribExtent = t.contribExtent.draw(rng)
+	p.ContribExtent = t.contribExtent.labels[p.idx.contribExtent]
+	p.idx.involvedSize = t.involvedSize.draw(rng)
+	p.InvolvedSize = t.involvedSize.labels[p.idx.involvedSize]
+	p.idx.involvedExtent = t.involvedExtent.draw(rng)
+	p.InvolvedExtent = t.involvedExtent.labels[p.idx.involvedExtent]
+	return p
+}
+
+// reindexProfile re-derives the cached entry indices from the label
+// fields — the slow path taken only after an override has rewritten
+// labels. Unknown labels panic: an intervention must force a level the
+// instrument actually offers.
+func reindexProfile(p *Profile) {
+	t := tables()
+	p.idx.position = t.position.index(quiz.BGPosition, p.Position)
+	p.idx.area = t.area.index(quiz.BGArea, p.Area)
+	p.idx.training = t.training.index(quiz.BGFormalTraining, p.FormalTraining)
+	p.idx.role = t.role.index(quiz.BGRole, p.Role)
+	p.idx.contribSize = t.contribSize.index(quiz.BGContribSize, p.ContribSize)
+	p.idx.contribExtent = t.contribExtent.index(quiz.BGContribExtent, p.ContribExtent)
+	p.idx.involvedSize = t.involvedSize.index(quiz.BGInvolvedSize, p.InvolvedSize)
+	p.idx.involvedExtent = t.involvedExtent.index(quiz.BGInvolvedExtent, p.InvolvedExtent)
 }
 
 // assignAbilities derives the latent skills from the background factors
 // plus individual noise (passed in so intervention overrides reuse the
-// same draws).
+// same draws). Effects are read from the precomputed centered tables by
+// entry index — no map lookups, no per-call mean re-derivation.
 func assignAbilities(p *Profile, noiseCore, noiseOpt float64) {
-	points := centeredEffect(contribSizeEffect, 0, p.ContribSize, paperdata.Figure8ContribSize) +
-		centeredEffect(areaEffect, areaEffectDefault, p.Area, paperdata.Figure2Areas) +
-		centeredEffect(roleEffect, 0, p.Role, paperdata.Figure5Roles) +
-		centeredEffect(trainingEffect, 0, p.FormalTraining, paperdata.Figure3FormalTraining)
-	if isCorrectnessFocused(p.ContribExtent) || isCorrectnessFocused(p.InvolvedExtent) {
+	t := tables()
+	points := t.contribEff[p.idx.contribSize] +
+		t.areaEff[p.idx.area] +
+		t.roleEff[p.idx.role] +
+		t.trainingEff[p.idx.training]
+	if t.correctnessContrib[p.idx.contribExtent] || t.correctnessInvolved[p.idx.involvedExtent] {
 		points += correctnessBonus
 	}
 	// The paper's observation about list-valued factors: "very short
 	// lists predict bad scores" (having reported *some* informal
 	// training or language breadth matters; which one does not).
-	if len(p.FPLanguages) <= 1 {
+	if bits.OnesCount64(p.FPLanguagesMask) <= 1 {
 		points -= shortListPenalty
 	}
-	if len(p.Informal) == 0 {
+	if p.InformalMask == 0 {
 		points -= shortListPenalty
 	}
 	points += noiseCore * 1.2
 	p.Ability = points / pointsPerLogit
 
-	optPoints := centeredEffect(optRoleEffect, 0, p.Role, paperdata.Figure5Roles) +
-		centeredEffect(optAreaEffect, optAreaEffectDefault, p.Area, paperdata.Figure2Areas)
+	optPoints := t.optRoleEff[p.idx.role] + t.optAreaEff[p.idx.area]
 	optPoints += noiseOpt * 0.25
 	p.OptAbility = optPoints / optPointsPerLogit
 }
@@ -319,46 +355,6 @@ func (qm questionModel) dkProb(ability float64) float64 {
 		return 0.95
 	}
 	return p
-}
-
-// calibrationCap bounds the number of abilities the bisection
-// integrates per step. Profiles are i.i.d. across indices, so a
-// deterministic prefix is an unbiased sample of the cohort; capping
-// keeps calibration O(1) as n grows to millions while leaving every
-// cohort up to the cap calibrated exactly as before.
-const calibrationCap = 1 << 16
-
-// calibrate finds the logit offset such that the expected fraction of
-// respondents answering correctly equals target. The expectation sum
-// runs sharded via parallel.SumShards, whose fixed shard boundaries and
-// ordered fan-in make the result bit-identical at any worker count.
-func calibrate(workers int, abilities []float64, qm questionModel, target float64) float64 {
-	if len(abilities) > calibrationCap {
-		abilities = abilities[:calibrationCap]
-	}
-	n := len(abilities)
-	expectCorrect := func(offset float64) float64 {
-		s := parallel.SumShards(workers, n, func(lo, hi int) float64 {
-			sub := 0.0
-			for i := lo; i < hi; i++ {
-				a := abilities[i]
-				pAns := (1 - qm.pUn) * (1 - qm.dkProb(a))
-				sub += pAns * invlogit(offset+a)
-			}
-			return sub
-		})
-		return s / float64(n)
-	}
-	lo, hi := -12.0, 12.0
-	for i := 0; i < 60; i++ {
-		mid := (lo + hi) / 2
-		if expectCorrect(mid) < target {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return (lo + hi) / 2
 }
 
 // GenerateMain builds the main cohort: n respondents with full
@@ -398,7 +394,7 @@ func GenerateMainWithWorkers(seed int64, n, workers int, override func(*Profile)
 // GenerateMainInstrumented is the fully parameterized main-cohort
 // generator: explicit worker count, optional background override, and
 // optional telemetry. The instrumentation records the stage span tree
-// (draw-profiles → calibrate → sample-responses) and streams per-item
+// (draw-profiles → calibrate → sample-responses) and streams per-block
 // progress; it never affects the generated data. The row view is
 // materialized; use GenerateMainColumnar to skip it.
 func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile), inst Instrumentation) *Population {
@@ -407,11 +403,20 @@ func GenerateMainInstrumented(seed int64, n, workers int, override func(*Profile
 	return p
 }
 
-// newWorkerRNG allocates the per-worker reusable rand.Rand for
-// ForEachWith fan-outs. The seed is irrelevant: the generator reseeds
-// it per index (parallel.Reseed), which makes the draws bit-identical
-// to a freshly allocated per-index RNG.
-func newWorkerRNG() *rand.Rand { return rand.New(rand.NewSource(0)) }
+// drawProfileBlocks fills profiles by fixed 4096-respondent blocks,
+// one xoshiro generator per worker repositioned per respondent.
+func drawProfileBlocks(workers int, seed int64, profiles []Profile, override func(*Profile), progress *telemetry.Counter) {
+	n := len(profiles)
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			lo, hi := parallel.ShardBounds(s, n)
+			for i := lo; i < hi; i++ {
+				rng.SeedAt(seed, streamProfile, int64(i))
+				profiles[i] = drawProfileWith(rng, override)
+			}
+			progress.Add(int64(hi - lo))
+		})
+}
 
 // GenerateMainColumnar generates the main cohort directly into columns,
 // with no row view: respondent i's answers are a handful of indexed
@@ -421,11 +426,7 @@ func GenerateMainColumnar(seed int64, n, workers int, override func(*Profile), i
 	workers = parallel.Workers(workers, n)
 	sp := inst.Span.StartChild("draw-profiles")
 	profiles := make([]Profile, n)
-	parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
-		parallel.Reseed(rng, seed, streamProfile, int64(i))
-		profiles[i] = drawProfileWith(rng, override)
-		inst.Progress.Inc()
-	})
+	drawProfileBlocks(workers, seed, profiles, override, inst.Progress)
 	sp.AddItems(int64(n))
 	sp.End()
 	calib := profiles
@@ -436,41 +437,42 @@ func GenerateMainColumnar(seed int64, n, workers int, override func(*Profile), i
 		// treated profile consumed, minus the override — a paired
 		// (common-random-numbers) design.
 		calib = make([]Profile, n)
-		parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
-			parallel.Reseed(rng, seed, streamProfile, int64(i))
-			calib[i] = drawProfile(rng)
-		})
+		drawProfileBlocks(workers, seed, calib, nil, nil)
 	}
 	return generateFromProfiles(workers, seed, profiles, calib, inst)
 }
 
 // generateFromProfiles calibrates the question models against the
 // calib cohort's abilities and then samples responses for profiles,
-// one independent RNG stream per respondent.
+// block by block with per-(respondent, column) RNG streams.
 func generateFromProfiles(workers int, seed int64, profiles, calib []Profile, inst Instrumentation) *Population {
 	models := calibrateModels(workers, calib, inst)
 
 	ssp := inst.Span.StartChild("sample-responses")
-	d := quiz.Columns().NewDataset("1.0", len(profiles))
+	n := len(profiles)
+	d := quiz.Columns().NewDataset("1.0", n)
 	cs := newColSampler(d, models, paperdata.Figure22Main)
-	parallel.ForEachWith(workers, len(profiles), newWorkerRNG, func(rng *rand.Rand, i int) {
-		parallel.Reseed(rng, seed, streamResponse, int64(i))
-		cs.sample(rng, i, &profiles[i])
-		inst.Progress.Inc()
-	})
-	ssp.AddItems(int64(len(profiles)))
+	coreAbil := abilitiesOf(profiles, false)
+	optAbil := abilitiesOf(profiles, true)
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			lo, hi := parallel.ShardBounds(s, n)
+			cs.sampleBlock(rng, seed, lo, hi, profiles, coreAbil, optAbil)
+			inst.Progress.Add(int64(hi - lo))
+		})
+	ssp.AddItems(int64(n))
 	ssp.End()
 	return &Population{Profiles: profiles, Cols: d}
 }
 
 // calibrateModels builds the per-question response models with
 // calibration targets from Figures 14/15 and bisects each question's
-// difficulty offset against the calib cohort's ability distribution.
+// difficulty offset against the calib cohort's ability distribution,
+// using one shared ability kernel per ability kind (the exp(-a) array
+// is computed once and reused by all ~19 bisections).
 func calibrateModels(workers int, calib []Profile, inst Instrumentation) []questionModel {
 	// The oracle-backed answer key is computed once (cached in quiz) and
 	// shared read-only by every worker.
-	coreAbil := abilitiesOf(calib, false)
-	optAbil := abilitiesOf(calib, true)
 	type modelSpec struct {
 		qm      questionModel
 		target  float64
@@ -503,17 +505,19 @@ func calibrateModels(workers int, calib []Profile, inst Instrumentation) []quest
 		}
 		specs = append(specs, modelSpec{qm: qm, target: row.Correct / 100, optAbil: true})
 	}
+	csp := inst.Span.StartChild("calibrate")
+	coreKernel := newAbilityKernel(workers, abilitiesOf(calib, false))
+	optKernel := newAbilityKernel(workers, abilitiesOf(calib, true))
 	// Calibrate the questions concurrently; each bisection is
 	// independent and deterministic.
-	csp := inst.Span.StartChild("calibrate")
 	models := parallel.Map(workers, len(specs), func(i int) questionModel {
 		s := specs[i]
-		abil := coreAbil
+		k := coreKernel
 		if s.optAbil {
-			abil = optAbil
+			k = optKernel
 		}
 		qm := s.qm
-		qm.offset = calibrate(1, abil, qm, s.target)
+		qm.offset = k.calibrate(1, qm, s.target, make([]float64, len(k.abil)))
 		return qm
 	})
 	csp.AddItems(int64(len(specs)))
@@ -538,7 +542,8 @@ func abilitiesOf(ps []Profile, opt bool) []float64 {
 // is a couple of RNG calls and a single indexed store.
 type colModel struct {
 	questionModel
-	ci int
+	ci  int
+	sub uint64 // sub-stream index within the respondent's response stream
 	// True/false codes (choiceSet empty): the correct answer and its
 	// flip.
 	correctTF uint8
@@ -549,12 +554,11 @@ type colModel struct {
 	csCodes     []int32 // codes of choiceSet, same order
 }
 
-// sampleInto draws one answer and stores it. The RNG draw sequence is
-// exactly the historical row-path sequence (unanswered gate, don't-know
-// gate, correctness gate, then the wrong-choice retry loop for choice
-// questions), so columnar generation is bit-identical to the map-based
-// generator it replaced.
-func (m *colModel) sampleInto(d *colstore.Dataset, rng *rand.Rand, i int, ability float64) {
+// sampleInto draws one answer and stores it. The draw sequence per cell
+// is: unanswered gate, don't-know gate, correctness gate, then the
+// wrong-choice retry loop for choice questions — each cell on its own
+// (respondent, column) RNG stream.
+func (m *colModel) sampleInto(d *colstore.Dataset, rng *parallel.XRand, i int, ability float64) {
 	if rng.Float64() < m.pUn {
 		return // columns are zero-initialized: unanswered
 	}
@@ -590,56 +594,30 @@ func (m *colModel) sampleInto(d *colstore.Dataset, rng *rand.Rand, i int, abilit
 	}
 }
 
-// bgCol is one background question's column handle.
-type bgCol struct {
-	ci  int
-	col *colstore.Col
-}
-
-// colSampler writes whole respondents straight into a columnar dataset.
-// Everything string-shaped (question IDs, option labels, answer keys)
-// is resolved to column indices and codes at construction; the per-
-// respondent sample path allocates nothing.
+// colSampler writes whole blocks of respondents straight into a
+// columnar dataset. Everything string-shaped (question IDs, option
+// labels, answer keys) is resolved to column indices and codes at
+// construction; the sampling path allocates nothing.
 type colSampler struct {
-	d *colstore.Dataset
-
-	position, area, training, role bgCol
-	contribSize, contribExtent     bgCol
-	involvedSize, involvedExtent   bgCol
-	informal, languages, arbprec   bgCol
+	d  *colstore.Dataset
+	bg *bgTables
 
 	models []colModel
 
-	suspCI []int
-	dists  []paperdata.SuspicionDist
+	suspCI  []int
+	suspSub []uint64
+	suspCum [][5]float64 // cumulative Figure 22 percentages
 }
 
 // newColSampler binds the calibrated question models and the background
-// and suspicion questions to d's columns.
+// and suspicion questions to d's columns, and assigns every quiz and
+// suspicion column its sub-stream index.
 func newColSampler(d *colstore.Dataset, models []questionModel, dists []paperdata.SuspicionDist) *colSampler {
 	s := d.Schema
-	bind := func(id string) bgCol {
-		ci := s.MustColumnIndex(id)
-		return bgCol{ci: ci, col: s.Column(ci)}
-	}
-	cs := &colSampler{
-		d:              d,
-		position:       bind(quiz.BGPosition),
-		area:           bind(quiz.BGArea),
-		training:       bind(quiz.BGFormalTraining),
-		role:           bind(quiz.BGRole),
-		contribSize:    bind(quiz.BGContribSize),
-		contribExtent:  bind(quiz.BGContribExtent),
-		involvedSize:   bind(quiz.BGInvolvedSize),
-		involvedExtent: bind(quiz.BGInvolvedExtent),
-		informal:       bind(quiz.BGInformal),
-		languages:      bind(quiz.BGFPLanguages),
-		arbprec:        bind(quiz.BGArbPrec),
-		dists:          dists,
-	}
-	for _, qm := range models {
+	cs := &colSampler{d: d, bg: tables()}
+	for k, qm := range models {
 		ci := s.MustColumnIndex(qm.id)
-		m := colModel{questionModel: qm, ci: ci}
+		m := colModel{questionModel: qm, ci: ci, sub: uint64(k)}
 		if len(qm.choiceSet) == 0 {
 			if qm.correct == survey.AnswerTrue {
 				m.correctTF, m.wrongTF = colstore.TFTrue, colstore.TFFalse
@@ -657,62 +635,78 @@ func newColSampler(d *colstore.Dataset, models []questionModel, dists []paperdat
 		}
 		cs.models = append(cs.models, m)
 	}
-	for _, it := range quiz.SuspicionItems() {
+	for k, it := range quiz.SuspicionItems() {
 		cs.suspCI = append(cs.suspCI, s.MustColumnIndex(it.ID))
+		cs.suspSub = append(cs.suspSub, uint64(len(models)+k))
+		cs.suspCum = append(cs.suspCum, cumulative(dists[k].Percent))
+	}
+	if len(cs.models)+len(cs.suspCI) > 1<<subStreamBits {
+		panic("respondent: sub-stream space exhausted; widen subStreamBits")
 	}
 	return cs
 }
 
-// maskOf folds a drawn multi-select list into its option bitset. Drawn
-// lists come from the same tables the option lists are built from, in
-// table order, so the mask reproduces the identical choices list.
-func maskOf(c *colstore.Col, labels []string) uint64 {
-	var mask uint64
-	for _, l := range labels {
-		mask |= 1 << uint(c.MustOptionCode(l)-1)
+// cumulative converts a Likert percentage row to cumulative thresholds.
+func cumulative(percent [5]float64) [5]float64 {
+	var cum [5]float64
+	run := 0.0
+	for i, p := range percent {
+		run += p
+		cum[i] = run
 	}
-	return mask
+	return cum
 }
 
-// sample writes respondent i — background, quiz answers, suspicion —
-// into the dataset. Only element i of each column is touched, so
-// distinct respondents sample concurrently (the shard-splittability
-// contract), and the whole path performs zero heap allocations.
-func (cs *colSampler) sample(rng *rand.Rand, i int, p *Profile) {
+// sampleBlock writes respondents [lo, hi): background codes row-major
+// (pure indexed stores from the profile's cached entry indices), then
+// quiz answers and suspicion answers column-major — one question column
+// across the whole block at a time, the cache-friendly orientation.
+// Only elements [lo, hi) of each column are touched, so distinct blocks
+// sample concurrently, and the whole path performs zero heap
+// allocations.
+func (cs *colSampler) sampleBlock(rng *parallel.XRand, seed int64, lo, hi int, profiles []Profile, coreAbil, optAbil []float64) {
 	d := cs.d
-	d.SetSingle(cs.position.ci, i, cs.position.col.MustOptionCode(p.Position))
-	d.SetSingle(cs.area.ci, i, cs.area.col.MustOptionCode(p.Area))
-	d.SetSingle(cs.training.ci, i, cs.training.col.MustOptionCode(p.FormalTraining))
-	d.SetSingle(cs.role.ci, i, cs.role.col.MustOptionCode(p.Role))
-	d.SetSingle(cs.contribSize.ci, i, cs.contribSize.col.MustOptionCode(p.ContribSize))
-	d.SetSingle(cs.contribExtent.ci, i, cs.contribExtent.col.MustOptionCode(p.ContribExtent))
-	d.SetSingle(cs.involvedSize.ci, i, cs.involvedSize.col.MustOptionCode(p.InvolvedSize))
-	d.SetSingle(cs.involvedExtent.ci, i, cs.involvedExtent.col.MustOptionCode(p.InvolvedExtent))
-	d.SetMultiMask(cs.informal.ci, i, maskOf(cs.informal.col, p.Informal))
-	d.SetMultiMask(cs.languages.ci, i, maskOf(cs.languages.col, p.FPLanguages))
-	d.SetMultiMask(cs.arbprec.ci, i, maskOf(cs.arbprec.col, p.ArbPrec))
+	t := cs.bg
+	for i := lo; i < hi; i++ {
+		p := &profiles[i]
+		d.SetSingle(t.position.ci, i, t.position.codes[p.idx.position])
+		d.SetSingle(t.area.ci, i, t.area.codes[p.idx.area])
+		d.SetSingle(t.training.ci, i, t.training.codes[p.idx.training])
+		d.SetSingle(t.role.ci, i, t.role.codes[p.idx.role])
+		d.SetSingle(t.contribSize.ci, i, t.contribSize.codes[p.idx.contribSize])
+		d.SetSingle(t.contribExtent.ci, i, t.contribExtent.codes[p.idx.contribExtent])
+		d.SetSingle(t.involvedSize.ci, i, t.involvedSize.codes[p.idx.involvedSize])
+		d.SetSingle(t.involvedExtent.ci, i, t.involvedExtent.codes[p.idx.involvedExtent])
+		d.SetMultiMask(t.informal.ci, i, p.InformalMask)
+		d.SetMultiMask(t.languages.ci, i, p.FPLanguagesMask)
+		d.SetMultiMask(t.arbprec.ci, i, p.ArbPrecMask)
+	}
 	for k := range cs.models {
 		m := &cs.models[k]
-		a := p.Ability
+		abil := coreAbil
 		if m.abilityOpt {
-			a = p.OptAbility
+			abil = optAbil
 		}
-		m.sampleInto(d, rng, i, a)
+		for i := lo; i < hi; i++ {
+			rng.SeedAt(seed, streamResponse, int64(i)<<subStreamBits|int64(m.sub))
+			m.sampleInto(d, rng, i, abil[i])
+		}
 	}
 	for k, ci := range cs.suspCI {
-		d.SetLikert(ci, i, drawLikert(rng, cs.dists[k].Percent))
+		cum := &cs.suspCum[k]
+		sub := cs.suspSub[k]
+		for i := lo; i < hi; i++ {
+			rng.SeedAt(seed, streamResponse, int64(i)<<subStreamBits|int64(sub))
+			d.SetLikert(ci, i, drawLikert(rng, cum))
+		}
 	}
 }
 
-func drawLikert(rng *rand.Rand, percent [5]float64) int {
-	total := 0.0
-	for _, p := range percent {
-		total += p
-	}
-	x := rng.Float64() * total
-	for i, p := range percent {
-		x -= p
-		if x < 0 {
+// drawLikert draws a 1-based Likert level from cumulative thresholds.
+func drawLikert(rng *parallel.XRand, cum *[5]float64) int {
+	x := rng.Float64() * cum[4]
+	for i, c := range cum {
+		if x < c {
 			return i + 1
 		}
 	}
@@ -740,22 +734,31 @@ func GenerateStudentsInstrumented(seed int64, n, workers int, inst Instrumentati
 }
 
 // GenerateStudentsColumnar generates the student cohort directly into
-// columns: five Likert stores per respondent, no maps.
+// columns: five Likert stores per respondent, sampled column-major per
+// block with per-(respondent, condition) streams.
 func GenerateStudentsColumnar(seed int64, n, workers int, inst Instrumentation) *colstore.Dataset {
 	sp := inst.Span.StartChild("sample-responses")
 	d := quiz.Columns().NewDataset("1.0-student", n)
 	var suspCI []int
+	var suspCum [][5]float64
 	for _, it := range quiz.SuspicionItems() {
 		suspCI = append(suspCI, d.Schema.MustColumnIndex(it.ID))
 	}
-	dists := paperdata.Figure22Student
-	parallel.ForEachWith(workers, n, newWorkerRNG, func(rng *rand.Rand, i int) {
-		parallel.Reseed(rng, seed, streamStudent, int64(i))
-		for k, ci := range suspCI {
-			d.SetLikert(ci, i, drawLikert(rng, dists[k].Percent))
-		}
-		inst.Progress.Inc()
-	})
+	for _, dist := range paperdata.Figure22Student {
+		suspCum = append(suspCum, cumulative(dist.Percent))
+	}
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			lo, hi := parallel.ShardBounds(s, n)
+			for k, ci := range suspCI {
+				cum := &suspCum[k]
+				for i := lo; i < hi; i++ {
+					rng.SeedAt(seed, streamStudent, int64(i)<<subStreamBits|int64(k))
+					d.SetLikert(ci, i, drawLikert(rng, cum))
+				}
+			}
+			inst.Progress.Add(int64(hi - lo))
+		})
 	sp.AddItems(int64(n))
 	sp.End()
 	return d

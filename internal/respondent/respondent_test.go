@@ -2,6 +2,7 @@ package respondent
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 
 	"fpstudy/internal/paperdata"
@@ -338,7 +339,7 @@ func TestShortListsPredictLowerScores(t *testing.T) {
 	for i, r := range testPop.Dataset.Responses {
 		p := testPop.Profiles[i]
 		score := float64(quiz.ScoreCore(r).Correct)
-		if len(p.Informal) == 0 || len(p.FPLanguages) <= 1 {
+		if p.InformalMask == 0 || bits.OnesCount64(p.FPLanguagesMask) <= 1 {
 			short = append(short, score)
 		} else {
 			normal = append(normal, score)
