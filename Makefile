@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke bench-gate profile
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke slo-smoke bench-gate profile
 
 check:
 	sh scripts/check.sh
@@ -48,6 +48,15 @@ trace-smoke:
 # CHECK_IO_SMOKE=1 make check runs this as part of the full gate.
 io-smoke:
 	$(GO) run scripts/io_smoke.go
+
+# End-to-end check of the latency observatory: runs fpbench (n=199)
+# with -telemetry, scrapes /metrics while it runs, validates the
+# Prometheus exposition (parser check: cumulative buckets, +Inf,
+# _sum/_count), and asserts the report carries ordered per-stage
+# quantile tables. CHECK_SLO_SMOKE=1 make check runs this as part of
+# the full gate.
+slo-smoke:
+	$(GO) run scripts/slo_smoke.go
 
 # Perf-regression gate: re-times the pipeline at the small/medium
 # cohort sizes and compares against the committed BENCH_pipeline.json

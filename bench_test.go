@@ -162,9 +162,11 @@ func BenchmarkStudyPipeline(b *testing.B) {
 
 // BenchmarkStudyPipelineTelemetry is BenchmarkStudyPipeline's n=10000
 // case with the full telemetry stack installed — metrics registry,
-// span recorder, parallel worker-pool hooks, and the FP-exception
-// bridge. Comparing it against BenchmarkStudyPipeline/n=10000 measures
-// total observability overhead; the budget is <5%.
+// span recorder, parallel worker-pool hooks, the FP-exception bridge,
+// and the latency observatory (sharded log-linear histograms on every
+// block-level stage). Comparing it against
+// BenchmarkStudyPipeline/n=10000 measures total observability
+// overhead; the budget is <5%.
 func BenchmarkStudyPipelineTelemetry(b *testing.B) {
 	const n = 10000
 	reg := telemetry.NewRegistry()
@@ -187,6 +189,47 @@ func BenchmarkStudyPipelineTelemetry(b *testing.B) {
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
 		})
+	}
+}
+
+// BenchmarkStudyPipelineLatency pins the latency observatory's overhead
+// budget by name: the full telemetry stack (which wires the sharded
+// latency histograms into sampling, calibration, grading, and the
+// worker pool) at n=10000, with a post-run assertion that the
+// histograms actually observed every instrumented pipeline stage — so
+// the number cannot go green by the hooks silently not firing.
+// Comparing against BenchmarkStudyPipeline/n=10000 must stay <5%.
+func BenchmarkStudyPipelineLatency(b *testing.B) {
+	const n = 10000
+	reg := telemetry.NewRegistry()
+	core.InstallPipelineTelemetry(reg)
+	defer core.UninstallPipelineTelemetry()
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			rec := telemetry.NewRecorder(reg)
+			s := core.Study{Seed: 42, NMain: n, NStudent: 52, Workers: workers, Telemetry: rec}
+			// Prime the one-time oracle answer-key cache so the first
+			// timed run isn't charged for it.
+			core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: workers}.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := s.Run()
+				if len(r.CoreTallies) != n {
+					b.Fatalf("pipeline produced %d tallies, want %d", len(r.CoreTallies), n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "respondents/s")
+		})
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		core.LatencySampleBlock, core.LatencyCalibrate, core.LatencyGradeBatch,
+		core.LatencyParallelShard, core.LatencyWorkerBusy, core.LatencyParallelWait,
+	} {
+		if ls, ok := snap.Latencies[name]; !ok || ls.Count == 0 {
+			b.Fatalf("%s: latency observatory recorded nothing during the benchmark", name)
+		}
 	}
 }
 

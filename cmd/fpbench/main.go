@@ -37,6 +37,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -88,6 +89,7 @@ func compareMain(args []string) int {
 	throughputBand := fs.Float64("throughput-band", 0, "tolerated relative throughput drop (default 0.05 = 5%)")
 	allocsBand := fs.Float64("allocs-band", 0, "tolerated relative allocs/respondent growth (default 0.10)")
 	gcBand := fs.Float64("gc-band", 0, "tolerated relative GC-pause growth (default 0.50)")
+	latencyBand := fs.Float64("latency-band", 0, "tolerated relative per-stage p99 latency growth (default 0.25)")
 	history := fs.String("history", "BENCH_history.jsonl", "benchmark trajectory to append the new run to (empty disables)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fpbench compare [flags] old.json new.json")
@@ -113,6 +115,7 @@ func compareMain(args []string) int {
 		Throughput: *throughputBand,
 		Allocs:     *allocsBand,
 		GCPause:    *gcBand,
+		LatencyP99: *latencyBand,
 	})
 	for _, d := range res.Deltas {
 		mark := "ok"
@@ -291,6 +294,11 @@ func benchMain() {
 			best := 0.0
 			var bestSpans []telemetry.SpanSnapshot
 			var bestMem memDelta
+			// Latency histograms accumulate for the registry's lifetime;
+			// bracketing the rep loop with snapshots and subtracting
+			// isolates this configuration's observations. Pooled across
+			// reps, not best-rep: more reps mean more tail samples.
+			latBefore := reg.Snapshot().Latencies
 			for r := 0; r < *reps; r++ {
 				rec := telemetry.NewRecorder(reg)
 				// ColumnarOnly: the benchmark times the columnar pipeline
@@ -341,12 +349,13 @@ func benchMain() {
 				GCPauseTotalMS:      float64(bestMem.gcPause) / 1e6,
 				GCCount:             bestMem.gcCount,
 				Spans:               bestSpans,
+				Latency:             latencyStages(latBefore, reg.Snapshot().Latencies),
 			})
 			fmt.Fprintf(os.Stderr, "fpbench: n=%d workers=%d best=%.3fs (%.0f respondents/sec, %.1f allocs/respondent, %d GCs)\n",
 				n, w, best, float64(n)/best, float64(bestMem.allocs)/float64(n), bestMem.gcCount)
 		}
 		if *ioBench {
-			runs, err := ioBenchSize(n, *seed, *reps)
+			runs, err := ioBenchSize(reg, n, *seed, *reps)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fpbench:", err)
 				os.Exit(1)
@@ -389,14 +398,38 @@ func benchMain() {
 	fmt.Fprintf(os.Stderr, "fpbench: wrote %s (manifest %s)\n", *out, mpath)
 }
 
+// latencyStages converts the latency-histogram movement between two
+// registry snapshots into the report's per-stage quantile rows: stage
+// names are the metric names with the "latency." prefix stripped,
+// sorted; stages with no observations in the interval are dropped.
+func latencyStages(before, after map[string]telemetry.LatencySnapshot) []benchcmp.StageLatency {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []benchcmp.StageLatency
+	for _, name := range names {
+		delta := after[name].Sub(before[name])
+		if delta.Count == 0 {
+			continue
+		}
+		out = append(out, benchcmp.StageLatencyFromSnapshot(
+			strings.TrimPrefix(name, "latency."), delta))
+	}
+	return out
+}
+
 // ioBenchSize times dataset serialization at one cohort size through
 // real files in a temp directory: FPDS binary encode/decode, columnar
 // JSON encode (WriteJSON) and streaming decode (DecodeJSON), plus the
 // legacy whole-document row decoder (survey.DecodeDataset) as the
 // "json-rows" baseline the binary decoder is measured against. The
 // cohort is generated once; each op runs reps times and reports its
-// best.
-func ioBenchSize(n int, seed int64, reps int) ([]benchcmp.IORun, error) {
+// best. reg supplies the latency observatory: each op's reps are
+// bracketed with registry snapshots so binary entries carry the FPDS
+// per-block codec quantiles.
+func ioBenchSize(reg *telemetry.Registry, n int, seed int64, reps int) ([]benchcmp.IORun, error) {
 	dir, err := os.MkdirTemp("", "fpbench-io-")
 	if err != nil {
 		return nil, err
@@ -411,6 +444,7 @@ func ioBenchSize(n int, seed int64, reps int) ([]benchcmp.IORun, error) {
 	var runs []benchcmp.IORun
 	bench := func(format, op, path string, fn func() error) error {
 		best := 0.0
+		latBefore := reg.Snapshot().Latencies
 		for r := 0; r < reps; r++ {
 			start := time.Now()
 			if err := fn(); err != nil {
@@ -430,6 +464,7 @@ func ioBenchSize(n int, seed int64, reps int) ([]benchcmp.IORun, error) {
 			BestSeconds:       best,
 			MBPerSec:          float64(st.Size()) / (1 << 20) / best,
 			RespondentsPerSec: float64(n) / best,
+			Latency:           latencyStages(latBefore, reg.Snapshot().Latencies),
 		})
 		fmt.Fprintf(os.Stderr, "fpbench: n=%d io/%s/%s best=%.3fs (%.1f MB/s, %.0f respondents/sec)\n",
 			n, format, op, best, float64(st.Size())/(1<<20)/best, float64(n)/best)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fpstudy/internal/ieee754"
@@ -44,11 +45,14 @@ func main() {
 	}
 
 	// The kernel audits are observable like the pipeline tools: one
-	// span per kernel on /debug/vars while the suite runs. The nil
-	// Recorder makes all of this a no-op when -telemetry is unset.
+	// span per kernel on /debug/vars while the suite runs, plus
+	// per-kernel exception-rate gauges on the shared registry so the
+	// audit outcome is scrapeable from /metrics. The nil Recorder and
+	// nil registry make all of this a no-op when -telemetry is unset.
 	var rec *telemetry.Recorder
+	var reg *telemetry.Registry
 	if *telemetryAddr != "" {
-		reg := telemetry.NewRegistry()
+		reg = telemetry.NewRegistry()
 		rec = telemetry.NewRecorder(reg)
 		rec.PublishExpvar("fpstudy")
 		srv, err := telemetry.Serve(*telemetryAddr)
@@ -91,6 +95,7 @@ func main() {
 		rep := m.Report()
 		span.AddItems(int64(rep.TotalOps))
 		span.End()
+		publishKernelRates(reg, k.Name, rep)
 		fmt.Printf("=== %s (%s) ===\n", k.Name, k.Description)
 		fmt.Printf("result: %s\n", f.String(res))
 		fmt.Print(rep.String())
@@ -100,4 +105,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fpmonitor: no kernel named %q (try -list)\n", *name)
 		os.Exit(2)
 	}
+}
+
+// publishKernelRates exposes one kernel's audit as gauges on the
+// shared registry: per-condition exception rates (events per monitored
+// operation) plus the divide-by-zero rate and the ground-truth
+// suspicion score, under "kernel.<name>.". With -telemetry set they
+// appear on /debug/vars and in Prometheus form on /metrics
+// (fpstudy_kernel_lorenz_exceptions_overflow_rate ...); with a nil
+// registry every Gauge call is a no-op.
+func publishKernelRates(reg *telemetry.Registry, kernel string, rep monitor.Report) {
+	rate := func(count uint64) float64 {
+		if rep.TotalOps == 0 {
+			return 0
+		}
+		return float64(count) / float64(rep.TotalOps)
+	}
+	prefix := "kernel." + kernel + "."
+	for _, e := range rep.Entries {
+		metric := strings.TrimPrefix(e.Condition.MetricName(), "fp.")
+		reg.Gauge(prefix + metric + "_rate").Set(rate(e.Count))
+	}
+	reg.Gauge(prefix + "exceptions.divbyzero_rate").Set(rate(rep.DivByZero))
+	reg.Gauge(prefix + "ops").Set(float64(rep.TotalOps))
+	reg.Gauge(prefix + "suspicion").Set(float64(rep.SuspicionScore()))
 }

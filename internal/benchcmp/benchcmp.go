@@ -50,7 +50,17 @@ import (
 //	  run must not be slower than serial beyond the throughput band
 //	  (metric "scaling_all_vs_serial"). The default -workers sweep
 //	  grew from {1, 0} to {1, 2, 4, 0} so the full curve is recorded.
-const SchemaVersion = 5
+//	6 — adds the "latency" array to pipeline runs and io entries:
+//	  per-stage latency quantiles (p50/p90/p99/p999 in ns, with
+//	  observation counts) from the telemetry.LatencyHist observatory,
+//	  accumulated over all reps of the configuration (pipeline runs
+//	  carry the block-level pipeline stages; binary io entries carry
+//	  the FPDS per-block codec stages). Compare gates each stage's p99
+//	  under the latency band, skipping stages whose p99 sits below the
+//	  absolute floor in both reports (timer noise, mirroring the v5 io
+//	  floor) or whose observation count is below the minimum in either
+//	  (quantiles of a handful of samples are not stable).
+const SchemaVersion = 6
 
 // Host identifies the benchmarking machine.
 type Host struct {
@@ -88,6 +98,24 @@ type Run struct {
 	// Spans is the stage breakdown of the best (fastest) rep, so slow
 	// stages can be attributed without rerunning under a profiler.
 	Spans []telemetry.SpanSnapshot `json:"spans"`
+	// Latency holds per-stage latency quantiles accumulated over every
+	// rep of this configuration (more reps mean more observations, so
+	// the tails are pooled rather than taken from the best rep alone).
+	Latency []StageLatency `json:"latency,omitempty"`
+}
+
+// StageLatency is the quantile summary of one instrumented stage for
+// one run configuration: the stage name is the latency metric name
+// without its "latency." prefix (e.g. "sample_block",
+// "fpds_decode_block"). Quantiles are estimated from the log-linear
+// bucket geometry (≤ ~3.1% relative error; see telemetry.LatencyHist).
+type StageLatency struct {
+	Stage  string  `json:"stage"`
+	Count  int64   `json:"count"`
+	P50NS  float64 `json:"p50_ns"`
+	P90NS  float64 `json:"p90_ns"`
+	P99NS  float64 `json:"p99_ns"`
+	P999NS float64 `json:"p999_ns"`
 }
 
 // IORun is one timed dataset-serialization configuration: encoding or
@@ -107,6 +135,20 @@ type IORun struct {
 	BestSeconds       float64 `json:"best_seconds"`
 	MBPerSec          float64 `json:"mb_per_sec"`
 	RespondentsPerSec float64 `json:"respondents_per_sec"`
+	// Latency holds the per-block codec stage quantiles accumulated
+	// over every rep of this operation (binary entries observe the FPDS
+	// encode/decode block histograms; json entries have none).
+	Latency []StageLatency `json:"latency,omitempty"`
+}
+
+// StageLatencyFromSnapshot converts a telemetry latency snapshot
+// (typically the Sub of two registry snapshots bracketing a
+// configuration's reps) into the report form.
+func StageLatencyFromSnapshot(stage string, s telemetry.LatencySnapshot) StageLatency {
+	return StageLatency{
+		Stage: stage, Count: s.Count,
+		P50NS: s.P50NS, P90NS: s.P90NS, P99NS: s.P99NS, P999NS: s.P999NS,
+	}
 }
 
 // Report is the BENCH_pipeline.json document.
@@ -199,20 +241,38 @@ type Bands struct {
 	// where a ±10% "change" is jitter, not a measurement. Such deltas
 	// are still reported, never regressions.
 	IOFloorSeconds float64
+	// LatencyP99 is the tolerated relative growth in a stage's p99
+	// latency (0.25 = 25%). Tail quantiles are inherently noisier than
+	// best-of-reps throughput, so the default band is wider.
+	LatencyP99 float64
+	// LatencyFloorNS is the minimum p99 (ns) a stage must reach in at
+	// least one report for it to gate: below it, a p99 "regression" is
+	// timer resolution and scheduler jitter, not code. Mirrors
+	// IOFloorSeconds. Sub-floor deltas are reported, never regressions.
+	LatencyFloorNS float64
+	// LatencyMinCount is the minimum observation count a stage needs in
+	// BOTH reports for its p99 to gate — the p99 of a handful of
+	// samples is an order statistic of noise. Stages below it are
+	// reported, never regressions.
+	LatencyMinCount int64
 }
 
 // DefaultBands are the bands the bench-gate runs with: 5% throughput,
 // 10% allocations (floor: one allocation per respondent), 50% GC pause
 // (floor: 5ms) — GC pause totals are by far the noisiest of the three —
-// and a 1ms io timing floor.
+// a 1ms io timing floor, and a 25% p99 latency band gated only on
+// stages with p99 ≥ 100µs and ≥ 32 observations on both sides.
 func DefaultBands() Bands {
 	return Bands{
-		Throughput:     0.05,
-		Allocs:         0.10,
-		AllocsFloor:    1.0,
-		GCPause:        0.50,
-		GCPauseFloorMS: 5.0,
-		IOFloorSeconds: 0.001,
+		Throughput:      0.05,
+		Allocs:          0.10,
+		AllocsFloor:     1.0,
+		GCPause:         0.50,
+		GCPauseFloorMS:  5.0,
+		IOFloorSeconds:  0.001,
+		LatencyP99:      0.25,
+		LatencyFloorNS:  100_000,
+		LatencyMinCount: 32,
 	}
 }
 
@@ -237,20 +297,30 @@ func (b Bands) withDefaults() Bands {
 	if b.IOFloorSeconds == 0 {
 		b.IOFloorSeconds = d.IOFloorSeconds
 	}
+	if b.LatencyP99 == 0 {
+		b.LatencyP99 = d.LatencyP99
+	}
+	if b.LatencyFloorNS == 0 {
+		b.LatencyFloorNS = d.LatencyFloorNS
+	}
+	if b.LatencyMinCount == 0 {
+		b.LatencyMinCount = d.LatencyMinCount
+	}
 	return b
 }
 
 // Delta is one metric of one configuration, compared across two
 // reports. Pipeline deltas identify their configuration by (N,
 // Workers); io deltas by (N, Format, Op), with Workers zero and
-// Format/Op set. Change is the relative movement ((new-old)/old),
-// signed so that positive is "more of the metric" regardless of
-// direction-of-goodness.
+// Format/Op set; latency deltas by (N, Workers, Stage). Change is the
+// relative movement ((new-old)/old), signed so that positive is "more
+// of the metric" regardless of direction-of-goodness.
 type Delta struct {
 	N          int     `json:"n"`
 	Workers    int     `json:"workers"`
 	Format     string  `json:"format,omitempty"`
 	Op         string  `json:"op,omitempty"`
+	Stage      string  `json:"stage,omitempty"`
 	Metric     string  `json:"metric"`
 	Old        float64 `json:"old"`
 	New        float64 `json:"new"`
@@ -261,12 +331,23 @@ type Delta struct {
 // IsIO reports whether the delta came from the io section.
 func (d Delta) IsIO() bool { return d.Format != "" }
 
+// IsLatency reports whether the delta came from the latency section.
+func (d Delta) IsLatency() bool { return d.Stage != "" }
+
 // Config renders the delta's configuration for display:
 // "n=199/workers=1" for pipeline deltas, "n=199/io/binary/decode" for
-// io deltas.
+// io deltas, "n=199/workers=1/latency/sample_block" for pipeline
+// latency deltas, and "n=199/io/binary/decode/latency/fpds_decode_block"
+// for io codec latency deltas.
 func (d Delta) Config() string {
 	if d.IsIO() {
+		if d.IsLatency() {
+			return fmt.Sprintf("n=%d/io/%s/%s/latency/%s", d.N, d.Format, d.Op, d.Stage)
+		}
 		return fmt.Sprintf("n=%d/io/%s/%s", d.N, d.Format, d.Op)
+	}
+	if d.IsLatency() {
+		return fmt.Sprintf("n=%d/workers=%d/latency/%s", d.N, d.Workers, d.Stage)
 	}
 	return fmt.Sprintf("n=%d/workers=%d", d.N, d.Workers)
 }
@@ -361,6 +442,8 @@ func Compare(old, new *Report, bands Bands) *Result {
 			Regression: gcGrowth > bands.GCPauseFloorMS &&
 				(gc > bands.GCPause || o.GCPauseTotalMS == 0),
 		})
+
+		res.Deltas = append(res.Deltas, latencyDeltas(o, n, bands)...)
 	}
 	for _, n := range new.Runs {
 		if !oldSeen[configKey{n.N, n.Workers}] {
@@ -402,6 +485,8 @@ func Compare(old, new *Report, bands Bands) *Result {
 			Old: o.RespondentsPerSec, New: n.RespondentsPerSec, Change: rps,
 			Regression: measurable && rps < -bands.Throughput,
 		})
+		res.Deltas = append(res.Deltas, diffStageLatency(o.Latency, n.Latency, bands,
+			Delta{N: o.N, Format: o.Format, Op: o.Op})...)
 	}
 	for _, n := range new.IO {
 		if !ioSeen[ioKey{n.N, n.Format, n.Op}] {
@@ -414,6 +499,49 @@ func Compare(old, new *Report, bands Bands) *Result {
 	// claim "workers=all >= workers=1" has to hold on every fresh run.
 	res.Deltas = append(res.Deltas, ScalingDeltas(new, bands)...)
 	return res
+}
+
+// latencyDeltas diffs the per-stage p99 quantiles of one matched
+// pipeline configuration.
+func latencyDeltas(o, n Run, bands Bands) []Delta {
+	return diffStageLatency(o.Latency, n.Latency, bands,
+		Delta{N: o.N, Workers: o.Workers})
+}
+
+// diffStageLatency diffs two per-stage quantile lists under the
+// latency bands; base carries the configuration identity (N/Workers or
+// N/Format/Op) every emitted delta inherits. A stage gates only when
+// it is measurable: its p99 reaches the absolute floor in at least one
+// report (below that, "growth" is timer resolution) and its
+// observation count reaches the minimum in both (the p99 of a few
+// samples is an order statistic of scheduler noise, mirroring the v5
+// io floor). Stages present in only one report are skipped silently —
+// instrumentation coverage changes across schema versions, and
+// OnlyOld/OnlyNew would drown in stage names.
+func diffStageLatency(oldL, newL []StageLatency, bands Bands, base Delta) []Delta {
+	newStages := map[string]StageLatency{}
+	for _, s := range newL {
+		newStages[s.Stage] = s
+	}
+	var out []Delta
+	for _, os := range oldL {
+		ns, ok := newStages[os.Stage]
+		if !ok {
+			continue
+		}
+		measurable := (os.P99NS >= bands.LatencyFloorNS || ns.P99NS >= bands.LatencyFloorNS) &&
+			os.Count >= bands.LatencyMinCount && ns.Count >= bands.LatencyMinCount
+		change := relChange(os.P99NS, ns.P99NS)
+		d := base
+		d.Stage = os.Stage
+		d.Metric = "p99_ns"
+		d.Old = os.P99NS
+		d.New = ns.P99NS
+		d.Change = change
+		d.Regression = measurable && change > bands.LatencyP99
+		out = append(out, d)
+	}
+	return out
 }
 
 // ScalingDeltas checks the parallel-scaling invariant of one report:
@@ -462,6 +590,10 @@ type HistoryRun struct {
 	AllocsPerRespondent float64 `json:"allocs_per_respondent"`
 	GCPauseTotalMS      float64 `json:"gc_pause_total_ms"`
 	GCCount             uint32  `json:"gc_count"`
+	// Latency carries the per-stage quantiles verbatim (StageLatency
+	// is already compact), so the trajectory records tail behaviour
+	// alongside throughput.
+	Latency []StageLatency `json:"latency,omitempty"`
 }
 
 // HistoryEntry is one line of BENCH_history.jsonl: one benchmark run,
@@ -496,6 +628,7 @@ func HistoryFromReport(r *Report, appendedAt time.Time) HistoryEntry {
 			AllocsPerRespondent: run.AllocsPerRespondent,
 			GCPauseTotalMS:      run.GCPauseTotalMS,
 			GCCount:             run.GCCount,
+			Latency:             run.Latency,
 		})
 	}
 	e.IO = append(e.IO, r.IO...)

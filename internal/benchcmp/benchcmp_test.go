@@ -425,3 +425,197 @@ func TestCompareIOTimerNoiseFloor(t *testing.T) {
 		t.Fatalf("above-floor io drop not gated: %+v", regs)
 	}
 }
+
+// latReport builds a one-configuration report whose sample_block stage
+// has the given p99 and count (other quantiles scaled consistently).
+func latReport(p99 float64, count int64) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Runs: []Run{{
+			N: 199, Workers: 1, BestSeconds: 0.02, RespondentsPerSec: 10000,
+			Latency: []StageLatency{{
+				Stage: "sample_block", Count: count,
+				P50NS: p99 * 0.4, P90NS: p99 * 0.8, P99NS: p99, P999NS: p99 * 1.2,
+			}},
+		}},
+	}
+}
+
+// TestCompareLatencyGatesP99 pins the acceptance criterion: an
+// injected p99 regression beyond the 25% band on a measurable stage
+// (above the ns floor, enough observations) fails the comparison.
+func TestCompareLatencyGatesP99(t *testing.T) {
+	old := latReport(500_000, 1000)
+	cur := latReport(900_000, 1000) // +80% p99
+	res := Compare(old, cur, Bands{})
+	regs := res.Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1 (p99): %+v", len(regs), regs)
+	}
+	d := regs[0]
+	if d.Metric != "p99_ns" || !d.IsLatency() || d.Stage != "sample_block" {
+		t.Fatalf("wrong regression delta: %+v", d)
+	}
+	if got, want := d.Config(), "n=199/workers=1/latency/sample_block"; got != want {
+		t.Fatalf("Config() = %q, want %q", got, want)
+	}
+
+	// Within the band: reported, not gated.
+	cur = latReport(590_000, 1000) // +18%
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("within-band p99 growth gated: %+v", regs)
+	}
+	// An improvement never regresses.
+	cur = latReport(200_000, 1000)
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("p99 improvement gated: %+v", regs)
+	}
+}
+
+// TestCompareLatencyMinCountFloor pins the observation-count floor: the
+// p99 of a handful of samples is reported but never gates, on either
+// side of the comparison.
+func TestCompareLatencyMinCountFloor(t *testing.T) {
+	old := latReport(500_000, 10) // below the default 32 floor
+	cur := latReport(2_000_000, 10)
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("low-count p99 jitter gated: %+v", regs)
+	}
+	var saw bool
+	for _, d := range res.Deltas {
+		if d.IsLatency() {
+			saw = true
+			if d.Change < 2.9 {
+				t.Fatalf("low-count delta not reported faithfully: %+v", d)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("low-count latency delta dropped from the report")
+	}
+	// Low count in just the new report also blocks gating.
+	old, cur = latReport(500_000, 1000), latReport(2_000_000, 10)
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("new-side low count gated: %+v", regs)
+	}
+}
+
+// TestCompareLatencyNSFloor pins the absolute floor: sub-100µs p99s
+// are timer noise and never gate, but a stage crossing the floor in
+// the new report does.
+func TestCompareLatencyNSFloor(t *testing.T) {
+	old := latReport(20_000, 1000)
+	cur := latReport(60_000, 1000) // +200%, but both under 100µs
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor p99 jitter gated: %+v", regs)
+	}
+	// Crossing the floor gates: 20µs -> 200µs is a real regression.
+	cur = latReport(200_000, 1000)
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 1 {
+		t.Fatalf("floor-crossing p99 growth not gated: %+v", regs)
+	}
+}
+
+// TestCompareLatencyCoverageChange pins the skip rule: stages present
+// in only one report produce no deltas and no OnlyOld/OnlyNew noise
+// (instrumentation coverage changes across versions).
+func TestCompareLatencyCoverageChange(t *testing.T) {
+	old := latReport(500_000, 1000)
+	old.Runs[0].Latency = append(old.Runs[0].Latency, StageLatency{
+		Stage: "retired_stage", Count: 1000, P99NS: 1e9,
+	})
+	cur := latReport(500_000, 1000)
+	cur.Runs[0].Latency = append(cur.Runs[0].Latency, StageLatency{
+		Stage: "new_stage", Count: 1000, P99NS: 1e9,
+	})
+	res := Compare(old, cur, Bands{})
+	for _, d := range res.Deltas {
+		if d.Stage == "retired_stage" || d.Stage == "new_stage" {
+			t.Fatalf("one-sided stage produced a delta: %+v", d)
+		}
+	}
+	if len(res.OnlyOld)+len(res.OnlyNew) != 0 {
+		t.Fatalf("one-sided stages leaked into OnlyOld/OnlyNew: %v %v", res.OnlyOld, res.OnlyNew)
+	}
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("unchanged report gated: %+v", regs)
+	}
+}
+
+// TestCompareV5LatencyCompat pins cross-version comparison: a v5
+// report (no latency sections anywhere) compares cleanly against a v6
+// report that has them — no latency deltas, no regressions, and the
+// v5 document still parses.
+func TestCompareV5LatencyCompat(t *testing.T) {
+	data := []byte(`{"schema_version": 5, "runs": [
+		{"n": 199, "workers": 1, "best_seconds": 0.02, "respondents_per_sec": 10000}
+	]}`)
+	old, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := latReport(500_000, 1000)
+	res := Compare(old, cur, Bands{})
+	for _, d := range res.Deltas {
+		if d.IsLatency() {
+			t.Fatalf("v5 old report produced a latency delta: %+v", d)
+		}
+	}
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("v5 -> v6 comparison gated: %+v", regs)
+	}
+	// And the reverse direction (new report without latency) as well.
+	res = Compare(cur, old, Bands{})
+	for _, d := range res.Deltas {
+		if d.IsLatency() {
+			t.Fatalf("latency delta against a v5 new report: %+v", d)
+		}
+	}
+}
+
+// TestCompareIOLatency pins the io codec latency gate: FPDS per-block
+// p99 growth on a binary io entry regresses with the io configuration
+// in its identity.
+func TestCompareIOLatency(t *testing.T) {
+	mk := func(p99 float64) *Report {
+		return &Report{SchemaVersion: SchemaVersion, IO: []IORun{{
+			N: 199, Format: "binary", Op: "decode", Bytes: 1 << 20,
+			BestSeconds: 0.05, MBPerSec: 20, RespondentsPerSec: 199 / 0.05,
+			Latency: []StageLatency{{
+				Stage: "fpds_decode_block", Count: 1000,
+				P50NS: p99 / 2, P90NS: p99 * 0.9, P99NS: p99, P999NS: p99 * 1.1,
+			}},
+		}}}
+	}
+	old, cur := mk(500_000), mk(1_000_000)
+	regs := Compare(old, cur, Bands{}).Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	d := regs[0]
+	if !d.IsIO() || !d.IsLatency() || d.Metric != "p99_ns" {
+		t.Fatalf("wrong io latency delta: %+v", d)
+	}
+	if got, want := d.Config(), "n=199/io/binary/decode/latency/fpds_decode_block"; got != want {
+		t.Fatalf("Config() = %q, want %q", got, want)
+	}
+}
+
+// TestHistoryCarriesLatency pins the trajectory: per-stage quantiles
+// survive compaction into BENCH_history.jsonl for both pipeline runs
+// and io entries.
+func TestHistoryCarriesLatency(t *testing.T) {
+	r := latReport(500_000, 1000)
+	r.IO = []IORun{{
+		N: 199, Format: "binary", Op: "encode",
+		Latency: []StageLatency{{Stage: "fpds_encode_block", Count: 70, P99NS: 1e6}},
+	}}
+	e := HistoryFromReport(r, time.Unix(0, 0))
+	if len(e.Runs) != 1 || !reflect.DeepEqual(e.Runs[0].Latency, r.Runs[0].Latency) {
+		t.Fatalf("history dropped run latency: %+v", e.Runs)
+	}
+	if len(e.IO) != 1 || !reflect.DeepEqual(e.IO[0].Latency, r.IO[0].Latency) {
+		t.Fatalf("history dropped io latency: %+v", e.IO)
+	}
+}

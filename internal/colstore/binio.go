@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/bits"
 	"sort"
+	"time"
 
 	"fpstudy/internal/parallel"
 	"fpstudy/internal/survey"
@@ -158,7 +159,7 @@ func blockBounds(b, n int) (lo, hi int) {
 
 // blockOffset returns the byte offset of block b inside a column's
 // encoded region (payloads plus per-block CRCs).
-func blockOffset(b, width int) int { return b*(blockRespondents*width+4) }
+func blockOffset(b, width int) int { return b * (blockRespondents*width + 4) }
 
 // colDataBytes returns the total encoded size of one column: n values
 // of the given width plus one CRC per block.
@@ -300,6 +301,7 @@ func (d *Dataset) EncodeBinary(w io.Writer, opt IOOptions) error {
 	// parallel, then the whole region is written in one call.
 	nb := numBlocks(d.n)
 	scratch := make([]byte, colDataBytes(d.n, 8))
+	lh := latencyHook.Load()
 	for ci := range d.Schema.cols {
 		c := &d.Schema.cols[ci]
 		width := colWidth(c.Kind)
@@ -308,6 +310,10 @@ func (d *Dataset) EncodeBinary(w io.Writer, opt IOOptions) error {
 		i32col := d.code[ci]
 		u64col := d.bits[ci]
 		parallel.ForEach(opt.Workers, nb, func(b int) {
+			var t0 time.Time
+			if lh != nil && lh.EncodeBlock != nil {
+				t0 = time.Now()
+			}
 			lo, hi := blockBounds(b, d.n)
 			off := blockOffset(b, width)
 			payload := region[off : off+(hi-lo)*width]
@@ -324,6 +330,9 @@ func (d *Dataset) EncodeBinary(w io.Writer, opt IOOptions) error {
 				}
 			}
 			binary.LittleEndian.PutUint32(region[off+(hi-lo)*width:], crc32.ChecksumIEEE(payload))
+			if lh != nil && lh.EncodeBlock != nil {
+				lh.EncodeBlock(b, hi-lo, time.Since(t0))
+			}
 		})
 		if _, err := bw.Write(region); err != nil {
 			return err
@@ -738,6 +747,7 @@ func (d *Dataset) decodeColumns(r io.Reader, workers int) error {
 	nb := numBlocks(d.n)
 	buf := make([]byte, colDataBytes(d.n, 8))
 	arena := len(d.strtab.strs)
+	lh := latencyHook.Load()
 	for ci := range d.Schema.cols {
 		c := &d.Schema.cols[ci]
 		width := colWidth(c.Kind)
@@ -749,6 +759,10 @@ func (d *Dataset) decodeColumns(r io.Reader, workers int) error {
 		i32col := d.code[ci]
 		u64col := d.bits[ci]
 		errs := parallel.Map(workers, nb, func(b int) error {
+			var t0 time.Time
+			if lh != nil && lh.DecodeBlock != nil {
+				t0 = time.Now()
+			}
 			lo, hi := blockBounds(b, d.n)
 			off := blockOffset(b, width)
 			payload := region[off : off+(hi-lo)*width]
@@ -792,6 +806,9 @@ func (d *Dataset) decodeColumns(r io.Reader, workers int) error {
 					}
 					u64col[i] = v
 				}
+			}
+			if lh != nil && lh.DecodeBlock != nil {
+				lh.DecodeBlock(b, hi-lo, time.Since(t0))
 			}
 			return nil
 		})

@@ -1,0 +1,32 @@
+package colstore
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHook receives per-block FPDS codec timings: one callback per
+// fixed 8192-respondent block of each column as it encodes or decodes.
+// Observation only — the hook cannot affect bytes produced or datasets
+// decoded. Callbacks must be safe for concurrent use (the codecs shard
+// blocks across workers).
+type LatencyHook struct {
+	// EncodeBlock fires after a column block is encoded and
+	// checksummed, with the block index, its respondent count, and
+	// duration.
+	EncodeBlock func(block, items int, d time.Duration)
+	// DecodeBlock fires after a column block is checksum-verified and
+	// decoded, with the block index, its respondent count, and
+	// duration.
+	DecodeBlock func(block, items int, d time.Duration)
+}
+
+// latencyHook holds the installed hook; one atomic load per codec call
+// plus a branch per block when uninstalled.
+var latencyHook atomic.Pointer[LatencyHook]
+
+// SetLatencyHook installs h as the process-wide codec latency hook
+// (nil uninstalls). Called by the telemetry wiring
+// (internal/core.InstallPipelineTelemetry); installing mid-run affects
+// only subsequently started codec calls.
+func SetLatencyHook(h *LatencyHook) { latencyHook.Store(h) }

@@ -185,3 +185,57 @@ func TestGoldenTraceInvariance(t *testing.T) {
 		t.Error("tracer captured no grading batch events")
 	}
 }
+
+// TestGoldenLatencyInvariance is the latency-observatory half of the
+// invariance contract: with the full telemetry stack installed — which
+// now includes the sharded latency histograms on sampling, calibration,
+// grading, codec, and parallel hooks — every output byte must match an
+// uninstrumented baseline at workers 1, 4, and 16. The latency hooks
+// only read clocks and add to atomics; this test is the proof that they
+// cannot perturb sampling order, shard boundaries, or grading.
+func TestGoldenLatencyInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple 2000-respondent studies; skipped in -short mode")
+	}
+	const n = 2000
+	raiseGOMAXPROCS(t, 16)
+
+	want := goldenSnapshot(t, n, 1, nil)
+
+	reg := telemetry.NewRegistry()
+	rec := InstallPipelineTelemetry(reg)
+	defer UninstallPipelineTelemetry()
+
+	for _, workers := range []int{1, 4, 16} {
+		got := goldenSnapshot(t, n, workers, rec)
+		if got.main != want.main {
+			t.Errorf("workers=%d: latency observation changed the main dataset", workers)
+		}
+		if got.students != want.students {
+			t.Errorf("workers=%d: latency observation changed the student dataset", workers)
+		}
+		for fig := 1; fig <= 22; fig++ {
+			if got.figures[fig-1] != want.figures[fig-1] {
+				t.Errorf("workers=%d: latency observation changed figure %d", workers, fig)
+			}
+		}
+	}
+
+	// Non-vacuousness: the latency histograms must actually have
+	// observed the runs, with sane quantile ordering.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		LatencySampleBlock, LatencyCalibrate, LatencyGradeBatch,
+		LatencyParallelShard, LatencyWorkerBusy, LatencyParallelWait,
+	} {
+		ls, ok := snap.Latencies[name]
+		if !ok || ls.Count == 0 {
+			t.Errorf("%s: no latency observations recorded", name)
+			continue
+		}
+		if ls.P50NS > ls.P99NS || ls.P99NS > ls.P999NS {
+			t.Errorf("%s: quantiles out of order: p50=%.0f p99=%.0f p999=%.0f",
+				name, ls.P50NS, ls.P99NS, ls.P999NS)
+		}
+	}
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"time"
 
+	"fpstudy/internal/colstore"
 	"fpstudy/internal/monitor"
 	"fpstudy/internal/parallel"
 	"fpstudy/internal/quiz"
+	"fpstudy/internal/respondent"
 	"fpstudy/internal/telemetry"
 )
 
@@ -49,6 +51,20 @@ const (
 	// encode output and decode/load input respectively, either format.
 	MetricIOBytesWritten = "io.bytes_written"
 	MetricIOBytesRead    = "io.bytes_read"
+
+	// Latency observatory: log-linear latency histograms
+	// (telemetry.LatencyHist) over the block-level operations where the
+	// pipeline's time actually goes. Each records per-operation wall
+	// durations; snapshots carry p50/p90/p99/p999 (see DESIGN.md
+	// "Latency observatory").
+	LatencySampleBlock   = "latency.sample_block"         // one 4096-respondent response-sampling block
+	LatencyCalibrate     = "latency.calibrate"            // one question-model bisection
+	LatencyGradeBatch    = "latency.grade_batch"          // one ScoreAllColumns batch
+	LatencyFPDSEncode    = "latency.fpds_encode_block"    // one FPDS column block encode
+	LatencyFPDSDecode    = "latency.fpds_decode_block"    // one FPDS column block decode
+	LatencyParallelShard = "latency.parallel_shard"       // one MapShards/SumShards shard
+	LatencyWorkerBusy    = "latency.parallel_worker_busy" // one worker's busy time in a fan-out
+	LatencyParallelWait  = "latency.parallel_wait"        // aggregate wait (workers*wall-busy) per fan-out
 )
 
 // InstallPipelineTelemetry wires the process-wide instrumentation into
@@ -76,12 +92,26 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 	poolTasks := reg.Counter(MetricPoolTasks)
 	poolBusyNS := reg.Counter(MetricPoolBusyNS)
 	busyHist := reg.Histogram(MetricForEachBusyMS, []float64{0.1, 1, 10, 100, 1000, 10000})
+
+	// Latency observatory: per-worker-sharded log-linear histograms on
+	// the block-level operations. All Observe calls are plain atomic
+	// adds; none of them feed back into the pipeline.
+	latShard := reg.Latency(LatencyParallelShard)
+	latWorker := reg.Latency(LatencyWorkerBusy)
+	latWait := reg.Latency(LatencyParallelWait)
 	parallel.SetHook(&parallel.Hook{
 		ForEach: func(n, workers int, busy time.Duration) {
 			foreachCalls.Inc()
 			items.Add(int64(n))
 			busyNS.Add(int64(busy))
 			busyHist.Observe(float64(busy) / float64(time.Millisecond))
+		},
+		ForEachWall: func(n, workers int, wall, busy time.Duration) {
+			wait := time.Duration(workers)*wall - busy
+			if wait < 0 {
+				wait = 0 // clock skew between per-worker and wall reads
+			}
+			latWait.Observe(wait)
 		},
 		Shards: func(n int) { shards.Add(int64(n)) },
 		PoolTask: func(busy time.Duration) {
@@ -92,13 +122,32 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 		// pipeline control lane). Both callbacks reduce to one atomic
 		// load when no tracer is installed.
 		WorkerSpan: func(w int, busy time.Duration) {
+			latWorker.ObserveShard(w, busy)
 			telemetry.EmitSpan(telemetry.EvWorker, w+1, "worker",
 				time.Now().Add(-busy), busy, int64(w), 0)
 		},
 		ShardSpan: func(w, shard, items int, d time.Duration) {
+			latShard.ObserveShard(w, d)
 			telemetry.EmitSpan(telemetry.EvShard, w+1, "shard",
 				time.Now().Add(-d), d, int64(shard), int64(items))
 		},
+	})
+
+	latSample := reg.Latency(LatencySampleBlock)
+	latCalib := reg.Latency(LatencyCalibrate)
+	respondent.SetLatencyHook(&respondent.LatencyHook{
+		SampleBlock: func(shard, items int, d time.Duration) { latSample.ObserveShard(shard, d) },
+		Calibrate:   func(question int, d time.Duration) { latCalib.ObserveShard(question, d) },
+	})
+
+	latGrade := reg.Latency(LatencyGradeBatch)
+	quiz.SetGradeBatchObserver(func(n int, d time.Duration) { latGrade.Observe(d) })
+
+	latEnc := reg.Latency(LatencyFPDSEncode)
+	latDec := reg.Latency(LatencyFPDSDecode)
+	colstore.SetLatencyHook(&colstore.LatencyHook{
+		EncodeBlock: func(block, items int, d time.Duration) { latEnc.ObserveShard(block, d) },
+		DecodeBlock: func(block, items int, d time.Duration) { latDec.ObserveShard(block, d) },
 	})
 
 	conds := map[monitor.Condition]monitor.EventCounter{}
@@ -116,5 +165,8 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 // paths.
 func UninstallPipelineTelemetry() {
 	parallel.SetHook(nil)
+	respondent.SetLatencyHook(nil)
+	quiz.SetGradeBatchObserver(nil)
+	colstore.SetLatencyHook(nil)
 	quiz.SetOracleObserver(nil)
 }

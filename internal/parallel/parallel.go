@@ -39,6 +39,12 @@ type Hook struct {
 	// time (wall time each worker spent inside the fan-out, so
 	// busy/(workers*elapsed) approximates utilization).
 	ForEach func(items, workers int, busy time.Duration)
+	// ForEachWall fires once per ForEach invocation with the fan-out's
+	// wall-clock duration alongside the summed busy time, so
+	// workers*wall - busy is the aggregate wait (spawn, scheduling,
+	// imbalance at the tail) the fan-out incurred. On the serial path
+	// wall == busy and the wait is zero by construction.
+	ForEachWall func(items, workers int, wall, busy time.Duration)
 	// WorkerSpan fires once per worker goroutine as it finishes a
 	// ForEach/ForEachWith/MapShards fan-out, with the worker's index in
 	// [0, workers) and its busy time. Together the calls of one fan-out
@@ -133,8 +139,9 @@ func forEachIndexed[C any](workers, n int, newC func() C, fn func(c C, w, i int)
 	}
 	h := hook.Load()
 	foreachHook := h != nil && h.ForEach != nil
+	wallHook := h != nil && h.ForEachWall != nil
 	workerHook := h != nil && h.WorkerSpan != nil
-	timed := foreachHook || workerHook
+	timed := foreachHook || wallHook || workerHook
 	if workers == 1 {
 		var t0 time.Time
 		if timed {
@@ -152,8 +159,15 @@ func forEachIndexed[C any](workers, n int, newC func() C, fn func(c C, w, i int)
 			if foreachHook {
 				h.ForEach(n, 1, busy)
 			}
+			if wallHook {
+				h.ForEachWall(n, 1, busy, busy)
+			}
 		}
 		return
+	}
+	var wall0 time.Time
+	if timed {
+		wall0 = time.Now()
 	}
 	var next, busyNS atomic.Int64
 	var wg sync.WaitGroup
@@ -190,6 +204,9 @@ func forEachIndexed[C any](workers, n int, newC func() C, fn func(c C, w, i int)
 	wg.Wait()
 	if foreachHook {
 		h.ForEach(n, workers, time.Duration(busyNS.Load()))
+	}
+	if wallHook {
+		h.ForEachWall(n, workers, time.Since(wall0), time.Duration(busyNS.Load()))
 	}
 }
 

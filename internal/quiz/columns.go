@@ -186,7 +186,11 @@ func ScoreAllColumns(d *colstore.Dataset, workers int) Grades {
 		g.Core[i], g.OptScored[i], g.OptAll[i] = ScoreColumnsAt(d, i)
 	})
 	_, exc1 := OracleTraceCounts()
-	telemetry.EmitSpan(telemetry.EvBatch, 0, "grade-batch", t0, time.Since(t0), int64(n), exc1-exc0)
+	dur := time.Since(t0)
+	telemetry.EmitSpan(telemetry.EvBatch, 0, "grade-batch", t0, dur, int64(n), exc1-exc0)
+	if fn := gradeBatchObserver.Load(); fn != nil {
+		(*fn)(n, dur)
+	}
 	return g
 }
 

@@ -2,10 +2,30 @@ package quiz
 
 import (
 	"sync/atomic"
+	"time"
 
 	"fpstudy/internal/ieee754"
 	"fpstudy/internal/telemetry"
 )
+
+// gradeBatchObserver holds the process-wide grade-batch latency
+// callback: it fires once per ScoreAllColumns batch with the batch's
+// respondent count and wall duration. Same contract as the oracle
+// observer — observation only, safe for concurrent use, one atomic
+// load + branch when uninstalled.
+var gradeBatchObserver atomic.Pointer[func(n int, d time.Duration)]
+
+// SetGradeBatchObserver installs fn as the grade-batch latency
+// observer for subsequent ScoreAllColumns calls; nil uninstalls. The
+// intended fn feeds a telemetry.LatencyHist so batch grading latency
+// is quantile-tracked alongside the generation stages.
+func SetGradeBatchObserver(fn func(n int, d time.Duration)) {
+	if fn == nil {
+		gradeBatchObserver.Store(nil)
+		return
+	}
+	gradeBatchObserver.Store(&fn)
+}
 
 // oracleObserver holds the process-wide observer installed on every
 // environment the quiz oracles evaluate under. An atomic pointer keeps

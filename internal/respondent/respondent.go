@@ -32,6 +32,7 @@ package respondent
 import (
 	"math"
 	"math/bits"
+	"time"
 
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/paperdata"
@@ -454,10 +455,17 @@ func generateFromProfiles(workers int, seed int64, profiles, calib []Profile, in
 	cs := newColSampler(d, models, paperdata.Figure22Main)
 	coreAbil := abilitiesOf(profiles, false)
 	optAbil := abilitiesOf(profiles, true)
+	lh := latencyHook.Load()
 	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
 		func(rng *parallel.XRand, s int) {
 			lo, hi := parallel.ShardBounds(s, n)
-			cs.sampleBlock(rng, seed, lo, hi, profiles, coreAbil, optAbil)
+			if lh != nil && lh.SampleBlock != nil {
+				t0 := time.Now()
+				cs.sampleBlock(rng, seed, lo, hi, profiles, coreAbil, optAbil)
+				lh.SampleBlock(s, hi-lo, time.Since(t0))
+			} else {
+				cs.sampleBlock(rng, seed, lo, hi, profiles, coreAbil, optAbil)
+			}
 			inst.Progress.Add(int64(hi - lo))
 		})
 	ssp.AddItems(int64(n))
@@ -510,6 +518,7 @@ func calibrateModels(workers int, calib []Profile, inst Instrumentation) []quest
 	optKernel := newAbilityKernel(workers, abilitiesOf(calib, true))
 	// Calibrate the questions concurrently; each bisection is
 	// independent and deterministic.
+	lh := latencyHook.Load()
 	models := parallel.Map(workers, len(specs), func(i int) questionModel {
 		s := specs[i]
 		k := coreKernel
@@ -517,7 +526,13 @@ func calibrateModels(workers int, calib []Profile, inst Instrumentation) []quest
 			k = optKernel
 		}
 		qm := s.qm
-		qm.offset = k.calibrate(1, qm, s.target, make([]float64, len(k.abil)))
+		if lh != nil && lh.Calibrate != nil {
+			t0 := time.Now()
+			qm.offset = k.calibrate(1, qm, s.target, make([]float64, len(k.abil)))
+			lh.Calibrate(i, time.Since(t0))
+		} else {
+			qm.offset = k.calibrate(1, qm, s.target, make([]float64, len(k.abil)))
+		}
 		return qm
 	})
 	csp.AddItems(int64(len(specs)))

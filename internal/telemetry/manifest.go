@@ -23,6 +23,12 @@ type Manifest struct {
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// SerialHost tags runs taken with GOMAXPROCS==1, matching the
+	// benchcmp host fingerprint so manifests and bench reports agree
+	// on provenance (parallel numbers from such a host are not
+	// comparable to multi-core ones).
+	SerialHost bool `json:"serial_host,omitempty"`
 
 	Spans   []SpanSnapshot `json:"spans,omitempty"`
 	Metrics Snapshot       `json:"metrics"`
@@ -41,6 +47,8 @@ func (r *Recorder) Manifest(tool string, seed int64, n, workers int) Manifest {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		SerialHost: runtime.GOMAXPROCS(0) == 1,
 		Spans:      r.Spans(),
 		Metrics:    r.Registry().Snapshot(),
 	}

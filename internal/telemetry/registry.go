@@ -10,10 +10,10 @@
 // values back into the computation, so a run produces bit-identical
 // output with telemetry on, off, or partially attached
 // (internal/core.TestGoldenParallelDeterminism pins this). Every handle
-// is nil-safe: a nil *Registry, *Recorder, *Span, *Counter, *Gauge, or
-// *Histogram accepts the full method set as a no-op, which is what lets
-// instrumentation points stay unconditional in the hot paths without an
-// "enabled" flag.
+// is nil-safe: a nil *Registry, *Recorder, *Span, *Counter, *Gauge,
+// *Histogram, or *LatencyHist accepts the full method set as a no-op,
+// which is what lets instrumentation points stay unconditional in the
+// hot paths without an "enabled" flag.
 //
 // # Metric naming
 //
@@ -28,6 +28,7 @@
 //	parallel.pool_busy_ns    counter  summed Pool task time
 //	fp.ops                   counter  observed softfloat operations
 //	fp.exceptions.<cond>     counter  per-condition FP exception events
+//	latency.<stage>          latency  per-operation durations (LatencyHist)
 //
 // The whole registry is exported as one expvar variable (conventionally
 // "fpstudy") whose JSON value is the Snapshot.
@@ -153,20 +154,24 @@ type HistogramSnapshot struct {
 	Buckets []BucketCount `json:"buckets"`
 }
 
-// Snapshot reads a consistent-enough view of the histogram: each bucket
-// is read atomically; the totals may trail concurrent writers by a few
-// observations, which is acceptable for monitoring.
+// Snapshot reads a consistent-enough view of the histogram: each
+// bucket is read atomically and Count is the sum of those same reads,
+// so a snapshot's buckets always sum to its count even with concurrent
+// writers. Sum is read separately and may trail the buckets by a few
+// in-flight observations, which is acceptable for monitoring.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
-	s := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	s := HistogramSnapshot{Sum: h.Sum()}
 	for i := range h.counts {
 		ub := "+Inf"
 		if i < len(h.bounds) {
 			ub = formatBound(h.bounds[i])
 		}
-		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: h.counts[i].Load()})
+		c := h.counts[i].Load()
+		s.Count += c
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Count: c})
 	}
 	return s
 }
@@ -181,6 +186,7 @@ type Registry struct {
 	counts map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	lats   map[string]*LatencyHist
 }
 
 // NewRegistry creates an empty metrics registry.
@@ -189,6 +195,7 @@ func NewRegistry() *Registry {
 		counts: map[string]*Counter{},
 		gauges: map[string]*Gauge{},
 		hists:  map[string]*Histogram{},
+		lats:   map[string]*LatencyHist{},
 	}
 }
 
@@ -241,11 +248,29 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Latency returns the log-linear latency histogram with the given
+// name, creating it on first use. Returns nil (a no-op histogram) on
+// the nil Registry.
+func (r *Registry) Latency(name string) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.lats[name]
+	if !ok {
+		l = newLatencyHist()
+		r.lats[name] = l
+	}
+	return l
+}
+
 // Snapshot is the JSON-marshalable state of a registry at one moment.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Latencies  map[string]LatencySnapshot   `json:"latencies,omitempty"`
 }
 
 // Snapshot captures every metric's current value. The snapshot is
@@ -268,6 +293,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.hists {
 		hists[k] = v
 	}
+	lats := make(map[string]*LatencyHist, len(r.lats))
+	for k, v := range r.lats {
+		lats[k] = v
+	}
 	r.mu.Unlock()
 
 	s := Snapshot{}
@@ -287,6 +316,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
 		for k, v := range hists {
 			s.Histograms[k] = v.Snapshot()
+		}
+	}
+	if len(lats) > 0 {
+		s.Latencies = make(map[string]LatencySnapshot, len(lats))
+		for k, v := range lats {
+			s.Latencies[k] = v.Snapshot()
 		}
 	}
 	return s
@@ -309,11 +344,14 @@ func publish(name string, fn expvar.Func) {
 
 // PublishExpvar exposes the registry under the given expvar variable
 // name (conventionally "fpstudy"); /debug/vars then serves the live
-// Snapshot. Publishing the same name twice is a no-op, so init order
-// does not matter. No-op on the nil Registry.
+// Snapshot, and /metrics serves the same registry in Prometheus text
+// format with the name as metric prefix. Publishing the same name
+// twice is a no-op, so init order does not matter. No-op on the nil
+// Registry.
 func (r *Registry) PublishExpvar(name string) {
 	if r == nil {
 		return
 	}
 	publish(name, func() any { return r.Snapshot() })
+	promPublish(name, r)
 }

@@ -83,6 +83,54 @@ func TestRegistryConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramSnapshotConsistent is the torn-total regression test:
+// under concurrent writers, every snapshot's buckets must sum exactly
+// to its Count. (Before the fix, Count was read from the separate
+// total before the buckets, so a snapshot could report fewer — or
+// more — observations than its buckets held.)
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	const writers, perG = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var sum int64
+			for _, b := range s.Buckets {
+				sum += b.Count
+			}
+			if sum != s.Count {
+				t.Errorf("torn snapshot: buckets sum %d != count %d", sum, s.Count)
+				return
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if s := h.Snapshot(); s.Count != writers*perG {
+		t.Errorf("final count = %d, want %d", s.Count, writers*perG)
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	h := newHistogram([]float64{1, 10, 100})
 	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 1000} {

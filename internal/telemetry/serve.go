@@ -11,7 +11,8 @@ import (
 )
 
 // Server is a live-introspection HTTP endpoint: /debug/vars (expvar,
-// including every registry published with PublishExpvar) and
+// including every registry published with PublishExpvar), /metrics
+// (the same registries in Prometheus text exposition format), and
 // /debug/pprof/* (CPU/heap/goroutine profiling). It exists so a long
 // -n 1000000 run is not a black box: attach with a browser, curl, or
 // `go tool pprof` while the pipeline is executing.
@@ -32,6 +33,7 @@ func Serve(addr string) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", promHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

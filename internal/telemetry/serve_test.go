@@ -2,8 +2,11 @@ package telemetry
 
 import (
 	"context"
+	"io"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -47,4 +50,76 @@ func TestServerShutdownNil(t *testing.T) {
 	if err := srv.Shutdown(context.Background()); err != nil {
 		t.Fatalf("nil Shutdown: %v", err)
 	}
+}
+
+// TestServerShutdownIdempotent: calling Shutdown twice (and Close after
+// Shutdown) must not panic or error in a way that breaks deferred
+// cleanup stacks — tools defer both on some exit paths.
+func TestServerShutdownIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}
+
+// TestServerMetricsScrapeDuringShutdown races /metrics scrapes against
+// Shutdown under -race: scrapes either complete (the graceful drain)
+// or fail with a connection error — never a partial write that parses
+// as truncated exposition, and never a data race on the registry.
+func TestServerMetricsScrapeDuringShutdown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("scrape.test").Add(7)
+	reg.Latency("latency.scrape_test").Observe(time.Millisecond)
+	reg.PublishExpvar("scrapetest")
+
+	srv, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				resp, err := http.Get("http://" + addr + "/metrics")
+				if err != nil {
+					return // listener closed: expected once shutdown begins
+				}
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr != nil {
+					return // connection dropped mid-read during forced close
+				}
+				if resp.StatusCode == http.StatusOK && !strings.Contains(string(body), "scrapetest_scrape_test 7") {
+					t.Errorf("scrape missing counter:\n%s", body)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	// Let the scrapers get going, then shut down underneath them.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown during scrapes: %v", err)
+	}
+	wg.Wait()
 }

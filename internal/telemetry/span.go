@@ -172,8 +172,9 @@ func (r *Recorder) Spans() []SpanSnapshot {
 }
 
 // PublishExpvar exposes the recorder (metrics + span forest) as one
-// expvar variable; /debug/vars then serves the live combined view.
-// No-op on the nil Recorder.
+// expvar variable; /debug/vars then serves the live combined view, and
+// /metrics serves the recorder's registry in Prometheus text format
+// with the name as metric prefix. No-op on the nil Recorder.
 func (r *Recorder) PublishExpvar(name string) {
 	if r == nil {
 		return
@@ -184,6 +185,7 @@ func (r *Recorder) PublishExpvar(name string) {
 			Spans   []SpanSnapshot `json:"spans,omitempty"`
 		}{r.reg.Snapshot(), r.Spans()}
 	})
+	promPublish(name, r.reg)
 }
 
 // formatBound renders a histogram bucket bound compactly ("10", "2.5").

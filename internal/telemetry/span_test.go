@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -159,6 +160,12 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if got.Tool != "fpgen" || got.Seed != 42 || got.N != 199 || got.Workers != 4 {
 		t.Errorf("manifest header = %+v", got)
+	}
+	if got.NumCPU != runtime.NumCPU() {
+		t.Errorf("manifest num_cpu = %d, want %d", got.NumCPU, runtime.NumCPU())
+	}
+	if want := runtime.GOMAXPROCS(0) == 1; got.SerialHost != want {
+		t.Errorf("manifest serial_host = %v, want %v", got.SerialHost, want)
 	}
 	if got.Metrics.Counters["fp.ops"] != 9 {
 		t.Errorf("manifest metrics = %+v", got.Metrics)

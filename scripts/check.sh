@@ -35,6 +35,17 @@ if [ "${CHECK_IO_SMOKE:-0}" = "1" ]; then
 	make io-smoke
 fi
 
+# Optional SLO smoke gate: CHECK_SLO_SMOKE=1 runs a small fpbench with
+# -telemetry, scrapes /metrics mid-run, validates the Prometheus
+# exposition, and asserts the report's per-stage latency quantiles
+# (make slo-smoke). Off by default — the same exposition and quantile
+# logic is unit-tested in internal/telemetry; this stage additionally
+# exercises the real HTTP surface and the built binary.
+if [ "${CHECK_SLO_SMOKE:-0}" = "1" ]; then
+	echo "==> make slo-smoke"
+	make slo-smoke
+fi
+
 # Optional perf-regression gate: CHECK_BENCH_GATE=1 re-times the
 # pipeline (n=199 and n=10000) and compares against the committed
 # BENCH_pipeline.json with fpbench compare, failing on regressions
