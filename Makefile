@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke slo-smoke bench-gate profile
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke query-smoke slo-smoke bench-gate profile
 
 check:
 	sh scripts/check.sh
@@ -48,6 +48,14 @@ trace-smoke:
 # CHECK_IO_SMOKE=1 make check runs this as part of the full gate.
 io-smoke:
 	$(GO) run scripts/io_smoke.go
+
+# End-to-end check of the ad-hoc query surface: fpgen writes an
+# n=10000 cohort in both file formats, and the same expressions must
+# print byte-identical tables through `fpreport -query` (in-process,
+# loaded JSON, streamed .fpds) and `fpsurvey slice` (both formats).
+# CHECK_QUERY_SMOKE=1 make check runs this as part of the full gate.
+query-smoke:
+	$(GO) run scripts/query_smoke.go
 
 # End-to-end check of the latency observatory: runs fpbench (n=199)
 # with -telemetry, scrapes /metrics while it runs, validates the

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -45,6 +46,7 @@ import (
 	"fpstudy/internal/benchcmp"
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/core"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/respondent"
 	"fpstudy/internal/survey"
@@ -158,6 +160,7 @@ func benchMain() {
 	tracePath := flag.String("trace", "", "export a structured trace of the timed reps (.json Chrome trace-event format, .jsonl JSON Lines)")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	ioBench := flag.Bool("io", true, "benchmark dataset serialization (encode/decode, binary and JSON) at each -n size")
+	queryBench := flag.Bool("query", true, "benchmark the vectorized query engine (in-memory and streaming) at each -n size")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the timed reps to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the timed reps) to this file")
 	flag.Parse()
@@ -362,6 +365,30 @@ func benchMain() {
 			}
 			rep.IO = append(rep.IO, runs...)
 		}
+		if *queryBench {
+			runs, err := queryBenchSize(reg, n, *seed, *reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fpbench:", err)
+				os.Exit(1)
+			}
+			rep.Query = append(rep.Query, runs...)
+		}
+	}
+
+	// The out-of-core headline leg: a filtered grouped mean streaming
+	// off a 10M-respondent on-disk shard. Opt-in (generation plus a
+	// multi-GB temp file take minutes), so the default bench stays fast:
+	//
+	//	FPSTUDY_BENCH_LARGE=1 fpbench -o BENCH_pipeline.json
+	if *queryBench && os.Getenv("FPSTUDY_BENCH_LARGE") == "1" {
+		const largeN = 10_000_000
+		fmt.Fprintf(os.Stderr, "fpbench: FPSTUDY_BENCH_LARGE=1 — streaming query legs at n=%d\n", largeN)
+		runs, err := queryBenchLarge(reg, largeN, *seed, *reps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		rep.Query = append(rep.Query, runs...)
 	}
 
 	if tracer != nil {
@@ -418,6 +445,135 @@ func latencyStages(before, after map[string]telemetry.LatencySnapshot) []benchcm
 			strings.TrimPrefix(name, "latency."), delta))
 	}
 	return out
+}
+
+// queryLegs are the canned engine benchmarks: a compute-heavy full
+// scan (the derived quiz score reads 16 columns per respondent), a
+// selective filtered count, and a grouped mean — the three shapes the
+// figures decompose into. Expressions go through query.Parse, so the
+// bench exercises the same path as fpreport -query.
+var queryLegs = []struct{ name, expr string }{
+	{"scan_mean_score", "//mean:core.score"},
+	{"filtered_count", "bg.contrib_size=>1,000,000 lines of code//count"},
+	{"grouped_mean", "/bg.formal_training/mean:susp.invalid"},
+}
+
+// queryBenchOne times every canned leg at workers {1, 0} over one
+// source, verifying each result against want (the other mode's run)
+// when non-nil, and returns the recorded runs plus the mem-mode
+// results for cross-mode verification.
+func queryBenchOne(reg *telemetry.Registry, src query.Source, mode string, n int, reps int,
+	want map[string]*query.Result) (runs []benchcmp.QueryRun, got map[string]*query.Result, err error) {
+	schema := quiz.Columns()
+	resolve := func(name string) (query.Value, error) { return quiz.QueryValue(schema, name) }
+	got = map[string]*query.Result{}
+	for _, leg := range queryLegs {
+		p, err := query.Parse(schema, leg.expr, resolve)
+		if err != nil {
+			return nil, nil, fmt.Errorf("query leg %s: %w", leg.name, err)
+		}
+		for _, w := range []int{1, 0} {
+			best := 0.0
+			var res *query.Result
+			latBefore := reg.Snapshot().Latencies
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				res, err = query.Run(src, p.Query, w)
+				if err != nil {
+					return nil, nil, fmt.Errorf("query leg %s: %w", leg.name, err)
+				}
+				if sec := time.Since(start).Seconds(); best == 0 || sec < best {
+					best = sec
+				}
+			}
+			// Determinism spot-check: both modes and every worker count
+			// must agree bit-for-bit.
+			if prev, ok := got[leg.name]; ok && !queryResultsEqual(prev, res) {
+				return nil, nil, fmt.Errorf("query leg %s: results diverge across worker counts", leg.name)
+			}
+			if want != nil && !queryResultsEqual(want[leg.name], res) {
+				return nil, nil, fmt.Errorf("query leg %s: %s results diverge from mem results", leg.name, mode)
+			}
+			got[leg.name] = res
+			runs = append(runs, benchcmp.QueryRun{
+				N: n, Mode: mode, Name: leg.name, Workers: w, Reps: reps,
+				Selected:          res.TotalCount(),
+				BestSeconds:       best,
+				RespondentsPerSec: float64(n) / best,
+				Latency:           latencyStages(latBefore, reg.Snapshot().Latencies),
+			})
+			fmt.Fprintf(os.Stderr, "fpbench: n=%d query/%s/%s workers=%d best=%.4fs (%.0f respondents/sec)\n",
+				n, mode, leg.name, w, best, float64(n)/best)
+		}
+	}
+	return runs, got, nil
+}
+
+// queryResultsEqual compares two engine results bit-for-bit.
+func queryResultsEqual(a, b *query.Result) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// queryBenchSize times the canned query legs at one cohort size, in
+// memory and streaming off a real .fpds file in a temp directory. The
+// streaming results are verified bit-identical to the in-memory ones.
+func queryBenchSize(reg *telemetry.Registry, n int, seed int64, reps int) ([]benchcmp.QueryRun, error) {
+	cols := respondent.GenerateMainColumnar(seed, n, 0, nil, respondent.Instrumentation{}).Cols
+	memRuns, memRes, err := queryBenchOne(reg, query.NewDatasetSource(cols), "mem", n, reps, nil)
+	if err != nil {
+		return nil, err
+	}
+	streamRuns, err := queryBenchStream(reg, cols, n, reps, memRes)
+	if err != nil {
+		return nil, err
+	}
+	return append(memRuns, streamRuns...), nil
+}
+
+// queryBenchLarge is the opt-in out-of-core headline: stream-only legs
+// over an on-disk shard at n=10M (the in-memory legs would time the
+// same kernels at a size the default -n sweep already covers).
+func queryBenchLarge(reg *telemetry.Registry, n int, seed int64, reps int) ([]benchcmp.QueryRun, error) {
+	cols := respondent.GenerateMainColumnar(seed, n, 0, nil, respondent.Instrumentation{}).Cols
+	return queryBenchStream(reg, cols, n, reps, nil)
+}
+
+// queryBenchStream encodes the cohort to a temp .fpds shard and times
+// the canned legs through the out-of-core reader.
+func queryBenchStream(reg *telemetry.Registry, cols *colstore.Dataset, n, reps int,
+	want map[string]*query.Result) ([]benchcmp.QueryRun, error) {
+	dir, err := os.MkdirTemp("", "fpbench-query-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "cohort"+colstore.BinaryExt)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := cols.EncodeBinary(bw, colstore.IOOptions{}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	sr, err := colstore.OpenShard(quiz.Columns(), path, colstore.IOOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	runs, _, err := queryBenchOne(reg, query.NewShardSource(sr), "stream", n, reps, want)
+	return runs, err
 }
 
 // ioBenchSize times dataset serialization at one cohort size through

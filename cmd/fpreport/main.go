@@ -9,6 +9,17 @@
 //	fpreport -csv -fig 22        # figure as CSV
 //	fpreport -n 1000 -seed 7     # larger cohort / different seed
 //	fpreport -data big.fpds -all # report off a serialized dataset
+//
+// Ad-hoc slicing runs a query expression through the vectorized
+// engine instead of a canned figure:
+//
+//	fpreport -query '/bg.formal_training/mean:core.score'
+//	fpreport -data big.fpds -query 'susp.invalid>=4/bg.contrib_size/count'
+//
+// With -data on an .fpds shard the query streams block-at-a-time off
+// disk (memory bounded by block size x workers, not n); row JSON and
+// generated cohorts run in memory. See internal/query for the
+// filter/groupby/agg grammar.
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/core"
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/telemetry"
 )
@@ -39,6 +51,7 @@ func main() {
 	n := flag.Int("n", paperdata.NMain, "main cohort size")
 	nStudents := flag.Int("nstudents", paperdata.NStudent, "student cohort size")
 	seed := flag.Int64("seed", 42, "study seed")
+	queryExpr := flag.String("query", "", "run a filter/groupby/agg query expression instead of a figure (streams .fpds -data shards out of core)")
 	data := flag.String("data", "", "run the report off a main-cohort dataset file (row JSON or .fpds binary) instead of regenerating")
 	studentData := flag.String("studentdata", "", "student-cohort dataset file (with -data; default regenerates students from -seed/-nstudents)")
 	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
@@ -65,12 +78,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fpreport: telemetry on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
-	// ColumnarOnly: every figure tallies straight off the columns, so a
-	// figures-only invocation never builds per-respondent maps. The
-	// analyses that do need row views (claims, calibration, item
-	// analysis) materialize them lazily on first use.
+	// ColumnarOnly: every figure, claim, and query evaluates through
+	// the vectorized engine straight off the columns, so a reporting
+	// invocation never builds per-respondent maps. The analyses that do
+	// need row views (calibration, item analysis) materialize them
+	// lazily on first use.
 	study := core.Study{Seed: *seed, NMain: *n, NStudent: *nStudents, Workers: *workers,
 		Telemetry: rec, ColumnarOnly: true}
+
+	if *queryExpr != "" {
+		if err := runQuery(study, *data, *queryExpr); err != nil {
+			fmt.Fprintln(os.Stderr, "fpreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var results *core.Results
 	if *data != "" {
 		// Loaded-data mode: grade and report on a serialized cohort. At
@@ -142,6 +164,63 @@ func main() {
 		emit(13)
 		printClaims(results)
 	}
+}
+
+// runQuery executes one ad-hoc expression through the vectorized
+// engine: streaming off an .fpds -data shard (out-of-core), in memory
+// off a row-JSON file, or over a freshly generated main cohort.
+func runQuery(study core.Study, dataPath, expr string) error {
+	schema := quiz.Columns()
+	resolve := func(name string) (query.Value, error) { return quiz.QueryValue(schema, name) }
+	p, err := query.Parse(schema, expr, resolve)
+	if err != nil {
+		return err
+	}
+
+	var src query.Source
+	switch {
+	case dataPath == "":
+		src = study.Run().MainSource()
+	default:
+		f, err := os.Open(dataPath)
+		if err != nil {
+			return err
+		}
+		head := make([]byte, 8)
+		k, _ := f.ReadAt(head, 0)
+		if colstore.DetectFormat(head[:k]) == colstore.FormatBinary {
+			// Out-of-core: stream blocks of the bound columns only.
+			f.Close()
+			sr, err := colstore.OpenShard(schema, dataPath, colstore.IOOptions{Workers: study.Workers})
+			if err != nil {
+				return err
+			}
+			defer sr.Close()
+			fmt.Fprintf(os.Stderr, "fpreport: streaming %s: fpds, %d responses\n", dataPath, sr.Len())
+			src = query.NewShardSource(sr)
+		} else {
+			f.Close()
+			cols, info, err := colstore.LoadFile(schema, dataPath, colstore.IOOptions{Workers: study.Workers})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fpreport: loaded %s: %s, %d responses, %.1f MB, %.2fs\n",
+				dataPath, info.Format, cols.Len(), float64(info.Bytes)/(1<<20), info.Elapsed.Seconds())
+			src = query.NewDatasetSource(cols)
+		}
+	}
+
+	start := time.Now()
+	res, err := query.Run(src, p.Query, study.Workers)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Print(p.Render(res))
+	fmt.Fprintf(os.Stderr, "fpreport: scanned %d respondents, selected %d, %.3fs (%.1fM respondents/s)\n",
+		src.Len(), res.TotalCount(), elapsed.Seconds(),
+		float64(src.Len())/elapsed.Seconds()/1e6)
+	return nil
 }
 
 // resultsFromFiles loads the main (and optionally student) cohort

@@ -15,6 +15,13 @@
 //	fpsurvey -validate data.json         # check a dataset
 //	fpsurvey -tally bg.area data.fpds    # tabulate one question
 //	fpsurvey -anonymize data.json        # rewrite with opaque tokens
+//
+// The slice subcommand runs an ad-hoc filter/groupby/agg expression
+// through the vectorized query engine (internal/query documents the
+// grammar). Binary .fpds shards stream block-at-a-time off disk in
+// bounded memory; row JSON loads into columns first:
+//
+//	fpsurvey slice 'susp.invalid>=4/bg.contrib_size/count' data.fpds
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 
 	"fpstudy/internal/colstore"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/survey"
 )
@@ -30,6 +38,10 @@ import (
 var workers = flag.Int("workers", 0, "worker goroutines for codec/view fan-out (<=0 means GOMAXPROCS)")
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "slice" {
+		slice(os.Args[2:])
+		return
+	}
 	instrument := flag.Bool("instrument", false, "print the survey instrument JSON")
 	text := flag.Bool("text", false, "print the participant-facing survey text")
 	validate := flag.String("validate", "", "validate a dataset file")
@@ -102,6 +114,58 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// slice runs one query expression over a dataset file. Binary shards
+// stream out of core; JSON loads in memory.
+func slice(args []string) {
+	fs := flag.NewFlagSet("fpsurvey slice", flag.ExitOnError)
+	sliceWorkers := fs.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the result")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: fpsurvey slice [-workers N] '<filter>/<groupby>/<agg>' <dataset>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	expr, path := fs.Arg(0), fs.Arg(1)
+
+	schema := quiz.Columns()
+	resolve := func(name string) (query.Value, error) { return quiz.QueryValue(schema, name) }
+	p, err := query.Parse(schema, expr, resolve)
+	if err != nil {
+		fatal(err)
+	}
+
+	var src query.Source
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	head := make([]byte, 8)
+	k, _ := f.ReadAt(head, 0)
+	f.Close()
+	if colstore.DetectFormat(head[:k]) == colstore.FormatBinary {
+		sr, err := colstore.OpenShard(schema, path, colstore.IOOptions{Workers: *sliceWorkers})
+		if err != nil {
+			fatal(err)
+		}
+		defer sr.Close()
+		fmt.Fprintf(os.Stderr, "fpsurvey: streaming %s: fpds, %d responses\n", path, sr.Len())
+		src = query.NewShardSource(sr)
+	} else {
+		*workers = *sliceWorkers
+		cols, _ := load(path)
+		src = query.NewDatasetSource(cols)
+	}
+
+	res, err := query.Run(src, p.Query, *sliceWorkers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(p.Render(res))
 }
 
 // load streams a dataset file into columns, sniffing the format, and

@@ -1,5 +1,6 @@
 // Package benchcmp is the perf-regression observatory over fpbench
-// reports: it parses BENCH_pipeline.json documents (schema v3), diffs
+// reports: it parses BENCH_pipeline.json documents (any schema up to
+// the current SchemaVersion), diffs
 // two of them metric-by-metric against configurable noise bands, and
 // maintains the append-only BENCH_history.jsonl trajectory. fpbench's
 // compare mode and the make bench-gate CI hook are thin wrappers over
@@ -60,7 +61,18 @@ import (
 //	  absolute floor in both reports (timer noise, mirroring the v5 io
 //	  floor) or whose observation count is below the minimum in either
 //	  (quantiles of a handful of samples are not stable).
-const SchemaVersion = 6
+//	7 — adds the top-level "query" array: vectorized query-engine
+//	  benchmarks, one entry per (n, mode, name, workers) where mode is
+//	  "mem" (in-memory DatasetSource) or "stream" (out-of-core
+//	  ShardSource over an .fpds file) and name identifies the canned
+//	  expression (scan_mean_score, filtered_count, grouped_mean).
+//	  Entries carry best_seconds, respondents_per_sec, and the
+//	  query_block stage latency quantiles. Compare gates query
+//	  throughput under the throughput band (with the io timing floor)
+//	  and query stage p99 under the latency band. Reports without the
+//	  section (v6 and older) compare cleanly — the query legs simply
+//	  contribute no deltas.
+const SchemaVersion = 7
 
 // Host identifies the benchmarking machine.
 type Host struct {
@@ -141,6 +153,28 @@ type IORun struct {
 	Latency []StageLatency `json:"latency,omitempty"`
 }
 
+// QueryRun is one timed query-engine configuration: a canned
+// expression executed over one cohort size in one mode. "mem" runs
+// scan the in-memory columns zero-copy; "stream" runs scan an .fpds
+// shard block-at-a-time off disk (the out-of-core path, whose heap is
+// bounded by block size x workers). Workers follows the pipeline
+// convention: 0 means GOMAXPROCS.
+type QueryRun struct {
+	N       int    `json:"n"`
+	Mode    string `json:"mode"` // "mem" or "stream"
+	Name    string `json:"name"` // canned expression id
+	Workers int    `json:"workers"`
+	Reps    int    `json:"reps"`
+	// Selected is the number of respondents the filter passed (identical
+	// across reps and modes — the engine is deterministic).
+	Selected          int64   `json:"selected"`
+	BestSeconds       float64 `json:"best_seconds"`
+	RespondentsPerSec float64 `json:"respondents_per_sec"`
+	// Latency carries the query_block stage quantiles accumulated over
+	// every rep of this configuration.
+	Latency []StageLatency `json:"latency,omitempty"`
+}
+
 // StageLatencyFromSnapshot converts a telemetry latency snapshot
 // (typically the Sub of two registry snapshots bracketing a
 // configuration's reps) into the report form.
@@ -162,6 +196,9 @@ type Report struct {
 	// IO holds the dataset serialization benchmarks (schema v4+; absent
 	// from older reports and from runs invoked with -io=false).
 	IO []IORun `json:"io,omitempty"`
+	// Query holds the query-engine benchmarks (schema v7+; absent from
+	// older reports and from runs invoked with -query=false).
+	Query []QueryRun `json:"query,omitempty"`
 }
 
 // Parse decodes a BENCH_pipeline.json document.
@@ -312,14 +349,17 @@ func (b Bands) withDefaults() Bands {
 // Delta is one metric of one configuration, compared across two
 // reports. Pipeline deltas identify their configuration by (N,
 // Workers); io deltas by (N, Format, Op), with Workers zero and
-// Format/Op set; latency deltas by (N, Workers, Stage). Change is the
-// relative movement ((new-old)/old), signed so that positive is "more
-// of the metric" regardless of direction-of-goodness.
+// Format/Op set; query deltas by (N, Mode, Name, Workers); latency
+// deltas additionally carry Stage. Change is the relative movement
+// ((new-old)/old), signed so that positive is "more of the metric"
+// regardless of direction-of-goodness.
 type Delta struct {
 	N          int     `json:"n"`
 	Workers    int     `json:"workers"`
 	Format     string  `json:"format,omitempty"`
 	Op         string  `json:"op,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	Name       string  `json:"name,omitempty"`
 	Stage      string  `json:"stage,omitempty"`
 	Metric     string  `json:"metric"`
 	Old        float64 `json:"old"`
@@ -331,25 +371,31 @@ type Delta struct {
 // IsIO reports whether the delta came from the io section.
 func (d Delta) IsIO() bool { return d.Format != "" }
 
+// IsQuery reports whether the delta came from the query section.
+func (d Delta) IsQuery() bool { return d.Name != "" }
+
 // IsLatency reports whether the delta came from the latency section.
 func (d Delta) IsLatency() bool { return d.Stage != "" }
 
 // Config renders the delta's configuration for display:
 // "n=199/workers=1" for pipeline deltas, "n=199/io/binary/decode" for
-// io deltas, "n=199/workers=1/latency/sample_block" for pipeline
-// latency deltas, and "n=199/io/binary/decode/latency/fpds_decode_block"
-// for io codec latency deltas.
+// io deltas, "n=199/query/stream/grouped_mean/workers=0" for query
+// deltas, with "/latency/<stage>" appended for latency deltas of any
+// section.
 func (d Delta) Config() string {
-	if d.IsIO() {
-		if d.IsLatency() {
-			return fmt.Sprintf("n=%d/io/%s/%s/latency/%s", d.N, d.Format, d.Op, d.Stage)
-		}
-		return fmt.Sprintf("n=%d/io/%s/%s", d.N, d.Format, d.Op)
+	var cfg string
+	switch {
+	case d.IsIO():
+		cfg = fmt.Sprintf("n=%d/io/%s/%s", d.N, d.Format, d.Op)
+	case d.IsQuery():
+		cfg = fmt.Sprintf("n=%d/query/%s/%s/workers=%d", d.N, d.Mode, d.Name, d.Workers)
+	default:
+		cfg = fmt.Sprintf("n=%d/workers=%d", d.N, d.Workers)
 	}
 	if d.IsLatency() {
-		return fmt.Sprintf("n=%d/workers=%d/latency/%s", d.N, d.Workers, d.Stage)
+		cfg += "/latency/" + d.Stage
 	}
-	return fmt.Sprintf("n=%d/workers=%d", d.N, d.Workers)
+	return cfg
 }
 
 // Result is the outcome of comparing two reports.
@@ -381,6 +427,13 @@ type configKey struct{ n, workers int }
 type ioKey struct {
 	n          int
 	format, op string
+}
+
+// queryKey identifies one timed query-engine configuration.
+type queryKey struct {
+	n          int
+	mode, name string
+	workers    int
 }
 
 // relChange returns (new-old)/old, and 0 when old is 0 (a metric
@@ -491,6 +544,43 @@ func Compare(old, new *Report, bands Bands) *Result {
 	for _, n := range new.IO {
 		if !ioSeen[ioKey{n.N, n.Format, n.Op}] {
 			res.OnlyNew = append(res.OnlyNew, Delta{N: n.N, Format: n.Format, Op: n.Op}.Config())
+		}
+	}
+
+	// query section: engine throughput gates under the throughput band
+	// with the io timing floor (sub-millisecond scans of tiny cohorts
+	// are clock jitter); the query_block stage p99 gates under the
+	// latency band. Reports without the section contribute nothing.
+	newQuery := map[queryKey]QueryRun{}
+	for _, run := range new.Query {
+		newQuery[queryKey{run.N, run.Mode, run.Name, run.Workers}] = run
+	}
+	querySeen := map[queryKey]bool{}
+	for _, o := range old.Query {
+		key := queryKey{o.N, o.Mode, o.Name, o.Workers}
+		querySeen[key] = true
+		n, ok := newQuery[key]
+		if !ok {
+			res.OnlyOld = append(res.OnlyOld,
+				Delta{N: o.N, Mode: o.Mode, Name: o.Name, Workers: o.Workers}.Config())
+			continue
+		}
+		measurable := o.BestSeconds >= bands.IOFloorSeconds ||
+			n.BestSeconds >= bands.IOFloorSeconds
+		rps := relChange(o.RespondentsPerSec, n.RespondentsPerSec)
+		res.Deltas = append(res.Deltas, Delta{
+			N: o.N, Mode: o.Mode, Name: o.Name, Workers: o.Workers,
+			Metric: "respondents_per_sec",
+			Old:    o.RespondentsPerSec, New: n.RespondentsPerSec, Change: rps,
+			Regression: measurable && rps < -bands.Throughput,
+		})
+		res.Deltas = append(res.Deltas, diffStageLatency(o.Latency, n.Latency, bands,
+			Delta{N: o.N, Mode: o.Mode, Name: o.Name, Workers: o.Workers})...)
+	}
+	for _, n := range new.Query {
+		if !querySeen[queryKey{n.N, n.Mode, n.Name, n.Workers}] {
+			res.OnlyNew = append(res.OnlyNew,
+				Delta{N: n.N, Mode: n.Mode, Name: n.Name, Workers: n.Workers}.Config())
 		}
 	}
 
@@ -608,6 +698,8 @@ type HistoryEntry struct {
 	// IO carries the serialization benchmarks verbatim — IORun is
 	// already compact (no span trees to strip).
 	IO []IORun `json:"io,omitempty"`
+	// Query carries the query-engine benchmarks verbatim (also compact).
+	Query []QueryRun `json:"query,omitempty"`
 }
 
 // HistoryFromReport compacts a report into its trajectory record.
@@ -632,6 +724,7 @@ func HistoryFromReport(r *Report, appendedAt time.Time) HistoryEntry {
 		})
 	}
 	e.IO = append(e.IO, r.IO...)
+	e.Query = append(e.Query, r.Query...)
 	return e
 }
 

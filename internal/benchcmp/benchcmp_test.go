@@ -619,3 +619,148 @@ func TestHistoryCarriesLatency(t *testing.T) {
 		t.Fatalf("history dropped io latency: %+v", e.IO)
 	}
 }
+
+// mkQueryReport builds a v7 report with two query legs: a streaming
+// grouped mean and an in-memory full scan, at the given
+// respondents/sec (durations sit above the io timing floor).
+func mkQueryReport(streamRPS, memRPS float64) *Report {
+	mk := func(mode, name string, rps float64) QueryRun {
+		return QueryRun{
+			N: 10000, Mode: mode, Name: name, Workers: 1, Reps: 3,
+			Selected: 10000, BestSeconds: 10000 / rps, RespondentsPerSec: rps,
+		}
+	}
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Query: []QueryRun{
+			mk("stream", "grouped_mean", streamRPS),
+			mk("mem", "scan_mean_score", memRPS),
+		},
+	}
+}
+
+// TestCompareQueryGatesThroughput pins the query regression gate: a
+// throughput drop beyond the band in one (n, mode, name, workers)
+// configuration gates, matched by key so the other leg is untouched.
+func TestCompareQueryGatesThroughput(t *testing.T) {
+	old := mkQueryReport(2e6, 8e6)
+	cur := mkQueryReport(1.5e6, 8e6) // stream −25%, mem flat
+
+	regs := Compare(old, cur, Bands{}).Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	d := regs[0]
+	if !d.IsQuery() || d.Mode != "stream" || d.Name != "grouped_mean" || d.Metric != "respondents_per_sec" {
+		t.Fatalf("regression on the wrong configuration: %+v", d)
+	}
+	if got, want := d.Config(), "n=10000/query/stream/grouped_mean/workers=1"; got != want {
+		t.Fatalf("Config() = %q, want %q", got, want)
+	}
+
+	// Within-band noise passes.
+	cur = mkQueryReport(1.96e6, 7.9e6) // −2%
+	if regs := Compare(old, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("query noise gated: %+v", regs)
+	}
+}
+
+// TestCompareQueryTimerNoiseFloor pins the floor: sub-millisecond
+// query legs (tiny cohorts) report their deltas but never gate.
+func TestCompareQueryTimerNoiseFloor(t *testing.T) {
+	old := mkQueryReport(2e6, 8e6)
+	cur := mkQueryReport(1e6, 8e6) // −50%, but both < 1ms at n=100
+	for i := range old.Query {
+		old.Query[i].N = 100
+		old.Query[i].BestSeconds = 100 / old.Query[i].RespondentsPerSec
+		cur.Query[i].N = 100
+		cur.Query[i].BestSeconds = 100 / cur.Query[i].RespondentsPerSec
+	}
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("sub-floor query delta gated: %+v", regs)
+	}
+	// The delta is still reported.
+	found := false
+	for _, d := range res.Deltas {
+		if d.IsQuery() && d.Metric == "respondents_per_sec" && d.Change < -0.4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sub-floor query delta not reported")
+	}
+}
+
+// TestCompareQueryLatencyGatesP99 pins the query_block stage latency
+// gate under the latency band.
+func TestCompareQueryLatencyGatesP99(t *testing.T) {
+	mk := func(p99 float64) *Report {
+		r := mkQueryReport(2e6, 8e6)
+		r.Query[0].Latency = []StageLatency{{Stage: "query_block", Count: 200, P99NS: p99}}
+		return r
+	}
+	old, cur := mk(400_000), mk(600_000) // +50% beyond the 25% band
+	regs := Compare(old, cur, Bands{}).Regressions()
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	d := regs[0]
+	if !d.IsQuery() || !d.IsLatency() || d.Stage != "query_block" {
+		t.Fatalf("wrong query latency delta: %+v", d)
+	}
+	if got, want := d.Config(), "n=10000/query/stream/grouped_mean/workers=1/latency/query_block"; got != want {
+		t.Fatalf("Config() = %q, want %q", got, want)
+	}
+}
+
+// TestCompareQueryBackCompat pins the v5/v6 upgrade shape: an old
+// report without a query section compares cleanly against a v7 report
+// (and vice versa) — the new legs are listed, never gated.
+func TestCompareQueryBackCompat(t *testing.T) {
+	old := mkReport(10000, 33000, 7.3, 2) // pipeline runs only, no query
+	old.SchemaVersion = 6
+	cur := mkQueryReport(2e6, 8e6)
+	cur.Runs = old.Runs
+
+	res := Compare(old, cur, Bands{})
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("new query section gated against nothing: %+v", regs)
+	}
+	want := []string{
+		"n=10000/query/stream/grouped_mean/workers=1",
+		"n=10000/query/mem/scan_mean_score/workers=1",
+	}
+	if !reflect.DeepEqual(res.OnlyNew, want) {
+		t.Fatalf("OnlyNew = %v, want %v", res.OnlyNew, want)
+	}
+	res = Compare(cur, old, Bands{})
+	if !reflect.DeepEqual(res.OnlyOld, want) {
+		t.Fatalf("OnlyOld = %v, want %v", res.OnlyOld, want)
+	}
+
+	// A v5 document (no schema_version bump needed — the field just
+	// reads as 5) still parses and round-trips.
+	v5 := []byte(`{"schema_version": 5, "runs": [{"n": 199, "workers": 1, "respondents_per_sec": 10000,
+		"allocs_per_respondent": 7.3, "gc_pause_total_ms": 2}]}`)
+	r, err := Parse(v5)
+	if err != nil {
+		t.Fatalf("v5 parse: %v", err)
+	}
+	if len(r.Query) != 0 {
+		t.Fatalf("v5 report grew a query section: %+v", r.Query)
+	}
+	if regs := Compare(r, cur, Bands{}).Regressions(); len(regs) != 0 {
+		t.Fatalf("v5-vs-v7 compare gated: %+v", regs)
+	}
+}
+
+// TestHistoryCarriesQuery checks the trajectory line keeps the query
+// runs verbatim.
+func TestHistoryCarriesQuery(t *testing.T) {
+	r := mkQueryReport(2e6, 8e6)
+	e := HistoryFromReport(r, time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	if !reflect.DeepEqual(e.Query, r.Query) {
+		t.Fatalf("history query section = %+v, want %+v", e.Query, r.Query)
+	}
+}

@@ -74,6 +74,10 @@ const (
 	// it changes the bytes.
 	blockRespondents = 8192
 
+	// BlockRespondents is the exported block size: the unit of
+	// block-at-a-time streaming (ShardReader reads, query-engine scans).
+	BlockRespondents = blockRespondents
+
 	// Header flag bits.
 	flagAutoTokens   = 1 << 0
 	flagNilResponses = 1 << 1
@@ -766,46 +770,20 @@ func (d *Dataset) decodeColumns(r io.Reader, workers int) error {
 			lo, hi := blockBounds(b, d.n)
 			off := blockOffset(b, width)
 			payload := region[off : off+(hi-lo)*width]
-			if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(region[off+(hi-lo)*width:]); got != want {
-				return fmt.Errorf("colstore: decode binary: column %q block %d: checksum mismatch (corrupted file?)", c.ID, b)
-			}
+			crcWant := binary.LittleEndian.Uint32(region[off+(hi-lo)*width:])
+			var u8d []uint8
+			var i32d []int32
+			var u64d []uint64
 			switch c.Kind {
-			case survey.TrueFalse:
-				for i := lo; i < hi; i++ {
-					v := payload[i-lo]
-					if v > TFDontKnow {
-						return fmt.Errorf("colstore: decode binary: column %q respondent %d: bad truefalse code %d", c.ID, i, v)
-					}
-					u8col[i] = v
-				}
-			case survey.Likert:
-				for i := lo; i < hi; i++ {
-					v := payload[i-lo]
-					if int(v) > c.Scale {
-						return fmt.Errorf("colstore: decode binary: column %q respondent %d: level %d out of 1..%d", c.ID, i, v, c.Scale)
-					}
-					u8col[i] = v
-				}
+			case survey.TrueFalse, survey.Likert:
+				u8d = u8col[lo:hi]
 			case survey.SingleChoice:
-				for i := lo; i < hi; i++ {
-					v := int32(binary.LittleEndian.Uint32(payload[(i-lo)*4:]))
-					if int(v) > len(c.Options) || (v < 0 && int(-v-1) >= arena) {
-						return fmt.Errorf("colstore: decode binary: column %q respondent %d: option code %d out of range", c.ID, i, v)
-					}
-					i32col[i] = v
-				}
+				i32d = i32col[lo:hi]
 			case survey.MultiChoice:
-				valid := uint64(0)
-				if len(c.Options) > 0 {
-					valid = ^uint64(0) >> uint(64-len(c.Options))
-				}
-				for i := lo; i < hi; i++ {
-					v := binary.LittleEndian.Uint64(payload[(i-lo)*8:])
-					if v&^valid != 0 {
-						return fmt.Errorf("colstore: decode binary: column %q respondent %d: bitset selects option %d of %d", c.ID, i, bits.Len64(v&^valid)-1, len(c.Options))
-					}
-					u64col[i] = v
-				}
+				u64d = u64col[lo:hi]
+			}
+			if err := decodeBlockInto(c, arena, payload, crcWant, b, lo, u8d, i32d, u64d); err != nil {
+				return err
 			}
 			if lh != nil && lh.DecodeBlock != nil {
 				lh.DecodeBlock(b, hi-lo, time.Since(t0))
@@ -821,65 +799,135 @@ func (d *Dataset) decodeColumns(r io.Reader, workers int) error {
 	return nil
 }
 
-// decodeExtras parses the multi-choice spill records.
-func (d *Dataset) decodeExtras(payload []byte) error {
+// decodeBlockInto verifies one column block's checksum and decodes its
+// payload into the destination slice matching the column kind (the
+// other two destinations are nil), validating every code against the
+// schema. lo is the global respondent index of the block's first row
+// (for error messages); destinations are indexed from 0. Shared by the
+// whole-file decoder and the streaming ShardReader so both paths apply
+// identical integrity and validation rules.
+func decodeBlockInto(c *Col, arenaLen int, payload []byte, crcWant uint32, b, lo int, u8d []uint8, i32d []int32, u64d []uint64) error {
+	if got := crc32.ChecksumIEEE(payload); got != crcWant {
+		return fmt.Errorf("colstore: decode binary: column %q block %d: checksum mismatch (corrupted file?)", c.ID, b)
+	}
+	switch c.Kind {
+	case survey.TrueFalse:
+		for j := range u8d {
+			v := payload[j]
+			if v > TFDontKnow {
+				return fmt.Errorf("colstore: decode binary: column %q respondent %d: bad truefalse code %d", c.ID, lo+j, v)
+			}
+			u8d[j] = v
+		}
+	case survey.Likert:
+		for j := range u8d {
+			v := payload[j]
+			if int(v) > c.Scale {
+				return fmt.Errorf("colstore: decode binary: column %q respondent %d: level %d out of 1..%d", c.ID, lo+j, v, c.Scale)
+			}
+			u8d[j] = v
+		}
+	case survey.SingleChoice:
+		for j := range i32d {
+			v := int32(binary.LittleEndian.Uint32(payload[j*4:]))
+			if int(v) > len(c.Options) || (v < 0 && int(-v-1) >= arenaLen) {
+				return fmt.Errorf("colstore: decode binary: column %q respondent %d: option code %d out of range", c.ID, lo+j, v)
+			}
+			i32d[j] = v
+		}
+	case survey.MultiChoice:
+		valid := uint64(0)
+		if len(c.Options) > 0 {
+			valid = ^uint64(0) >> uint(64-len(c.Options))
+		}
+		for j := range u64d {
+			v := binary.LittleEndian.Uint64(payload[j*8:])
+			if v&^valid != 0 {
+				return fmt.Errorf("colstore: decode binary: column %q respondent %d: bitset selects option %d of %d", c.ID, lo+j, bits.Len64(v&^valid)-1, len(c.Options))
+			}
+			u64d[j] = v
+		}
+	}
+	return nil
+}
+
+// parseSpills decodes the extras section payload into per-column spill
+// maps without touching a Dataset (the streaming reader keeps them as a
+// side table). n bounds respondent indices; arenaLen bounds references.
+func parseSpills(s *Schema, n, arenaLen int, payload []byte) ([]map[int]extra, error) {
 	r := &binReader{data: payload}
-	arena := len(d.strtab.strs)
-	for ci := range d.Schema.cols {
-		c := &d.Schema.cols[ci]
+	out := make([]map[int]extra, len(s.cols))
+	for ci := range s.cols {
+		c := &s.cols[ci]
 		count, err := r.u32()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if count == 0 {
 			continue
 		}
 		if c.Kind != survey.MultiChoice {
-			return fmt.Errorf("colstore: decode binary: column %q (%s) carries %d spill records (only multi-choice columns may)", c.ID, c.Kind, count)
+			return nil, fmt.Errorf("colstore: decode binary: column %q (%s) carries %d spill records (only multi-choice columns may)", c.ID, c.Kind, count)
 		}
-		if int(count) > d.n {
-			return fmt.Errorf("colstore: decode binary: column %q claims %d spill records for %d respondents", c.ID, count, d.n)
+		if int(count) > n {
+			return nil, fmt.Errorf("colstore: decode binary: column %q claims %d spill records for %d respondents", c.ID, count, n)
 		}
+		m := make(map[int]extra, count)
 		prev := -1
 		for k := 0; k < int(count); k++ {
 			idx, err := r.u32()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			if int(idx) >= d.n || int(idx) <= prev {
-				return fmt.Errorf("colstore: decode binary: column %q spill record %d: respondent index %d out of order or range", c.ID, k, idx)
+			if int(idx) >= n || int(idx) <= prev {
+				return nil, fmt.Errorf("colstore: decode binary: column %q spill record %d: respondent index %d out of order or range", c.ID, k, idx)
 			}
 			prev = int(idx)
 			vb, err := r.u8()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			nrefs, err := r.u32()
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if int(nrefs) > len(payload) {
-				return fmt.Errorf("colstore: decode binary: column %q spill record %d claims %d references", c.ID, k, nrefs)
+				return nil, fmt.Errorf("colstore: decode binary: column %q spill record %d claims %d references", c.ID, k, nrefs)
 			}
 			refs := make([]int32, nrefs)
 			for j := range refs {
 				ref, err := r.u32()
 				if err != nil {
-					return err
+					return nil, err
 				}
-				if int(ref) >= arena {
-					return fmt.Errorf("colstore: decode binary: column %q respondent %d: arena reference %d out of range (%d strings)", c.ID, idx, ref, arena)
+				if int(ref) >= arenaLen {
+					return nil, fmt.Errorf("colstore: decode binary: column %q respondent %d: arena reference %d out of range (%d strings)", c.ID, idx, ref, arenaLen)
 				}
 				refs[j] = int32(ref)
 			}
-			if vb != 0 && d.bits[ci][idx] != 0 {
-				return fmt.Errorf("colstore: decode binary: column %q respondent %d: verbatim spill alongside a nonzero bitset", c.ID, idx)
-			}
-			d.putExtra(ci, int(idx), extra{refs: refs, verbatim: vb != 0})
+			m[int(idx)] = extra{refs: refs, verbatim: vb != 0}
 		}
+		out[ci] = m
 	}
 	if r.off != len(payload) {
-		return fmt.Errorf("colstore: decode binary: %d trailing bytes after extras", len(payload)-r.off)
+		return nil, fmt.Errorf("colstore: decode binary: %d trailing bytes after extras", len(payload)-r.off)
+	}
+	return out, nil
+}
+
+// decodeExtras parses the multi-choice spill records into the dataset.
+func (d *Dataset) decodeExtras(payload []byte) error {
+	spills, err := parseSpills(d.Schema, d.n, len(d.strtab.strs), payload)
+	if err != nil {
+		return err
+	}
+	for ci, m := range spills {
+		for idx, e := range m {
+			if e.verbatim && d.bits[ci][idx] != 0 {
+				return fmt.Errorf("colstore: decode binary: column %q respondent %d: verbatim spill alongside a nonzero bitset", d.Schema.cols[ci].ID, idx)
+			}
+			d.putExtra(ci, idx, e)
+		}
 	}
 	return nil
 }

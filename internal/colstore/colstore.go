@@ -157,6 +157,49 @@ func (d *Dataset) SingleLabel(ci, i int) string {
 	}
 }
 
+// --- Raw column views. These expose the dense code slices for
+// whole-column scans (the query engine's block kernels). The returned
+// slices are the live backing arrays: callers must treat them as
+// read-only.
+
+// RawU8 returns the dense code column of a truefalse or Likert
+// question (nil for other kinds).
+func (d *Dataset) RawU8(ci int) []uint8 { return d.u8[ci] }
+
+// RawI32 returns the dense code column of a single-choice question.
+func (d *Dataset) RawI32(ci int) []int32 { return d.code[ci] }
+
+// RawU64 returns the dense bitset column of a multi-choice question.
+func (d *Dataset) RawU64(ci int) []uint64 { return d.bits[ci] }
+
+// ArenaStrings returns the string arena (free-text answers and
+// verbatim lists; empty for generated cohorts). Read-only.
+func (d *Dataset) ArenaStrings() []string { return d.strtab.strs }
+
+// MultiSpill is the exported view of one multi-choice spill record:
+// arena references for the cell's free-text additions, or — when
+// Verbatim — the entire choices list in original order (the bitset is
+// zero and ignored).
+type MultiSpill struct {
+	Refs     []int32
+	Verbatim bool
+}
+
+// MultiSpills returns the spill records of one multi-choice column,
+// keyed by respondent index (nil when the column has none — always the
+// case for generated cohorts).
+func (d *Dataset) MultiSpills(ci int) map[int]MultiSpill {
+	m := d.extras[ci]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]MultiSpill, len(m))
+	for i, e := range m {
+		out[i] = MultiSpill{Refs: e.refs, Verbatim: e.verbatim}
+	}
+	return out
+}
+
 // cellExtra returns the spill record for (column, respondent), if any.
 func (d *Dataset) cellExtra(ci, i int) (extra, bool) {
 	m := d.extras[ci]

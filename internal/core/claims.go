@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"fpstudy/internal/paperdata"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
-	"fpstudy/internal/stats"
 )
 
 // Claim is one of the paper's headline findings, checked against the
@@ -19,14 +19,19 @@ type Claim struct {
 // HeadlineClaims evaluates the paper's main textual findings (Section
 // IV) against this run's data. Every claim should pass on a calibrated
 // cohort; the benchmark harness prints them.
+//
+// Every claim runs through the query engine over the columnar storage
+// — no row views are materialized — so a ColumnarOnly run evaluates
+// them allocation-light, and the numbers are bit-identical at any
+// worker count.
 func (r *Results) HeadlineClaims() []Claim {
 	var claims []Claim
 	add := func(name string, pass bool, detail string, args ...interface{}) {
 		claims = append(claims, Claim{Name: name, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
 	}
 
-	core := meanTally(r.CoreTallies)
-	opt := meanTally(r.OptTallies)
+	core := r.meanTallies("core")
+	opt := r.meanTallies("opt")
 
 	// "The score for the core quiz was 8.5/15, which is only slightly
 	// better than would be expected by chance (7.5/15)."
@@ -45,19 +50,33 @@ func (r *Results) HeadlineClaims() []Claim {
 	add("opt-dk-over-two-thirds", optDKFrac > 0.6,
 		"optimization Don't Know rate %.1f%% (paper: >2/3)", 100*optDKFrac)
 
+	// One engine pass classifies every core question's outcomes; the
+	// wrong-majority and chance-band claims both read off it.
+	s := r.Main.Cols.Schema
+	qs := quiz.CoreQuestions()
+	keyers := make([]query.Keyer, len(qs))
+	for qi := range qs {
+		keyers[qi] = quiz.CoreOutcomeKeyer(s, qi)
+	}
+	outcomes, err := query.CountByKeys(r.MainSource(), keyers, nil, r.workers)
+	if err != nil {
+		add("engine-error", false, "%v", err)
+		return claims
+	}
+
 	// Identity and Divide By Zero answered incorrectly by most
 	// participants.
 	for _, id := range []string{"core.identity", "core.divzero"} {
-		q, _ := quiz.CoreQuestionByID(id)
-		var c, inc int
-		for _, resp := range r.MainDataset().Responses {
-			switch quiz.ClassifyCore(resp, q) {
-			case quiz.OutcomeCorrect:
-				c++
-			case quiz.OutcomeIncorrect:
-				inc++
+		qi := -1
+		for i, q := range qs {
+			if q.ID == id {
+				qi = i
+				break
 			}
 		}
+		q := qs[qi]
+		c := int(outcomes[qi][quiz.OutcomeCorrect])
+		inc := int(outcomes[qi][quiz.OutcomeIncorrect])
 		add("wrong-majority-"+q.Label, inc > c*2,
 			"%s: %d incorrect vs %d correct (paper: ~77%% incorrect)", q.Label, inc, c)
 	}
@@ -70,22 +89,28 @@ func (r *Results) HeadlineClaims() []Claim {
 		"mean core score: >1M LoC %.2f vs 100-1k LoC %.2f (paper: ~11 vs ~7.5)", big, small)
 
 	// Area: physical-science/engineering developers perform at chance.
-	var physEng []float64
-	for i, resp := range r.MainDataset().Responses {
-		a := resp.Answer(quiz.BGArea).Choice
-		if a == "Other Physical Science Field" || a == "Other Engineering Field" {
-			physEng = append(physEng, float64(r.CoreTallies[i].Correct))
-		}
+	// A two-label option-set filter feeding a grouped-free mean.
+	areaCi := s.MustColumnIndex(quiz.BGArea)
+	areaCol := s.Column(areaCi)
+	peRes, err := query.Run(r.MainSource(), query.Query{
+		Filter: []query.Predicate{query.I32SetOf(areaCi,
+			areaCol.MustOptionCode("Other Physical Science Field"),
+			areaCol.MustOptionCode("Other Engineering Field"))},
+		Values: []query.Value{mustQueryValue(s, "core.score")},
+	}, r.workers)
+	if err != nil {
+		add("engine-error", false, "%v", err)
+		return claims
 	}
-	pe := stats.Mean(physEng)
+	pe := peRes.Mean(0, 0)
 	add("physsci-at-chance", pe > 6 && pe < 9,
 		"PhysSci/Eng mean %.2f vs chance 7.5 (paper: at chance)", pe)
 
 	// Suspicion: Invalid most suspicious, then Overflow, then the rest;
 	// ~1/3 under-rate Invalid.
-	inv := SuspicionDistribution(r.MainDataset(), "susp.invalid")
-	ovf := SuspicionDistribution(r.MainDataset(), "susp.overflow")
-	und := SuspicionDistribution(r.MainDataset(), "susp.underflow")
+	inv := suspicionDistQuery(r.MainSource(), "susp.invalid", r.workers)
+	ovf := suspicionDistQuery(r.MainSource(), "susp.overflow", r.workers)
+	und := suspicionDistQuery(r.MainSource(), "susp.underflow", r.workers)
 	add("suspicion-ordering",
 		inv.MeanLevel() > ovf.MeanLevel() && ovf.MeanLevel() > und.MeanLevel(),
 		"mean suspicion invalid %.2f > overflow %.2f > underflow %.2f",
@@ -95,9 +120,9 @@ func (r *Results) HeadlineClaims() []Claim {
 		"%.1f%% rate Invalid below maximum suspicion (paper: ~1/3)", underRate)
 
 	// Students are less suspicious of Underflow and Denorm.
-	sUnd := SuspicionDistribution(r.StudentDataset(), "susp.underflow")
-	sDen := SuspicionDistribution(r.StudentDataset(), "susp.denorm")
-	mDen := SuspicionDistribution(r.MainDataset(), "susp.denorm")
+	sUnd := suspicionDistQuery(r.StudentSource(), "susp.underflow", r.workers)
+	sDen := suspicionDistQuery(r.StudentSource(), "susp.denorm", r.workers)
+	mDen := suspicionDistQuery(r.MainSource(), "susp.denorm", r.workers)
 	add("students-relaxed-underflow-denorm",
 		sUnd.MeanLevel() < und.MeanLevel() && sDen.MeanLevel() < mDen.MeanLevel(),
 		"students underflow %.2f < main %.2f; denorm %.2f < %.2f",
@@ -106,18 +131,12 @@ func (r *Results) HeadlineClaims() []Claim {
 	// The per-question shape: the six chance-level questions stay in a
 	// chance band, per Figure 14.
 	badBand := 0
-	for i, q := range quiz.CoreQuestions() {
-		row := paperdata.Figure14Core[i]
+	n := float64(r.Main.Cols.Len())
+	for i, row := range paperdata.Figure14Core {
 		if !row.ChanceLevel {
 			continue
 		}
-		var c int
-		for _, resp := range r.MainDataset().Responses {
-			if quiz.ClassifyCore(resp, q) == quiz.OutcomeCorrect {
-				c++
-			}
-		}
-		pc := 100 * float64(c) / float64(len(r.MainDataset().Responses))
+		pc := 100 * float64(outcomes[i][quiz.OutcomeCorrect]) / n
 		if pc < 40 || pc > 68 {
 			badBand++
 		}
@@ -129,15 +148,18 @@ func (r *Results) HeadlineClaims() []Claim {
 }
 
 // meanCoreByLevel averages core scores over respondents with the given
-// background answer.
+// background answer: a filtered ungrouped mean through the engine.
 func (r *Results) meanCoreByLevel(questionID, level string) float64 {
-	var scores []float64
-	for i, resp := range r.MainDataset().Responses {
-		if resp.Answer(questionID).Choice == level {
-			scores = append(scores, float64(r.CoreTallies[i].Correct))
-		}
+	s := r.Main.Cols.Schema
+	ci := s.MustColumnIndex(questionID)
+	res, err := query.Run(r.MainSource(), query.Query{
+		Filter: []query.Predicate{query.I32SetOf(ci, s.Column(ci).MustOptionCode(level))},
+		Values: []query.Value{mustQueryValue(s, "core.score")},
+	}, r.workers)
+	if err != nil {
+		return 0
 	}
-	return stats.Mean(scores)
+	return res.Mean(0, 0)
 }
 
 // AllClaimsPass reports whether every headline claim held.

@@ -78,6 +78,40 @@ func TestGoldenDataPathReproducesRun(t *testing.T) {
 	}
 }
 
+// TestGoldenQueryEngineWorkerSweep pins the query engine's
+// determinism contract at the report surface: every figure and claim
+// now evaluates through internal/query, and the fingerprints must be
+// bit-identical whether the cohort is in-process or FPDS-loaded, at
+// workers 1, 4, and 16.
+func TestGoldenQueryEngineWorkerSweep(t *testing.T) {
+	base := Study{Seed: 42, NMain: 199, NStudent: 52, ColumnarOnly: true}
+	want := figureClaimsFingerprint(t, base.Run())
+
+	var bin bytes.Buffer
+	if err := base.Run().Main.Cols.EncodeBinary(&bin, colstore.IOOptions{}); err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		s := base
+		s.Workers = workers
+		if got := figureClaimsFingerprint(t, s.Run()); got != want {
+			t.Errorf("workers=%d: in-process figures/claims differ", workers)
+		}
+		cols, _, err := colstore.Load(quiz.Columns(), bytes.NewReader(bin.Bytes()), colstore.IOOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d: Load: %v", workers, err)
+		}
+		loaded, err := s.ResultsFromColumns(cols, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: ResultsFromColumns: %v", workers, err)
+		}
+		if got := figureClaimsFingerprint(t, loaded); got != want {
+			t.Errorf("workers=%d: FPDS-loaded figures/claims differ", workers)
+		}
+	}
+}
+
 // TestGoldenDataPathStudentFile extends the -data contract to an
 // explicit -studentdata file: loading both cohorts from disk matches
 // the in-process run too.

@@ -91,7 +91,7 @@ type TrainingIntervention struct {
 // RunTrainingIntervention simulates the intervention at the study's
 // seed and size.
 func (r *Results) RunTrainingIntervention(level string) TrainingIntervention {
-	base := meanTally(r.CoreTallies).Correct
+	base := r.meanTallies("core").Correct
 	treated := Study{
 		Seed:     r.Study.Seed,
 		NMain:    r.Study.NMain,
@@ -124,7 +124,7 @@ func (r *Results) InterventionReport() report.Table {
 		Title:  "Policy experiment: force everyone's formal floating point training to a level",
 		Header: []string{"Forced level", "mean core score", "gain vs observed", "verdict"},
 	}
-	base := meanTally(r.CoreTallies).Correct
+	base := r.meanTallies("core").Correct
 	for _, level := range []string{
 		"None",
 		"One or more lectures in course",

@@ -7,11 +7,11 @@ package core
 
 import (
 	"fmt"
-	"strconv"
 
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/parallel"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/report"
 	"fpstudy/internal/respondent"
@@ -40,11 +40,12 @@ type Study struct {
 	// golden test pins bit-identical output with it on or off.
 	Telemetry *telemetry.Recorder
 	// ColumnarOnly skips materializing the row views (one
-	// map[string]Answer per respondent) after generation. Grading and
-	// all figure tallies read the columnar storage directly, so a
-	// figures-only pipeline never needs the rows; analyses that do
-	// (claims, item statistics, calibration) materialize them lazily
-	// via MainDataset/StudentDataset. At n=1M the row view is the
+	// map[string]Answer per respondent) after generation. Grading,
+	// every figure, and the headline claims evaluate through the
+	// query engine over the columnar storage, so the reporting
+	// pipeline never needs the rows; analyses that still do (item
+	// statistics, calibration) materialize them lazily via
+	// MainDataset/StudentDataset. At n=1M the row view is the
 	// dominant allocation cost, so fpbench measures with this set.
 	ColumnarOnly bool
 }
@@ -75,6 +76,38 @@ type Results struct {
 	instrument *survey.Instrument
 	workers    int
 	telemetry  *telemetry.Recorder
+
+	mainSrc    query.Source
+	studentSrc query.Source
+}
+
+// MainSource returns the query-engine view of the main cohort's
+// columns (built once, then cached). Every figure and headline claim
+// runs through it.
+func (r *Results) MainSource() query.Source {
+	if r.mainSrc == nil {
+		r.mainSrc = query.NewDatasetSource(r.Main.Cols)
+	}
+	return r.mainSrc
+}
+
+// StudentSource returns the query-engine view of the student cohort's
+// columns.
+func (r *Results) StudentSource() query.Source {
+	if r.studentSrc == nil {
+		r.studentSrc = query.NewDatasetSource(r.StudentCols)
+	}
+	return r.studentSrc
+}
+
+// mustQueryValue resolves a quiz measure name known valid at build
+// time (programmer error otherwise).
+func mustQueryValue(s *colstore.Schema, name string) query.Value {
+	v, err := quiz.QueryValue(s, name)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // Run executes the study: generation, then oracle-keyed grading, both
@@ -201,63 +234,13 @@ func (r *Results) FigureBackground(num int) report.Table {
 	return t
 }
 
-// shardedTally tallies one background question over the main cohort's
-// columns, sharding the respondent space and merging the per-shard
-// counts. It mirrors survey.Instrument.Tally's semantics ("unanswered"
-// bucket, one count per selected multi-choice option) but walks the
-// dense column instead of hashing per-response maps. Counts are
-// order-insensitive, so the result is identical at any worker count.
+// shardedTally tallies one background question through the query
+// engine's block-vectorized Tally kernel. It mirrors
+// survey.Instrument.Tally's semantics ("unanswered" bucket, one count
+// per selected multi-choice option); counts are order-insensitive, so
+// the result is identical at any worker count.
 func (r *Results) shardedTally(questionID string) (map[string]int, error) {
-	d := r.Main.Cols
-	ci, ok := d.Schema.ColumnIndex(questionID)
-	if !ok {
-		return nil, fmt.Errorf("survey: unknown question %q", questionID)
-	}
-	col := d.Schema.Column(ci)
-	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) map[string]int {
-		tal := map[string]int{}
-		for i := lo; i < hi; i++ {
-			switch col.Kind {
-			case survey.TrueFalse:
-				switch d.TF(ci, i) {
-				case colstore.TFUnanswered:
-					tal["unanswered"]++
-				case colstore.TFTrue:
-					tal[survey.AnswerTrue]++
-				case colstore.TFFalse:
-					tal[survey.AnswerFalse]++
-				default:
-					tal[survey.AnswerDontKnow]++
-				}
-			case survey.Likert:
-				if lv := d.LikertLevel(ci, i); lv == 0 {
-					tal["unanswered"]++
-				} else {
-					tal[strconv.Itoa(lv)]++
-				}
-			case survey.SingleChoice:
-				if lbl := d.SingleLabel(ci, i); lbl == "" {
-					tal["unanswered"]++
-				} else {
-					tal[lbl]++
-				}
-			case survey.MultiChoice:
-				if d.MultiUnanswered(ci, i) {
-					tal["unanswered"]++
-				} else {
-					d.ForEachMultiChoice(ci, i, func(label string) { tal[label]++ })
-				}
-			}
-		}
-		return tal
-	})
-	merged := map[string]int{}
-	for _, s := range shards {
-		for k, v := range s {
-			merged[k] += v
-		}
-	}
-	return merged, nil
+	return query.Tally(r.MainSource(), questionID, r.workers)
 }
 
 // Figure12 renders the average quiz performance table.
@@ -267,8 +250,8 @@ func (r *Results) Figure12() report.Table {
 		Header: []string{"Quiz", "# Correct", "# Incorrect", "# Don't Know", "# No Answer", "# Chance",
 			"paper Correct", "paper Chance"},
 	}
-	core := meanTally(r.CoreTallies)
-	opt := meanTally(r.OptTallies)
+	core := r.meanTallies("core")
+	opt := r.meanTallies("opt")
 	t.AddRow("Core",
 		report.F(core.Correct), report.F(core.Incorrect), report.F(core.DontKnow), report.F(core.Unanswered),
 		report.F(quiz.CoreChance),
@@ -286,37 +269,51 @@ type meanTallyResult struct {
 	Correct, Incorrect, DontKnow, Unanswered float64
 }
 
-func meanTally(ts []quiz.Tally) meanTallyResult {
-	var m meanTallyResult
-	if len(ts) == 0 {
-		return m
+// meanTallies computes a quiz's mean per-outcome counts through one
+// engine pass: four grading values, no grouping. The per-respondent
+// outcome counts are small integers, so the blockwise sums are exact
+// and the means are bit-identical to the sequential row loop over the
+// graded tallies this replaced.
+func (r *Results) meanTallies(quizName string) meanTallyResult {
+	s := r.Main.Cols.Schema
+	res, err := query.Run(r.MainSource(), query.Query{Values: []query.Value{
+		mustQueryValue(s, quizName+".score"),
+		mustQueryValue(s, quizName+".incorrect"),
+		mustQueryValue(s, quizName+".dontknow"),
+		mustQueryValue(s, quizName+".unanswered"),
+	}}, r.workers)
+	if err != nil {
+		return meanTallyResult{}
 	}
-	for _, t := range ts {
-		m.Correct += float64(t.Correct)
-		m.Incorrect += float64(t.Incorrect)
-		m.DontKnow += float64(t.DontKnow)
-		m.Unanswered += float64(t.Unanswered)
+	return meanTallyResult{
+		Correct:    res.Mean(0, 0),
+		Incorrect:  res.Mean(1, 0),
+		DontKnow:   res.Mean(2, 0),
+		Unanswered: res.Mean(3, 0),
 	}
-	n := float64(len(ts))
-	m.Correct /= n
-	m.Incorrect /= n
-	m.DontKnow /= n
-	m.Unanswered /= n
-	return m
+}
+
+// coreScores returns every respondent's core quiz score in respondent
+// order, via an ungrouped engine collection.
+func (r *Results) coreScores() []float64 {
+	res, err := query.RunCollect(r.MainSource(), query.Query{
+		Values: []query.Value{mustQueryValue(r.Main.Cols.Schema, "core.score")},
+	}, r.workers)
+	if err != nil {
+		return nil
+	}
+	return res.Groups[0]
 }
 
 // CoreScoreHistogram returns the distribution of core-quiz scores.
 func (r *Results) CoreScoreHistogram() stats.Histogram {
-	scores := make([]float64, len(r.CoreTallies))
-	for i, t := range r.CoreTallies {
-		scores[i] = float64(t.Correct)
-	}
-	return stats.NewHistogram(scores, 15)
+	return stats.NewHistogram(r.coreScores(), 15)
 }
 
 // Figure13 renders the histogram of core quiz scores.
 func (r *Results) Figure13() report.Table {
-	h := r.CoreScoreHistogram()
+	scores := r.coreScores()
+	h := stats.NewHistogram(scores, 15)
 	t := report.Table{
 		Title:  "Figure 13: Histogram of core quiz scores (15 questions; chance mean 7.5)",
 		Header: []string{"Score", "Count", ""},
@@ -329,10 +326,6 @@ func (r *Results) Figure13() report.Table {
 	}
 	for score, count := range h.Counts {
 		t.AddRow(report.I(score), report.I(count), report.Bar(float64(count), float64(maxC), 40))
-	}
-	scores := make([]float64, len(r.CoreTallies))
-	for i, tl := range r.CoreTallies {
-		scores[i] = float64(tl.Correct)
 	}
 	s := stats.Summarize(scores)
 	t.Notes = append(t.Notes, fmt.Sprintf("mean %.2f, sd %.2f, median %.1f (paper mean 8.5, chance 7.5)",
@@ -350,32 +343,23 @@ func (r *Results) Figure14() report.Table {
 	qs := quiz.CoreQuestions()
 	d := r.Main.Cols
 	n := float64(d.Len())
-	// One sharded pass over the columns classifies every (respondent,
-	// question) pair; per-shard count matrices merge additively, so the
-	// totals are identical at any worker count.
-	st := quiz.ScoreTableFor(d.Schema)
-	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
-		counts := make([][4]int, len(qs))
-		for i := lo; i < hi; i++ {
-			for qi := range qs {
-				counts[qi][st.ClassifyCore(d, i, qi)]++
-			}
-		}
-		return counts
-	})
-	totals := make([][4]int, len(qs))
-	for _, shard := range shards {
-		for qi := range shard {
-			for o := 0; o < 4; o++ {
-				totals[qi][o] += shard[qi][o]
-			}
-		}
+	// One engine pass classifies every (respondent, question) pair: 15
+	// outcome keyers over a single block scan. Per-block count matrices
+	// merge additively, so the totals are identical at any worker count.
+	keyers := make([]query.Keyer, len(qs))
+	for qi := range qs {
+		keyers[qi] = quiz.CoreOutcomeKeyer(d.Schema, qi)
+	}
+	totals, err := query.CountByKeys(r.MainSource(), keyers, nil, r.workers)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
 	}
 	for i, q := range qs {
-		c := totals[i][quiz.OutcomeCorrect]
-		inc := totals[i][quiz.OutcomeIncorrect]
-		dk := totals[i][quiz.OutcomeDontKnow]
-		un := totals[i][quiz.OutcomeUnanswered]
+		c := int(totals[i][quiz.OutcomeCorrect])
+		inc := int(totals[i][quiz.OutcomeIncorrect])
+		dk := int(totals[i][quiz.OutcomeDontKnow])
+		un := int(totals[i][quiz.OutcomeUnanswered])
 		row := paperdata.Figure14Core[i]
 		flags := ""
 		pc := 100 * float64(c) / n
@@ -406,29 +390,20 @@ func (r *Results) Figure15() report.Table {
 	qs := quiz.OptQuestions()
 	d := r.Main.Cols
 	n := float64(d.Len())
-	st := quiz.ScoreTableFor(d.Schema)
-	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) [][4]int {
-		counts := make([][4]int, len(qs))
-		for i := lo; i < hi; i++ {
-			for qi := range qs {
-				counts[qi][st.ClassifyOpt(d, i, qi)]++
-			}
-		}
-		return counts
-	})
-	totals := make([][4]int, len(qs))
-	for _, shard := range shards {
-		for qi := range shard {
-			for o := 0; o < 4; o++ {
-				totals[qi][o] += shard[qi][o]
-			}
-		}
+	keyers := make([]query.Keyer, len(qs))
+	for qi := range qs {
+		keyers[qi] = quiz.OptOutcomeKeyer(d.Schema, qi)
+	}
+	totals, err := query.CountByKeys(r.MainSource(), keyers, nil, r.workers)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
 	}
 	for i, q := range qs {
-		c := totals[i][quiz.OutcomeCorrect]
-		inc := totals[i][quiz.OutcomeIncorrect]
-		dk := totals[i][quiz.OutcomeDontKnow]
-		un := totals[i][quiz.OutcomeUnanswered]
+		c := int(totals[i][quiz.OutcomeCorrect])
+		inc := int(totals[i][quiz.OutcomeIncorrect])
+		dk := int(totals[i][quiz.OutcomeDontKnow])
+		un := int(totals[i][quiz.OutcomeUnanswered])
 		row := paperdata.Figure15Opt[i]
 		t.AddRow(q.Label,
 			report.Pct(100*float64(c)/n),
@@ -451,38 +426,34 @@ func (r *Results) factorFigure(num int, title, questionID string, core bool,
 	for _, lm := range paperEffect.Means {
 		paperMeans[lm.Level] = lm.Mean
 	}
-	// Group scores by answer level in a sharded pass; merging the
-	// per-shard groups in shard order preserves respondent order within
+	// Group scores by answer level through the engine: a single-choice
+	// group-by collecting each group's exact score sequence. Per-block
+	// buckets merge in block order, preserving respondent order within
 	// each level, so downstream means/sds are bit-identical at any
 	// worker count.
 	d := r.Main.Cols
 	ci := d.Schema.MustColumnIndex(questionID)
-	shards := parallel.MapShards(r.workers, d.Len(), func(lo, hi int) map[string][]float64 {
-		g := map[string][]float64{}
-		for i := lo; i < hi; i++ {
-			level := d.SingleLabel(ci, i)
-			if level == "" {
-				level = "(unanswered)"
-			}
-			var score float64
-			if core {
-				score = float64(r.CoreTallies[i].Correct)
-			} else {
-				score = float64(r.OptTallies[i].Correct)
-			}
-			g[level] = append(g[level], score)
-		}
-		return g
-	})
-	groups := map[string][]float64{}
-	for _, g := range shards {
-		for level, vs := range g {
-			groups[level] = append(groups[level], vs...)
-		}
+	col := d.Schema.Column(ci)
+	valName := "core.score"
+	if !core {
+		valName = "opt.score"
+	}
+	res, err := query.RunCollect(r.MainSource(), query.Query{
+		Key:    query.SingleKey{Col: ci, Options: col.Options},
+		Values: []query.Value{mustQueryValue(d.Schema, valName)},
+	}, r.workers)
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
 	}
 	for _, level := range levelOrder {
-		vs, ok := groups[level]
-		if !ok {
+		var vs []float64
+		if level == "(unanswered)" {
+			vs = res.Groups[0]
+		} else if code, ok := col.OptionCode(level); ok {
+			vs = res.Groups[code]
+		}
+		if len(vs) == 0 {
 			continue
 		}
 		pm := "-"
@@ -576,6 +547,23 @@ func SuspicionDistributionCols(d *colstore.Dataset, itemID string) stats.LikertD
 	return stats.NewLikertDist(levels, 5)
 }
 
+// suspicionDistQuery computes a suspicion item's Likert distribution
+// through the engine: a count-only group-by on the level column. The
+// per-level counts rebuild the distribution bit-identically
+// (stats.LikertDistFromCounts).
+func suspicionDistQuery(src query.Source, itemID string, workers int) stats.LikertDist {
+	s := src.Schema()
+	ci := s.MustColumnIndex(itemID)
+	scale := s.Column(ci).Scale
+	res, err := query.Run(src, query.Query{
+		Key: query.LikertKey{Col: ci, Scale: scale},
+	}, workers)
+	if err != nil {
+		return stats.LikertDist{Scale: scale, Percent: make([]float64, scale)}
+	}
+	return stats.LikertDistFromCounts(res.Count[1:], scale)
+}
+
 // Figure22 renders the suspicion distributions for both cohorts.
 func (r *Results) Figure22() report.Table {
 	t := report.Table{
@@ -584,14 +572,14 @@ func (r *Results) Figure22() report.Table {
 	}
 	for _, grp := range []struct {
 		name  string
-		cols  *colstore.Dataset
+		src   query.Source
 		paper []paperdata.SuspicionDist
 	}{
-		{"main", r.Main.Cols, paperdata.Figure22Main},
-		{"student", r.StudentCols, paperdata.Figure22Student},
+		{"main", r.MainSource(), paperdata.Figure22Main},
+		{"student", r.StudentSource(), paperdata.Figure22Student},
 	} {
 		for i, it := range quiz.SuspicionItems() {
-			d := SuspicionDistributionCols(grp.cols, it.ID)
+			d := suspicionDistQuery(grp.src, it.ID, r.workers)
 			t.AddRow(grp.name, it.Condition.String(),
 				report.Pct(d.Percent[0]), report.Pct(d.Percent[1]), report.Pct(d.Percent[2]),
 				report.Pct(d.Percent[3]), report.Pct(d.Percent[4]),

@@ -6,6 +6,7 @@ import (
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/monitor"
 	"fpstudy/internal/parallel"
+	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/respondent"
 	"fpstudy/internal/telemetry"
@@ -65,6 +66,7 @@ const (
 	LatencyParallelShard = "latency.parallel_shard"       // one MapShards/SumShards shard
 	LatencyWorkerBusy    = "latency.parallel_worker_busy" // one worker's busy time in a fan-out
 	LatencyParallelWait  = "latency.parallel_wait"        // aggregate wait (workers*wall-busy) per fan-out
+	LatencyQueryBlock    = "latency.query_block"          // one query-engine scan block (load+filter+key+aggregate)
 )
 
 // InstallPipelineTelemetry wires the process-wide instrumentation into
@@ -150,6 +152,11 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 		DecodeBlock: func(block, items int, d time.Duration) { latDec.ObserveShard(block, d) },
 	})
 
+	latQuery := reg.Latency(LatencyQueryBlock)
+	query.SetLatencyHook(&query.LatencyHook{
+		Block: func(block, items int, d time.Duration) { latQuery.ObserveShard(block, d) },
+	})
+
 	conds := map[monitor.Condition]monitor.EventCounter{}
 	for _, c := range monitor.Conditions() {
 		conds[c] = reg.Counter(c.MetricName())
@@ -168,5 +175,6 @@ func UninstallPipelineTelemetry() {
 	respondent.SetLatencyHook(nil)
 	quiz.SetGradeBatchObserver(nil)
 	colstore.SetLatencyHook(nil)
+	query.SetLatencyHook(nil)
 	quiz.SetOracleObserver(nil)
 }

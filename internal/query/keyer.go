@@ -1,0 +1,103 @@
+package query
+
+import (
+	"fmt"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/survey"
+)
+
+// TFKey groups by truefalse code: keys 0..3 are unanswered, true,
+// false, don't know (the colstore codes themselves).
+type TFKey struct {
+	Col int
+}
+
+func (k TFKey) Columns() []int   { return []int{k.Col} }
+func (k TFKey) Cardinality() int { return 4 }
+
+func (k TFKey) Keys(b *Block, dst []int32) {
+	col := b.U8(k.Col)
+	for j := range dst {
+		dst[j] = int32(col[j])
+	}
+}
+
+func (k TFKey) Labels() []string {
+	return []string{"unanswered", "true", "false", "dontknow"}
+}
+
+// LikertKey groups by Likert level: key 0 is unanswered, keys 1..Scale
+// the levels.
+type LikertKey struct {
+	Col   int
+	Scale int
+}
+
+func (k LikertKey) Columns() []int   { return []int{k.Col} }
+func (k LikertKey) Cardinality() int { return k.Scale + 1 }
+
+func (k LikertKey) Keys(b *Block, dst []int32) {
+	col := b.U8(k.Col)
+	for j := range dst {
+		dst[j] = int32(col[j])
+	}
+}
+
+func (k LikertKey) Labels() []string {
+	ls := make([]string, k.Scale+1)
+	ls[0] = "(unanswered)"
+	for l := 1; l <= k.Scale; l++ {
+		ls[l] = fmt.Sprintf("%d", l)
+	}
+	return ls
+}
+
+// SingleKey groups by single-choice code: key 0 is unanswered, keys
+// 1..k the declared options in instrument order, key k+1 the free-text
+// ("other") bucket.
+type SingleKey struct {
+	Col     int
+	Options []string
+}
+
+func (k SingleKey) Columns() []int   { return []int{k.Col} }
+func (k SingleKey) Cardinality() int { return len(k.Options) + 2 }
+
+func (k SingleKey) Keys(b *Block, dst []int32) {
+	col := b.I32(k.Col)
+	other := int32(len(k.Options) + 1)
+	for j := range dst {
+		v := col[j]
+		if v < 0 {
+			v = other
+		}
+		dst[j] = v
+	}
+}
+
+func (k SingleKey) Labels() []string {
+	ls := make([]string, len(k.Options)+2)
+	ls[0] = "(unanswered)"
+	copy(ls[1:], k.Options)
+	ls[len(ls)-1] = "(other)"
+	return ls
+}
+
+// KeyerFor builds the natural keyer for a schema column: TF codes,
+// Likert levels, or single-choice options. Multi-choice columns have
+// no scalar key (a row selects several options); group those through
+// predicates instead.
+func KeyerFor(s *colstore.Schema, ci int) (Keyer, error) {
+	c := s.Column(ci)
+	switch c.Kind {
+	case survey.TrueFalse:
+		return TFKey{Col: ci}, nil
+	case survey.Likert:
+		return LikertKey{Col: ci, Scale: c.Scale}, nil
+	case survey.SingleChoice:
+		return SingleKey{Col: ci, Options: c.Options}, nil
+	default:
+		return nil, fmt.Errorf("query: cannot group by multi-choice question %q", c.ID)
+	}
+}

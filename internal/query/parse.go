@@ -1,0 +1,277 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/survey"
+)
+
+// Query expression grammar (the CLI surface of the engine):
+//
+//	expr   = filter "/" groupby "/" agg
+//	filter = "" | term ("&" term)*
+//	term   = question OP value
+//	OP     = "=" | "!=" | ">=" | "<=" (Likert) | "~" | "~=" (multi-choice)
+//	groupby= "" | question
+//	agg    = "count" | "mean:" name | "sum:" name
+//
+// Values are answer labels: true/false/dontknow/unanswered for T/F
+// questions (case-insensitive), an integer level (or "unanswered") for
+// Likert, option labels for choice questions. "a|b" alternation is a
+// set: equality-of-any for single choice, the test mask for
+// multi-choice "~" (any selected) and "~=" (all selected). Aggregate
+// names resolve to Likert questions (the mean level of answered rows)
+// or through the caller's resolver (the quiz measures: core.score &c).
+//
+// Example: count respondents with formal training whose main role is
+// software engineering, grouped by contributed-codebase size:
+//
+//	bg.formal_training!=None & bg.role=My main role is as a software engineer/bg.contrib_size/count
+
+// Agg selects how a parsed query's value is reported per group.
+type Agg int
+
+const (
+	AggCount Agg = iota
+	AggMean
+	AggSum
+)
+
+// ValueResolver resolves an aggregate value name the schema alone
+// cannot (derived measures like quiz scores). It may be nil.
+type ValueResolver func(name string) (Value, error)
+
+// Parsed is a compiled query expression.
+type Parsed struct {
+	Query Query
+	Agg   Agg
+	// ValueName is the aggregate's value name ("" for count).
+	ValueName string
+}
+
+// Parse compiles a filter/groupby/agg expression against a schema.
+func Parse(s *colstore.Schema, expr string, resolve ValueResolver) (*Parsed, error) {
+	// Split on the LAST two slashes: group-by question IDs and
+	// aggregate names never contain "/", but filter option labels can
+	// ("Discussed with coworkers/etc").
+	j := strings.LastIndex(expr, "/")
+	if j < 0 {
+		return nil, fmt.Errorf("query: expression needs filter/groupby/agg (no %q in %q)", "/", expr)
+	}
+	i := strings.LastIndex(expr[:j], "/")
+	if i < 0 {
+		return nil, fmt.Errorf("query: expression needs filter/groupby/agg (only one %q in %q)", "/", expr)
+	}
+	parts := [3]string{expr[:i], expr[i+1 : j], expr[j+1:]}
+	p := &Parsed{}
+
+	if f := strings.TrimSpace(parts[0]); f != "" {
+		for _, term := range strings.Split(f, "&") {
+			pred, err := parseTerm(s, strings.TrimSpace(term))
+			if err != nil {
+				return nil, err
+			}
+			p.Query.Filter = append(p.Query.Filter, pred)
+		}
+	}
+
+	if g := strings.TrimSpace(parts[1]); g != "" {
+		ci, ok := s.ColumnIndex(g)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown group-by question %q", g)
+		}
+		k, err := KeyerFor(s, ci)
+		if err != nil {
+			return nil, err
+		}
+		p.Query.Key = k
+	}
+
+	agg := strings.TrimSpace(parts[2])
+	switch {
+	case agg == "count":
+		p.Agg = AggCount
+	case strings.HasPrefix(agg, "mean:") || strings.HasPrefix(agg, "sum:"):
+		kind, name, _ := strings.Cut(agg, ":")
+		p.Agg = AggMean
+		if kind == "sum" {
+			p.Agg = AggSum
+		}
+		p.ValueName = strings.TrimSpace(name)
+		v, err := resolveValue(s, p.ValueName, resolve)
+		if err != nil {
+			return nil, err
+		}
+		p.Query.Values = []Value{v}
+	default:
+		return nil, fmt.Errorf("query: unknown aggregate %q (want count, mean:<value>, or sum:<value>)", agg)
+	}
+	return p, nil
+}
+
+// resolveValue maps an aggregate name to a Value: Likert questions by
+// ID, everything else through the resolver.
+func resolveValue(s *colstore.Schema, name string, resolve ValueResolver) (Value, error) {
+	if ci, ok := s.ColumnIndex(name); ok {
+		if s.Column(ci).Kind != survey.Likert {
+			return nil, fmt.Errorf("query: cannot aggregate %s question %q (only Likert levels)",
+				s.Column(ci).Kind, name)
+		}
+		return LikertValue{Col: ci}, nil
+	}
+	if resolve != nil {
+		return resolve(name)
+	}
+	return nil, fmt.Errorf("query: unknown aggregate value %q", name)
+}
+
+// ops in longest-first order so "!=" wins over "=" and "~=" over "~".
+var ops = []string{">=", "<=", "!=", "~=", "=", "~"}
+
+// parseTerm compiles one filter term.
+func parseTerm(s *colstore.Schema, term string) (Predicate, error) {
+	for _, op := range ops {
+		i := strings.Index(term, op)
+		if i < 0 {
+			continue
+		}
+		qid := strings.TrimSpace(term[:i])
+		val := strings.TrimSpace(term[i+len(op):])
+		ci, ok := s.ColumnIndex(qid)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown question %q in term %q", qid, term)
+		}
+		return compileTerm(s, ci, op, val, term)
+	}
+	return nil, fmt.Errorf("query: no operator in filter term %q (want =, !=, >=, <=, ~, or ~=)", term)
+}
+
+func compileTerm(s *colstore.Schema, ci int, op, val, term string) (Predicate, error) {
+	c := s.Column(ci)
+	switch c.Kind {
+	case survey.TrueFalse:
+		code, err := tfCode(val)
+		if err != nil {
+			return nil, fmt.Errorf("query: term %q: %w", term, err)
+		}
+		switch op {
+		case "=":
+			return U8Eq{Col: ci, Code: code}, nil
+		case "!=":
+			return U8Ne{Col: ci, Code: code}, nil
+		}
+		return nil, fmt.Errorf("query: term %q: operator %q not defined for true/false questions", term, op)
+
+	case survey.Likert:
+		if strings.EqualFold(val, "unanswered") {
+			switch op {
+			case "=":
+				return U8Eq{Col: ci, Code: 0}, nil
+			case "!=":
+				return U8Ne{Col: ci, Code: 0}, nil
+			}
+			return nil, fmt.Errorf("query: term %q: operator %q not defined for unanswered", term, op)
+		}
+		lv, err := strconv.Atoi(val)
+		if err != nil || lv < 1 || lv > c.Scale {
+			return nil, fmt.Errorf("query: term %q: want a level 1..%d or unanswered", term, c.Scale)
+		}
+		switch op {
+		case "=":
+			return U8Eq{Col: ci, Code: uint8(lv)}, nil
+		case "!=":
+			return U8Ne{Col: ci, Code: uint8(lv)}, nil
+		case ">=":
+			return U8Range{Col: ci, Lo: uint8(lv), Hi: uint8(c.Scale)}, nil
+		case "<=":
+			// Excludes unanswered: a bound on the level presumes one.
+			return U8Range{Col: ci, Lo: 1, Hi: uint8(lv)}, nil
+		}
+		return nil, fmt.Errorf("query: term %q: operator %q not defined for Likert questions", term, op)
+
+	case survey.SingleChoice:
+		switch op {
+		case "=":
+			codes, err := singleCodes(c, val)
+			if err != nil {
+				return nil, fmt.Errorf("query: term %q: %w", term, err)
+			}
+			return I32SetOf(ci, codes...), nil
+		case "!=":
+			if strings.Contains(val, "|") {
+				return nil, fmt.Errorf("query: term %q: != takes a single label", term)
+			}
+			codes, err := singleCodes(c, val)
+			if err != nil {
+				return nil, fmt.Errorf("query: term %q: %w", term, err)
+			}
+			return I32Ne{Col: ci, Code: codes[0]}, nil
+		}
+		return nil, fmt.Errorf("query: term %q: operator %q not defined for single-choice questions", term, op)
+
+	case survey.MultiChoice:
+		mask, err := multiMask(c, val)
+		if err != nil {
+			return nil, fmt.Errorf("query: term %q: %w", term, err)
+		}
+		switch op {
+		case "~":
+			return U64Any{Col: ci, Mask: mask}, nil
+		case "~=":
+			return U64All{Col: ci, Mask: mask}, nil
+		}
+		return nil, fmt.Errorf("query: term %q: multi-choice questions use ~ (any selected) or ~= (all selected)", term)
+	}
+	return nil, fmt.Errorf("query: term %q: unsupported question kind", term)
+}
+
+// tfCode maps a true/false answer label to its code.
+func tfCode(val string) (uint8, error) {
+	switch strings.ToLower(val) {
+	case "true":
+		return colstore.TFTrue, nil
+	case "false":
+		return colstore.TFFalse, nil
+	case "dontknow", "don't know":
+		return colstore.TFDontKnow, nil
+	case "unanswered":
+		return colstore.TFUnanswered, nil
+	}
+	return 0, fmt.Errorf("want true, false, dontknow, or unanswered (got %q)", val)
+}
+
+// singleCodes maps a '|'-alternation of option labels to codes
+// ("unanswered" → 0).
+func singleCodes(c *colstore.Col, val string) ([]int32, error) {
+	var codes []int32
+	for _, lbl := range strings.Split(val, "|") {
+		lbl = strings.TrimSpace(lbl)
+		if strings.EqualFold(lbl, "unanswered") {
+			codes = append(codes, 0)
+			continue
+		}
+		code, ok := c.OptionCode(lbl)
+		if !ok {
+			return nil, fmt.Errorf("question %q has no option %q", c.ID, lbl)
+		}
+		codes = append(codes, code)
+	}
+	return codes, nil
+}
+
+// multiMask maps a '|'-alternation of option labels to a test bitset.
+func multiMask(c *colstore.Col, val string) (uint64, error) {
+	var mask uint64
+	for _, lbl := range strings.Split(val, "|") {
+		lbl = strings.TrimSpace(lbl)
+		code, ok := c.OptionCode(lbl)
+		if !ok {
+			return 0, fmt.Errorf("question %q has no option %q", c.ID, lbl)
+		}
+		mask |= 1 << uint(code-1)
+	}
+	return mask, nil
+}

@@ -1,0 +1,229 @@
+package query
+
+// Predicate kernels. Each walks the selection bitmap word by word:
+// for every 64-row word that still has candidates it computes a match
+// word from the dense code column and ANDs it in. Words already zero
+// are skipped, so predicates get cheaper as the filter narrows.
+
+// u8Apply ANDs rows of a byte column matching test into sel.
+func u8Apply(col []uint8, sel *Bitmap, test func(v uint8) bool) {
+	words := sel.words
+	for wi := range words {
+		wv := words[wi]
+		if wv == 0 {
+			continue
+		}
+		base := wi * 64
+		m := 64
+		if base+m > sel.n {
+			m = sel.n - base
+		}
+		var match uint64
+		for j := 0; j < m; j++ {
+			if test(col[base+j]) {
+				match |= 1 << uint(j)
+			}
+		}
+		words[wi] = wv & match
+	}
+}
+
+// U8Eq matches truefalse or Likert codes equal to Code (0 matches
+// unanswered rows).
+type U8Eq struct {
+	Col  int
+	Code uint8
+}
+
+func (p U8Eq) Columns() []int { return []int{p.Col} }
+
+func (p U8Eq) Apply(b *Block, sel *Bitmap) {
+	col := b.U8(p.Col)
+	words := sel.words
+	for wi := range words {
+		wv := words[wi]
+		if wv == 0 {
+			continue
+		}
+		base := wi * 64
+		m := 64
+		if base+m > sel.n {
+			m = sel.n - base
+		}
+		var match uint64
+		for j := 0; j < m; j++ {
+			if col[base+j] == p.Code {
+				match |= 1 << uint(j)
+			}
+		}
+		words[wi] = wv & match
+	}
+}
+
+// U8Ne matches truefalse or Likert codes different from Code
+// (unanswered rows match unless Code is 0).
+type U8Ne struct {
+	Col  int
+	Code uint8
+}
+
+func (p U8Ne) Columns() []int { return []int{p.Col} }
+
+func (p U8Ne) Apply(b *Block, sel *Bitmap) {
+	u8Apply(b.U8(p.Col), sel, func(v uint8) bool { return v != p.Code })
+}
+
+// U8Range matches Likert levels in [Lo, Hi] inclusive. Unanswered
+// rows (level 0) match only when Lo is 0.
+type U8Range struct {
+	Col    int
+	Lo, Hi uint8
+}
+
+func (p U8Range) Columns() []int { return []int{p.Col} }
+
+func (p U8Range) Apply(b *Block, sel *Bitmap) {
+	u8Apply(b.U8(p.Col), sel, func(v uint8) bool { return v >= p.Lo && v <= p.Hi })
+}
+
+// I32Set matches single-choice codes in a set, encoded as a bitmask
+// over codes 0..63 (bit c set = code c matches; the instrument's
+// option lists are far below 64). Free-text codes (negative) never
+// match; bit 0 selects unanswered rows.
+type I32Set struct {
+	Col  int
+	Mask uint64
+}
+
+// I32SetOf builds the mask for a list of codes.
+func I32SetOf(col int, codes ...int32) I32Set {
+	p := I32Set{Col: col}
+	for _, c := range codes {
+		if c >= 0 && c < 64 {
+			p.Mask |= 1 << uint(c)
+		}
+	}
+	return p
+}
+
+func (p I32Set) Columns() []int { return []int{p.Col} }
+
+func (p I32Set) Apply(b *Block, sel *Bitmap) {
+	col := b.I32(p.Col)
+	words := sel.words
+	for wi := range words {
+		wv := words[wi]
+		if wv == 0 {
+			continue
+		}
+		base := wi * 64
+		m := 64
+		if base+m > sel.n {
+			m = sel.n - base
+		}
+		var match uint64
+		for j := 0; j < m; j++ {
+			v := col[base+j]
+			if uint32(v) < 64 && p.Mask&(1<<uint(v)) != 0 {
+				match |= 1 << uint(j)
+			}
+		}
+		words[wi] = wv & match
+	}
+}
+
+// I32Ne matches single-choice codes different from Code (free-text
+// codes always differ from declared-option codes and so match).
+type I32Ne struct {
+	Col  int
+	Code int32
+}
+
+func (p I32Ne) Columns() []int { return []int{p.Col} }
+
+func (p I32Ne) Apply(b *Block, sel *Bitmap) {
+	col := b.I32(p.Col)
+	words := sel.words
+	for wi := range words {
+		wv := words[wi]
+		if wv == 0 {
+			continue
+		}
+		base := wi * 64
+		m := 64
+		if base+m > sel.n {
+			m = sel.n - base
+		}
+		var match uint64
+		for j := 0; j < m; j++ {
+			if col[base+j] != p.Code {
+				match |= 1 << uint(j)
+			}
+		}
+		words[wi] = wv & match
+	}
+}
+
+// u64Apply ANDs rows of a bitset column whose *effective* mask
+// satisfies test into sel: the canonical column fast path plus the
+// per-block verbatim-spill patches (empty for generated cohorts).
+func u64Apply(b *Block, ci int, sel *Bitmap, test func(mask uint64) bool) {
+	col := b.U64(ci)
+	patches := b.Patches(ci)
+	words := sel.words
+	pi := 0
+	for wi := range words {
+		base := wi * 64
+		m := 64
+		if base+m > sel.n {
+			m = sel.n - base
+		}
+		var match uint64
+		if words[wi] != 0 || pi < len(patches) {
+			for j := 0; j < m; j++ {
+				if test(col[base+j]) {
+					match |= 1 << uint(j)
+				}
+			}
+			// Recompute patched rows in this word against their
+			// effective mask.
+			for pi < len(patches) && patches[pi].Row < base+m {
+				pt := patches[pi]
+				bit := uint64(1) << uint(pt.Row-base)
+				if test(pt.Mask) {
+					match |= bit
+				} else {
+					match &^= bit
+				}
+				pi++
+			}
+		}
+		words[wi] &= match
+	}
+}
+
+// U64Any matches multi-choice rows whose effective bitset intersects
+// Mask (test-any).
+type U64Any struct {
+	Col  int
+	Mask uint64
+}
+
+func (p U64Any) Columns() []int { return []int{p.Col} }
+
+func (p U64Any) Apply(b *Block, sel *Bitmap) {
+	u64Apply(b, p.Col, sel, func(mask uint64) bool { return mask&p.Mask != 0 })
+}
+
+// U64All matches multi-choice rows whose effective bitset contains
+// every bit of Mask (test-all).
+type U64All struct {
+	Col  int
+	Mask uint64
+}
+
+func (p U64All) Columns() []int { return []int{p.Col} }
+
+func (p U64All) Apply(b *Block, sel *Bitmap) {
+	u64Apply(b, p.Col, sel, func(mask uint64) bool { return mask&p.Mask == p.Mask })
+}

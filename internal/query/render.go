@@ -1,0 +1,48 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render formats the executed query as an aligned text table: one row
+// per group that selected at least one respondent, with the parsed
+// aggregate's column (count with percent-of-selected, or n and
+// mean/sum of the value). Ungrouped queries render the single "all"
+// row.
+func (p *Parsed) Render(res *Result) string {
+	var b strings.Builder
+	total := res.TotalCount()
+	switch p.Agg {
+	case AggCount:
+		fmt.Fprintf(&b, "%-60s %8s %7s\n", "group", "count", "pct")
+		for k, label := range res.Labels {
+			if res.Count[k] == 0 {
+				continue
+			}
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(res.Count[k]) / float64(total)
+			}
+			fmt.Fprintf(&b, "%-60s %8d %6.1f%%\n", label, res.Count[k], pct)
+		}
+		fmt.Fprintf(&b, "%-60s %8d\n", "total", total)
+	default:
+		col := "mean:" + p.ValueName
+		if p.Agg == AggSum {
+			col = "sum:" + p.ValueName
+		}
+		fmt.Fprintf(&b, "%-60s %8s %12s\n", "group", "n", col)
+		for k, label := range res.Labels {
+			if res.Count[k] == 0 {
+				continue
+			}
+			v := res.Sum[0][k]
+			if p.Agg == AggMean {
+				v = res.Mean(0, k)
+			}
+			fmt.Fprintf(&b, "%-60s %8d %12.4f\n", label, res.N[0][k], v)
+		}
+	}
+	return b.String()
+}

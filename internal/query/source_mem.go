@@ -1,0 +1,127 @@
+package query
+
+import (
+	"sort"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/survey"
+)
+
+// computePatches builds each multi-choice column's per-block
+// effective-mask corrections: one Patch per verbatim-spill row, whose
+// mask sets the bit of every declared option appearing in the verbatim
+// label list (free-text labels set no bits). Generated cohorts never
+// spill, so this is nil for every column on the hot path.
+func computePatches(s *colstore.Schema, arena []string,
+	multiSpills func(ci int) map[int]colstore.MultiSpill) []map[int][]Patch {
+	var out []map[int][]Patch
+	for ci := 0; ci < s.NumColumns(); ci++ {
+		c := s.Column(ci)
+		if c.Kind != survey.MultiChoice {
+			continue
+		}
+		var blocks map[int][]Patch
+		for i, sp := range multiSpills(ci) {
+			if !sp.Verbatim {
+				continue
+			}
+			var mask uint64
+			for _, ref := range sp.Refs {
+				if code, ok := c.OptionCode(arena[ref]); ok {
+					mask |= 1 << uint(code-1)
+				}
+			}
+			if blocks == nil {
+				blocks = map[int][]Patch{}
+			}
+			b := i / BlockRows
+			blocks[b] = append(blocks[b], Patch{Row: i - b*BlockRows, Mask: mask})
+		}
+		if blocks == nil {
+			continue
+		}
+		for _, ps := range blocks {
+			sort.Slice(ps, func(a, b int) bool { return ps[a].Row < ps[b].Row })
+		}
+		if out == nil {
+			out = make([]map[int][]Patch, s.NumColumns())
+		}
+		out[ci] = blocks
+	}
+	return out
+}
+
+// patchesAt returns the block-relative patches of column ci in block b
+// (nil when the cohort has no verbatim spills).
+func patchesAt(patches []map[int][]Patch, ci, b int) []Patch {
+	if patches == nil || patches[ci] == nil {
+		return nil
+	}
+	return patches[ci][b]
+}
+
+// DatasetSource scans an in-memory colstore.Dataset. Blocks are
+// zero-copy views into the live columns, so a full scan allocates
+// nothing beyond per-worker scratch.
+type DatasetSource struct {
+	d       *colstore.Dataset
+	patches []map[int][]Patch
+}
+
+// NewDatasetSource wraps a dataset for querying. The dataset must not
+// be mutated while queries run.
+func NewDatasetSource(d *colstore.Dataset) *DatasetSource {
+	return &DatasetSource{
+		d:       d,
+		patches: computePatches(d.Schema, d.ArenaStrings(), d.MultiSpills),
+	}
+}
+
+func (s *DatasetSource) Schema() *colstore.Schema { return s.d.Schema }
+func (s *DatasetSource) Len() int                 { return s.d.Len() }
+func (s *DatasetSource) ArenaStrings() []string   { return s.d.ArenaStrings() }
+
+func (s *DatasetSource) MultiSpills(ci int) map[int]colstore.MultiSpill {
+	return s.d.MultiSpills(ci)
+}
+
+// NewReader returns a zero-copy block cursor over the given columns.
+func (s *DatasetSource) NewReader(cols []int) (BlockReader, error) {
+	r := &memReader{src: s, cols: cols}
+	r.blk.pos = make([]int16, s.d.Schema.NumColumns())
+	for i := range r.blk.pos {
+		r.blk.pos[i] = -1
+	}
+	for slot, ci := range cols {
+		r.blk.pos[ci] = int16(slot)
+	}
+	r.blk.u8 = make([][]uint8, len(cols))
+	r.blk.i32 = make([][]int32, len(cols))
+	r.blk.u64 = make([][]uint64, len(cols))
+	r.blk.patches = make([][]Patch, len(cols))
+	return r, nil
+}
+
+type memReader struct {
+	src  *DatasetSource
+	cols []int
+	blk  Block
+}
+
+func (r *memReader) Block(b int) (*Block, error) {
+	d := r.src.d
+	lo, hi := blockBounds(b, d.Len())
+	r.blk.Lo, r.blk.N = lo, hi-lo
+	for slot, ci := range r.cols {
+		switch d.Schema.Column(ci).Kind {
+		case survey.TrueFalse, survey.Likert:
+			r.blk.u8[slot] = d.RawU8(ci)[lo:hi]
+		case survey.SingleChoice:
+			r.blk.i32[slot] = d.RawI32(ci)[lo:hi]
+		case survey.MultiChoice:
+			r.blk.u64[slot] = d.RawU64(ci)[lo:hi]
+			r.blk.patches[slot] = patchesAt(r.src.patches, ci, b)
+		}
+	}
+	return &r.blk, nil
+}

@@ -1,0 +1,108 @@
+package query
+
+import (
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/survey"
+)
+
+// ShardSource scans an FPDS shard on disk through a
+// colstore.ShardReader, block at a time: the out-of-core twin of
+// DatasetSource. Each scan worker's reader owns one block of typed
+// scratch per bound column plus one raw I/O buffer, so a query's
+// memory peaks at workers × columns × one block — independent of n.
+// Safe for concurrent readers (the shard reader is read-only after
+// open).
+type ShardSource struct {
+	sr      *colstore.ShardReader
+	patches []map[int][]Patch
+}
+
+// NewShardSource wraps an open shard reader for querying. The caller
+// keeps ownership of sr (and closes it after the last query).
+func NewShardSource(sr *colstore.ShardReader) *ShardSource {
+	return &ShardSource{
+		sr:      sr,
+		patches: computePatches(sr.Schema(), sr.ArenaStrings(), sr.MultiSpills),
+	}
+}
+
+func (s *ShardSource) Schema() *colstore.Schema { return s.sr.Schema() }
+func (s *ShardSource) Len() int                 { return s.sr.Len() }
+func (s *ShardSource) ArenaStrings() []string   { return s.sr.ArenaStrings() }
+
+func (s *ShardSource) MultiSpills(ci int) map[int]colstore.MultiSpill {
+	return s.sr.MultiSpills(ci)
+}
+
+// NewReader returns a block cursor with its own decode scratch.
+func (s *ShardSource) NewReader(cols []int) (BlockReader, error) {
+	r := &shardBlockReader{
+		src:  s,
+		cols: cols,
+		raw:  make([]byte, colstore.BlockScratchBytes),
+	}
+	schema := s.sr.Schema()
+	r.blk.pos = make([]int16, schema.NumColumns())
+	for i := range r.blk.pos {
+		r.blk.pos[i] = -1
+	}
+	r.blk.u8 = make([][]uint8, len(cols))
+	r.blk.i32 = make([][]int32, len(cols))
+	r.blk.u64 = make([][]uint64, len(cols))
+	r.blk.patches = make([][]Patch, len(cols))
+	for slot, ci := range cols {
+		r.blk.pos[ci] = int16(slot)
+		switch schema.Column(ci).Kind {
+		case survey.TrueFalse, survey.Likert:
+			r.blk.u8[slot] = make([]uint8, BlockRows)
+		case survey.SingleChoice:
+			r.blk.i32[slot] = make([]int32, BlockRows)
+		case survey.MultiChoice:
+			r.blk.u64[slot] = make([]uint64, BlockRows)
+		}
+	}
+	return r, nil
+}
+
+type shardBlockReader struct {
+	src  *ShardSource
+	cols []int
+	raw  []byte
+	blk  Block
+}
+
+func (r *shardBlockReader) Block(b int) (*Block, error) {
+	s := r.src
+	lo, hi := blockBounds(b, s.sr.Len())
+	r.blk.Lo, r.blk.N = lo, hi-lo
+	schema := s.sr.Schema()
+	for slot, ci := range r.cols {
+		var (
+			u8d  []uint8
+			i32d []int32
+			u64d []uint64
+		)
+		switch schema.Column(ci).Kind {
+		case survey.TrueFalse, survey.Likert:
+			u8d = r.blk.u8[slot][:BlockRows]
+		case survey.SingleChoice:
+			i32d = r.blk.i32[slot][:BlockRows]
+		case survey.MultiChoice:
+			u64d = r.blk.u64[slot][:BlockRows]
+		}
+		n, err := s.sr.ReadBlock(ci, b, u8d, i32d, u64d, r.raw)
+		if err != nil {
+			return nil, err
+		}
+		switch schema.Column(ci).Kind {
+		case survey.TrueFalse, survey.Likert:
+			r.blk.u8[slot] = r.blk.u8[slot][:n]
+		case survey.SingleChoice:
+			r.blk.i32[slot] = r.blk.i32[slot][:n]
+		case survey.MultiChoice:
+			r.blk.u64[slot] = r.blk.u64[slot][:n]
+			r.blk.patches[slot] = patchesAt(s.patches, ci, b)
+		}
+	}
+	return &r.blk, nil
+}

@@ -1,0 +1,128 @@
+package query
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+
+	"fpstudy/internal/survey"
+)
+
+// Tally counts one question's answer labels over a source: the
+// engine's version of survey.Instrument.Tally (an "unanswered" bucket,
+// one count per selected multi-choice option). The hot path counts
+// dense codes per block — no strings — and resolves labels once at
+// merge; free-text answers (negative single-choice codes, multi-choice
+// spill refs) resolve through the arena. Counts are order-insensitive,
+// so the result is identical at any worker count.
+func Tally(src Source, questionID string, workers int) (map[string]int, error) {
+	s := src.Schema()
+	ci, ok := s.ColumnIndex(questionID)
+	if !ok {
+		return nil, fmt.Errorf("survey: unknown question %q", questionID)
+	}
+	c := s.Column(ci)
+	nb := NumBlocks(src.Len())
+
+	// Dense per-block counts: slot 0 is "unanswered"; slots 1.. follow
+	// the kind (TF codes, Likert levels, or option indices+1). Free-text
+	// single-choice answers count per arena ref in a small side map.
+	card := 0
+	switch c.Kind {
+	case survey.TrueFalse:
+		card = 4
+	case survey.Likert:
+		card = c.Scale + 1
+	case survey.SingleChoice, survey.MultiChoice:
+		card = len(c.Options) + 1
+	}
+	type partial struct {
+		counts []int64
+		other  map[int32]int64 // arena ref -> count (single-choice free text)
+	}
+	parts := make([]*partial, nb)
+	spills := src.MultiSpills(ci)
+
+	err := scan(src, []int{ci}, workers, nb, func(st *scanState, b int, blk *Block) {
+		p := &partial{counts: make([]int64, card)}
+		switch c.Kind {
+		case survey.TrueFalse, survey.Likert:
+			for _, v := range blk.U8(ci) {
+				p.counts[v]++
+			}
+		case survey.SingleChoice:
+			for _, v := range blk.I32(ci) {
+				if v >= 0 {
+					p.counts[v]++
+					continue
+				}
+				if p.other == nil {
+					p.other = map[int32]int64{}
+				}
+				p.other[-v-1]++
+			}
+		case survey.MultiChoice:
+			// Count the raw (canonical) masks; spill refs — including whole
+			// verbatim lists, whose raw mask the format guarantees is zero —
+			// are added in one sequential pass below.
+			for j, mask := range blk.U64(ci) {
+				if mask == 0 {
+					if len(spills) == 0 {
+						p.counts[0]++
+					} else if _, ok := spills[blk.Lo+j]; !ok {
+						p.counts[0]++
+					}
+					continue
+				}
+				for mask != 0 {
+					o := bits.TrailingZeros64(mask)
+					p.counts[o+1]++
+					mask &^= 1 << uint(o)
+				}
+			}
+		}
+		parts[b] = p
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	arena := src.ArenaStrings()
+	tal := map[string]int{}
+	addLabel := func(slot int, n int64) {
+		if n == 0 {
+			return
+		}
+		var label string
+		switch {
+		case slot == 0:
+			label = "unanswered"
+		case c.Kind == survey.TrueFalse:
+			label = [...]string{"", survey.AnswerTrue, survey.AnswerFalse, survey.AnswerDontKnow}[slot]
+		case c.Kind == survey.Likert:
+			label = strconv.Itoa(slot)
+		default:
+			label = c.Options[slot-1]
+		}
+		tal[label] += int(n)
+	}
+	for _, p := range parts {
+		for slot, n := range p.counts {
+			addLabel(slot, n)
+		}
+		for ref, n := range p.other {
+			tal[arena[ref]] += int(n)
+		}
+	}
+	// Multi-choice spill refs: free-text additions on canonical rows and
+	// the full label list of verbatim rows (counts, so map iteration
+	// order is immaterial).
+	if c.Kind == survey.MultiChoice {
+		for _, sp := range spills {
+			for _, ref := range sp.Refs {
+				tal[arena[ref]]++
+			}
+		}
+	}
+	return tal, nil
+}

@@ -1,0 +1,26 @@
+package query
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyHook receives per-block query-engine timings: one callback
+// per scan block, covering the block's load (zero-copy slice views in
+// memory; a CRC-verified disk read when streaming), predicate
+// evaluation, keying, and aggregation. Observation only; callbacks
+// must be safe for concurrent use (blocks fan out across workers).
+type LatencyHook struct {
+	// Block fires after a scan block completes, with the block index,
+	// its respondent count, and the wall duration.
+	Block func(block, items int, d time.Duration)
+}
+
+// latencyHook holds the installed hook; one atomic load per scan plus
+// a branch per block when uninstalled.
+var latencyHook atomic.Pointer[LatencyHook]
+
+// SetLatencyHook installs h as the process-wide query latency hook
+// (nil uninstalls). Called by the telemetry wiring
+// (internal/core.InstallPipelineTelemetry).
+func SetLatencyHook(h *LatencyHook) { latencyHook.Store(h) }

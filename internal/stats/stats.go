@@ -195,6 +195,27 @@ func NewLikertDist(levels []int, scale int) LikertDist {
 	return d
 }
 
+// LikertDistFromCounts tabulates a distribution from per-level counts
+// (counts[i] = level i+1). It is bit-identical to NewLikertDist over
+// the expanded level sequence: integer counts are exact in float64, so
+// starting from the count instead of unit increments changes nothing.
+func LikertDistFromCounts(counts []int64, scale int) LikertDist {
+	d := LikertDist{Scale: scale, Percent: make([]float64, scale)}
+	for i, c := range counts {
+		if i >= scale {
+			break
+		}
+		d.Percent[i] = float64(c)
+		d.N += int(c)
+	}
+	if d.N > 0 {
+		for i := range d.Percent {
+			d.Percent[i] = 100 * d.Percent[i] / float64(d.N)
+		}
+	}
+	return d
+}
+
 // MeanLevel returns the mean Likert level.
 func (d LikertDist) MeanLevel() float64 {
 	if d.N == 0 {

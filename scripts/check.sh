@@ -35,6 +35,20 @@ if [ "${CHECK_IO_SMOKE:-0}" = "1" ]; then
 	make io-smoke
 fi
 
+# Optional query smoke gate: CHECK_QUERY_SMOKE=1 generates an n=10000
+# cohort in both file formats and requires the same query expressions
+# to print byte-identical tables through every route: fpreport -query
+# in-process, off loaded row JSON, streamed off the .fpds shard, and
+# fpsurvey slice on both files (make query-smoke). Off by default —
+# the engine's determinism and mem/stream parity are pinned in-process
+# by the property and golden tests above; this stage additionally
+# exercises the built binaries, the expression parser surface, and
+# real files.
+if [ "${CHECK_QUERY_SMOKE:-0}" = "1" ]; then
+	echo "==> make query-smoke"
+	make query-smoke
+fi
+
 # Optional SLO smoke gate: CHECK_SLO_SMOKE=1 runs a small fpbench with
 # -telemetry, scrapes /metrics mid-run, validates the Prometheus
 # exposition, and asserts the report's per-stage latency quantiles
