@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke query-smoke slo-smoke bench-gate profile
+.PHONY: check build test bench bench-mem bench-pipeline telemetry-smoke trace-smoke io-smoke query-smoke slo-smoke stat-smoke bench-gate profile
 
 check:
 	sh scripts/check.sh
@@ -65,6 +65,16 @@ query-smoke:
 # the full gate.
 slo-smoke:
 	$(GO) run scripts/slo_smoke.go
+
+# End-to-end check of the perf forensics observatory: real fpgen and
+# fpbench runs append run-ledger records, a seeded 20% grade-stage
+# slowdown must be attributed to run/grade by `fpstat diff`, the red
+# `fpbench compare` gate must leave CPU+heap profiles plus a markdown
+# forensics report on disk, and `fpstat trend` must render drift over
+# a history and ledger that both end in a truncated line.
+# CHECK_STAT_SMOKE=1 make check runs this as part of the full gate.
+stat-smoke:
+	$(GO) run scripts/stat_smoke.go
 
 # Perf-regression gate: re-times the pipeline at the small/medium
 # cohort sizes and compares against the committed BENCH_pipeline.json

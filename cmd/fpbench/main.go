@@ -49,9 +49,20 @@ import (
 	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
 	"fpstudy/internal/respondent"
+	"fpstudy/internal/runlog"
 	"fpstudy/internal/survey"
 	"fpstudy/internal/telemetry"
 )
+
+// ledger is this invocation's run-ledger record (nil when -runlog is
+// unset); exit routes every termination through it so the appended
+// record carries the real exit status.
+var ledger *runlog.Run
+
+func exit(code int) {
+	ledger.Finish(code)
+	os.Exit(code)
+}
 
 // memDelta captures the runtime.MemStats movement across one rep.
 type memDelta struct {
@@ -67,7 +78,7 @@ func parseInts(s, flagName string) []int {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v <= 0 {
 			fmt.Fprintf(os.Stderr, "fpbench: bad -%s value %q\n", flagName, part)
-			os.Exit(2)
+			exit(2)
 		}
 		out = append(out, v)
 	}
@@ -76,9 +87,10 @@ func parseInts(s, flagName string) []int {
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		os.Exit(compareMain(os.Args[2:]))
+		exit(compareMain(os.Args[2:]))
 	}
 	benchMain()
+	ledger.Finish(0)
 }
 
 // compareMain implements `fpbench compare [flags] old.json new.json`:
@@ -93,11 +105,14 @@ func compareMain(args []string) int {
 	gcBand := fs.Float64("gc-band", 0, "tolerated relative GC-pause growth (default 0.50)")
 	latencyBand := fs.Float64("latency-band", 0, "tolerated relative per-stage p99 latency growth (default 0.25)")
 	history := fs.String("history", "BENCH_history.jsonl", "benchmark trajectory to append the new run to (empty disables)")
+	forensics := fs.String("forensics", "forensics", "on gate failure, write a stage-attribution report plus CPU+heap profiles of the worst regressed leg into this directory (empty disables)")
+	runlogPath := fs.String("runlog", os.Getenv("FPSTUDY_RUNLOG"), "append a run-ledger record (JSONL) to this file on exit (default $FPSTUDY_RUNLOG; empty disables)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fpbench compare [flags] old.json new.json")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args) //nolint:errcheck // ExitOnError
+	ledger = runlog.Start(*runlogPath, "fpbench", os.Args[1:], nil, nil)
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
@@ -144,10 +159,106 @@ func compareMain(args []string) int {
 
 	if regs := res.Regressions(); len(regs) > 0 {
 		fmt.Fprintf(os.Stderr, "fpbench compare: %d regression(s) beyond the noise bands\n", len(regs))
+		if *forensics != "" {
+			captureForensics(*forensics, old, cur, fs.Arg(0), fs.Arg(1), res)
+		}
 		return 1
 	}
 	fmt.Fprintln(os.Stderr, "fpbench compare: no regressions")
 	return 0
+}
+
+// worstRegressedLeg picks the pipeline (n, workers) configuration with
+// the largest relative regression — the leg worth re-running under a
+// profiler. IO and query deltas are skipped: they run different code
+// paths than the pipeline re-run would profile.
+func worstRegressedLeg(regs []benchcmp.Delta) (n, w int, ok bool) {
+	worst := 0.0
+	for _, d := range regs {
+		if d.IsIO() || d.IsQuery() || d.N == 0 {
+			continue
+		}
+		mag := d.Change
+		if mag < 0 {
+			mag = -mag
+		}
+		if !ok || mag > worst {
+			worst, n, w, ok = mag, d.N, d.Workers, true
+		}
+	}
+	return n, w, ok
+}
+
+// captureForensics is the gate-failure autopsy: it writes a markdown
+// report attributing the regression to stages (self-time diff of the
+// two reports' span trees) into dir, and — when a pipeline leg
+// regressed — re-runs that leg once under CPU and heap profiling so
+// the culprit stage can be drilled into with `go tool pprof`. Failures
+// here only warn: the gate's exit status is already decided.
+func captureForensics(dir string, old, cur *benchcmp.Report, oldPath, newPath string, res *benchcmp.Result) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench compare: forensics:", err)
+		return
+	}
+	profiles := map[string]string{}
+	if n, w, ok := worstRegressedLeg(res.Regressions()); ok {
+		fmt.Fprintf(os.Stderr, "fpbench compare: forensics: re-running worst leg n=%d workers=%d under profiler\n", n, w)
+		cpuPath := filepath.Join(dir, "cpu.pprof")
+		heapPath := filepath.Join(dir, "heap.pprof")
+		if err := profileLeg(cpuPath, heapPath, cur.Seed, n, w); err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench compare: forensics:", err)
+		} else {
+			profiles["cpu"] = cpuPath
+			profiles["heap"] = heapPath
+		}
+	}
+	md := benchcmp.ForensicsMarkdown(old, cur, oldPath, newPath, res, profiles, time.Now())
+	mdPath := filepath.Join(dir, "forensics.md")
+	if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench compare: forensics:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fpbench compare: forensics report %s\n", mdPath)
+}
+
+// profileLeg re-runs one pipeline configuration under CPU profiling
+// and snapshots the heap afterwards — the same instrumented,
+// columnar-only study the benchmark timed, primed so the one-time
+// answer-key derivation stays out of the profile.
+func profileLeg(cpuPath, heapPath string, seed int64, n, w int) error {
+	reg := telemetry.NewRegistry()
+	rec := core.InstallPipelineTelemetry(reg)
+	defer core.UninstallPipelineTelemetry()
+	core.Study{Seed: 1, NMain: 8, NStudent: 2, Workers: 1, ColumnarOnly: true}.Run()
+
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	core.Study{Seed: seed, NMain: n, NStudent: 52, Workers: w,
+		Telemetry: rec, ColumnarOnly: true}.Run()
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // up-to-date heap statistics
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		hf.Close()
+		return err
+	}
+	return hf.Close()
 }
 
 func benchMain() {
@@ -163,6 +274,7 @@ func benchMain() {
 	queryBench := flag.Bool("query", true, "benchmark the vectorized query engine (in-memory and streaming) at each -n size")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the timed reps to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the timed reps) to this file")
+	runlogPath := flag.String("runlog", os.Getenv("FPSTUDY_RUNLOG"), "append a run-ledger record (JSONL) to this file on exit (default $FPSTUDY_RUNLOG; empty disables)")
 	flag.Parse()
 
 	sizes := parseInts(*ns, "n")
@@ -171,7 +283,7 @@ func benchMain() {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || v < 0 {
 			fmt.Fprintf(os.Stderr, "fpbench: bad -workers value %q\n", part)
-			os.Exit(2)
+			exit(2)
 		}
 		workerCounts = append(workerCounts, v)
 	}
@@ -189,7 +301,7 @@ func benchMain() {
 			if missing := benchcmp.MissingNSizes(existing, planned); len(missing) > 0 {
 				fmt.Fprintf(os.Stderr, "fpbench: refusing to overwrite %s: it has runs at n=%v that this invocation would drop (pass -force to overwrite, or add the sizes to -n)\n",
 					*out, missing)
-				os.Exit(2)
+				exit(2)
 			}
 		}
 	}
@@ -202,6 +314,7 @@ func benchMain() {
 	core.InstallPipelineTelemetry(reg)
 	procRec := telemetry.NewRecorder(reg)
 	procRec.PublishExpvar("fpstudy")
+	ledger = runlog.Start(*runlogPath, "fpbench", os.Args[1:], reg, procRec)
 
 	var tracer *telemetry.Tracer
 	if *tracePath != "" {
@@ -218,7 +331,7 @@ func benchMain() {
 		srv, err := telemetry.Serve(*telemetryAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -233,6 +346,9 @@ func benchMain() {
 		Tool:          "fpbench",
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		Seed:          *seed,
+		// VCS is nil for unstamped builds (go run, test binaries);
+		// history readers tolerate the omission.
+		VCS: runlog.CurrentVCS(),
 		Host: benchcmp.Host{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
@@ -255,11 +371,11 @@ func benchMain() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -321,7 +437,7 @@ func benchMain() {
 				runtime.ReadMemStats(&after)
 				if len(res.CoreTallies) != n {
 					fmt.Fprintf(os.Stderr, "fpbench: run produced %d tallies, want %d\n", len(res.CoreTallies), n)
-					os.Exit(1)
+					exit(1)
 				}
 				if best == 0 || sec < best {
 					best = sec
@@ -361,7 +477,7 @@ func benchMain() {
 			runs, err := ioBenchSize(reg, n, *seed, *reps)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fpbench:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			rep.IO = append(rep.IO, runs...)
 		}
@@ -369,7 +485,7 @@ func benchMain() {
 			runs, err := queryBenchSize(reg, n, *seed, *reps)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fpbench:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			rep.Query = append(rep.Query, runs...)
 		}
@@ -386,7 +502,7 @@ func benchMain() {
 		runs, err := queryBenchLarge(reg, largeN, *seed, *reps)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		rep.Query = append(rep.Query, runs...)
 	}
@@ -395,7 +511,7 @@ func benchMain() {
 		stopMem() // final GC sample before export; idempotent with the defer
 		if err := telemetry.WriteTraceFile(*tracePath, tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "fpbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "fpbench: wrote trace %s (%d events, %d dropped)\n",
 			*tracePath, tracer.Recorded()-tracer.Dropped(), tracer.Dropped())
@@ -404,7 +520,7 @@ func benchMain() {
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fpbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	data = append(data, '\n')
 	if *out == "-" {
@@ -413,14 +529,14 @@ func benchMain() {
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "fpbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	m := procRec.Manifest("fpbench", *seed, 0, 0)
 	m.Timestamp = rep.Timestamp
 	mpath := telemetry.ManifestPath(*out)
 	if err := telemetry.WriteManifest(mpath, m); err != nil {
 		fmt.Fprintln(os.Stderr, "fpbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "fpbench: wrote %s (manifest %s)\n", *out, mpath)
 }

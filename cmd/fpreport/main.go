@@ -34,8 +34,19 @@ import (
 	"fpstudy/internal/paperdata"
 	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
+	"fpstudy/internal/runlog"
 	"fpstudy/internal/telemetry"
 )
+
+// ledger is this invocation's run-ledger record (nil when -runlog is
+// unset); exit routes every termination through it so the appended
+// record carries the real exit status.
+var ledger *runlog.Run
+
+func exit(code int) {
+	ledger.Finish(code)
+	os.Exit(code)
+}
 
 func main() {
 	all := flag.Bool("all", false, "print all figures and claims")
@@ -57,6 +68,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the data")
 	telemetryAddr := flag.String("telemetry", "", "serve live expvar+pprof introspection on this address (e.g. 127.0.0.1:6060)")
 	manifest := flag.String("manifest", "", "write a run manifest (seed, workers, stage spans, counters) to this path")
+	runlogPath := flag.String("runlog", os.Getenv("FPSTUDY_RUNLOG"), "append a run-ledger record (JSONL) to this file on exit (default $FPSTUDY_RUNLOG; empty disables); never affects the output")
 	flag.Parse()
 
 	// Telemetry observes the pipeline without participating: figures
@@ -64,11 +76,12 @@ func main() {
 	reg := telemetry.NewRegistry()
 	rec := core.InstallPipelineTelemetry(reg)
 	rec.PublishExpvar("fpstudy")
+	ledger = runlog.Start(*runlogPath, "fpreport", os.Args[1:], reg, rec)
 	if *telemetryAddr != "" {
 		srv, err := telemetry.Serve(*telemetryAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpreport:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -89,8 +102,9 @@ func main() {
 	if *queryExpr != "" {
 		if err := runQuery(study, *data, *queryExpr); err != nil {
 			fmt.Fprintln(os.Stderr, "fpreport:", err)
-			os.Exit(1)
+			exit(1)
 		}
+		ledger.Finish(0)
 		return
 	}
 	var results *core.Results
@@ -102,12 +116,12 @@ func main() {
 		results, err = resultsFromFiles(study, reg, *data, *studentData)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fpreport:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	} else {
 		if *studentData != "" {
 			fmt.Fprintln(os.Stderr, "fpreport: -studentdata requires -data")
-			os.Exit(2)
+			exit(2)
 		}
 		results = study.Run()
 	}
@@ -116,7 +130,7 @@ func main() {
 		m.Timestamp = time.Now().UTC().Format(time.RFC3339)
 		if err := telemetry.WriteManifest(*manifest, m); err != nil {
 			fmt.Fprintln(os.Stderr, "fpreport:", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -148,7 +162,7 @@ func main() {
 	case *fig != 0:
 		if *fig < 1 || *fig > 22 {
 			fmt.Fprintln(os.Stderr, "fpreport: figure number must be 1-22")
-			os.Exit(2)
+			exit(2)
 		}
 		emit(*fig)
 	case *all:
@@ -164,6 +178,7 @@ func main() {
 		emit(13)
 		printClaims(results)
 	}
+	ledger.Finish(0)
 }
 
 // runQuery executes one ad-hoc expression through the vectorized
@@ -266,6 +281,6 @@ func printClaims(results *core.Results) {
 		fmt.Printf("  [%s] %-34s %s\n", status, c.Name, c.Detail)
 	}
 	if !ok {
-		os.Exit(1)
+		exit(1)
 	}
 }

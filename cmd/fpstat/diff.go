@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"fpstudy/internal/benchcmp"
+)
+
+func diffMain(args []string) int {
+	fs := flag.NewFlagSet("fpstat diff", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: fpstat diff old.json new.json")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	out, err := diffReport(fs.Arg(0), fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(flag.CommandLine.Output(), "fpstat diff:", err)
+		return 2
+	}
+	fmt.Print(out)
+	return 0
+}
+
+// diffReport attributes the wall-time movement between two fpbench
+// reports: per matched configuration the span trees diff on
+// self-time, stages rank by absolute time lost, and the aggregate
+// ranking names the top contributor. Latency-quantile deltas from the
+// band comparison ride along — the span diff says which stage of the
+// timeline absorbed the loss, the quantile deltas say which
+// block-level operation's tail moved.
+func diffReport(oldPath, newPath string) (string, error) {
+	old, err := benchcmp.Load(oldPath)
+	if err != nil {
+		return "", err
+	}
+	cur, err := benchcmp.Load(newPath)
+	if err != nil {
+		return "", err
+	}
+	res := benchcmp.Compare(old, cur, benchcmp.Bands{})
+	attrs := benchcmp.AttributeSpans(old, cur)
+	top := benchcmp.TopStages(attrs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "old: %s (%s)\nnew: %s (%s)\n", oldPath, reportRev(old), newPath, reportRev(cur))
+	if old.Host != cur.Host {
+		b.WriteString("WARNING: host fingerprints differ — deltas may be host variance, not code\n")
+	}
+
+	b.WriteString("\n## Wall time per configuration\n\n")
+	if len(attrs) == 0 {
+		b.WriteString("no configurations in common\n")
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "n=%d/workers=%d: %.6fs -> %.6fs (%+.6fs)\n",
+			a.N, a.Workers, a.WallOld, a.WallNew, a.WallNew-a.WallOld)
+	}
+
+	b.WriteString("\n## Stage attribution (self-time, worst first)\n\n")
+	if len(top) == 0 {
+		b.WriteString("no span data in common (pre-v2 report?)\n")
+	} else {
+		fmt.Fprintf(&b, "%4s %-44s %12s %12s %12s\n", "rank", "stage", "old s", "new s", "lost s")
+		for i, st := range top {
+			fmt.Fprintf(&b, "%4d %-44s %12.6f %12.6f %+12.6f\n",
+				i+1, st.Stage, st.OldSeconds, st.NewSeconds, st.Lost)
+		}
+		if top[0].Lost > 0 {
+			fmt.Fprintf(&b, "\ntop contributor: %s (%+.6fs across matched configurations)\n",
+				top[0].Stage, top[0].Lost)
+		} else {
+			b.WriteString("\nno stage lost time (new report is no slower stage-by-stage)\n")
+		}
+	}
+
+	var lat []benchcmp.Delta
+	for _, d := range res.Deltas {
+		if d.IsLatency() {
+			lat = append(lat, d)
+		}
+	}
+	if len(lat) > 0 {
+		b.WriteString("\n## Latency quantile deltas\n\n")
+		for _, d := range lat {
+			mark := ""
+			if d.Regression {
+				mark = "  REGRESSION"
+			}
+			fmt.Fprintf(&b, "%-44s %-10s %12.0f -> %12.0f (%+.1f%%)%s\n",
+				d.Config(), d.Metric, d.Old, d.New, 100*d.Change, mark)
+		}
+	}
+	return b.String(), nil
+}
+
+// reportRev renders a report's VCS provenance for the header.
+func reportRev(r *benchcmp.Report) string {
+	if r.VCS == nil {
+		return "unstamped build"
+	}
+	rev := r.VCS.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if r.VCS.Modified {
+		rev += " (dirty)"
+	}
+	return rev
+}

@@ -1,0 +1,48 @@
+// Command fpstat is the read side of the perf forensics observatory:
+// it turns the run ledger (internal/runlog) and the benchmark
+// trajectory (BENCH_history.jsonl) into answers.
+//
+//	fpstat trend               # per-config metric trajectories with robust drift bands
+//	fpstat diff old.json new.json  # attribute a regression to the stage that lost the time
+//
+// trend reads both files tolerantly — mixed schema eras, blank lines,
+// a truncated final line from a crashed writer — and flags points
+// outside a median/MAD band (see internal/benchcmp.DetectDrift),
+// annotating drifted points whose host fingerprint differs from the
+// series' modal host as likely host variance rather than code.
+//
+// diff loads two fpbench reports and ranks the pipeline stages by
+// absolute self-time lost between them (internal/benchcmp
+// .AttributeSpans), alongside the per-stage latency-quantile deltas,
+// naming the top contributor — the place to point `go tool pprof` at.
+//
+// fpstat only reads; it never appends to the ledger it inspects.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  fpstat trend [-history BENCH_history.jsonl] [-ledger file] [-k 3.5] [-floor 0.10]
+  fpstat diff old.json new.json`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "trend":
+		os.Exit(trendMain(os.Args[2:]))
+	case "diff":
+		os.Exit(diffMain(os.Args[2:]))
+	default:
+		fmt.Fprintf(os.Stderr, "fpstat: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}

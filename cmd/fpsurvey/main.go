@@ -32,14 +32,26 @@ import (
 	"fpstudy/internal/colstore"
 	"fpstudy/internal/query"
 	"fpstudy/internal/quiz"
+	"fpstudy/internal/runlog"
 	"fpstudy/internal/survey"
 )
 
 var workers = flag.Int("workers", 0, "worker goroutines for codec/view fan-out (<=0 means GOMAXPROCS)")
 
+// ledger is this invocation's run-ledger record (nil when -runlog is
+// unset); exit routes every termination through it so the appended
+// record carries the real exit status.
+var ledger *runlog.Run
+
+func exit(code int) {
+	ledger.Finish(code)
+	os.Exit(code)
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "slice" {
 		slice(os.Args[2:])
+		ledger.Finish(0)
 		return
 	}
 	instrument := flag.Bool("instrument", false, "print the survey instrument JSON")
@@ -48,7 +60,9 @@ func main() {
 	tally := flag.String("tally", "", "question ID to tabulate (requires a dataset argument)")
 	anonymize := flag.String("anonymize", "", "anonymize a dataset file in place")
 	csv := flag.String("csv", "", "flatten a dataset file to CSV on stdout")
+	runlogPath := flag.String("runlog", os.Getenv("FPSTUDY_RUNLOG"), "append a run-ledger record (JSONL) to this file on exit (default $FPSTUDY_RUNLOG; empty disables)")
 	flag.Parse()
+	ledger = runlog.Start(*runlogPath, "fpsurvey", os.Args[1:], nil, nil)
 
 	ins := quiz.Instrument()
 
@@ -112,8 +126,9 @@ func main() {
 
 	default:
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
+	ledger.Finish(0)
 }
 
 // slice runs one query expression over a dataset file. Binary shards
@@ -121,14 +136,16 @@ func main() {
 func slice(args []string) {
 	fs := flag.NewFlagSet("fpsurvey slice", flag.ExitOnError)
 	sliceWorkers := fs.Int("workers", 0, "worker goroutines (<=0 means GOMAXPROCS); never affects the result")
+	runlogPath := fs.String("runlog", os.Getenv("FPSTUDY_RUNLOG"), "append a run-ledger record (JSONL) to this file on exit (default $FPSTUDY_RUNLOG; empty disables)")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: fpsurvey slice [-workers N] '<filter>/<groupby>/<agg>' <dataset>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args) //nolint:errcheck // ExitOnError
+	ledger = runlog.Start(*runlogPath, "fpsurvey", os.Args[1:], nil, nil)
 	if fs.NArg() != 2 {
 		fs.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 	expr, path := fs.Arg(0), fs.Arg(1)
 
@@ -188,5 +205,5 @@ func rows(cols *colstore.Dataset) *survey.Dataset {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "fpsurvey:", err)
-	os.Exit(1)
+	exit(1)
 }

@@ -1,0 +1,216 @@
+package benchcmp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"fpstudy/internal/runlog"
+)
+
+// Regression root-cause attribution: given two reports, explain WHERE
+// a wall-clock regression went by diffing the per-run span trees
+// (schema v2+ reports carry the best rep's stage breakdown) on
+// self-time — each node's seconds minus its children's — so a parent
+// and its child never double-count the same lost time. The quantile
+// tables complement this: Compare's latency deltas say which
+// block-level operation's tail moved; the span diff says which stage
+// of the run's timeline absorbed the loss.
+
+// StageCost is one stage's time across two reports. Stage is the
+// slash-joined span path ("run/generate-main/sample-responses");
+// seconds are self-time. Lost is New-Old: positive means the stage
+// got slower (time lost to the regression), negative faster.
+type StageCost struct {
+	Stage      string  `json:"stage"`
+	OldSeconds float64 `json:"old_seconds"`
+	NewSeconds float64 `json:"new_seconds"`
+	Lost       float64 `json:"lost_seconds"`
+}
+
+// Attribution is the stage-level diff of one matched pipeline
+// configuration, stages ranked by time lost (worst first).
+type Attribution struct {
+	N       int         `json:"n"`
+	Workers int         `json:"workers"`
+	WallOld float64     `json:"wall_old_seconds"`
+	WallNew float64     `json:"wall_new_seconds"`
+	Stages  []StageCost `json:"stages"`
+}
+
+// selfTimes flattens a run's span forest into path -> summed
+// self-seconds (duplicate paths accumulate).
+func selfTimes(run Run) map[string]float64 {
+	out := map[string]float64{}
+	for _, st := range runlog.FlattenSpans(run.Spans) {
+		out[st.Name] += st.SelfSeconds
+	}
+	return out
+}
+
+// AttributeSpans diffs the span trees of every (n, workers)
+// configuration present in both reports and ranks each config's
+// stages by absolute time lost. Stages present in only one report
+// attribute their whole self-time (the other side contributes 0) —
+// a stage appearing or vanishing IS a time movement. Configurations
+// without span data on either side yield an Attribution with no
+// stages (wall deltas still carry information).
+func AttributeSpans(old, new *Report) []Attribution {
+	newRuns := map[configKey]Run{}
+	for _, run := range new.Runs {
+		newRuns[configKey{run.N, run.Workers}] = run
+	}
+	var out []Attribution
+	for _, o := range old.Runs {
+		n, ok := newRuns[configKey{o.N, o.Workers}]
+		if !ok {
+			continue
+		}
+		oldSelf := selfTimes(o)
+		newSelf := selfTimes(n)
+		names := make([]string, 0, len(oldSelf))
+		for name := range oldSelf {
+			names = append(names, name)
+		}
+		for name := range newSelf {
+			if _, ok := oldSelf[name]; !ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		a := Attribution{N: o.N, Workers: o.Workers, WallOld: o.BestSeconds, WallNew: n.BestSeconds}
+		for _, name := range names {
+			a.Stages = append(a.Stages, StageCost{
+				Stage:      name,
+				OldSeconds: oldSelf[name],
+				NewSeconds: newSelf[name],
+				Lost:       newSelf[name] - oldSelf[name],
+			})
+		}
+		sort.SliceStable(a.Stages, func(i, j int) bool { return a.Stages[i].Lost > a.Stages[j].Lost })
+		out = append(out, a)
+	}
+	return out
+}
+
+// TopStages aggregates attributions across configurations into one
+// ranking: per stage path, the summed time lost over every matched
+// config, worst first. This is the "name the culprit" view — the
+// stage at the head of the list is where the regression's wall time
+// went.
+func TopStages(attrs []Attribution) []StageCost {
+	agg := map[string]*StageCost{}
+	var order []string
+	for _, a := range attrs {
+		for _, st := range a.Stages {
+			c, ok := agg[st.Stage]
+			if !ok {
+				c = &StageCost{Stage: st.Stage}
+				agg[st.Stage] = c
+				order = append(order, st.Stage)
+			}
+			c.OldSeconds += st.OldSeconds
+			c.NewSeconds += st.NewSeconds
+			c.Lost += st.Lost
+		}
+	}
+	sort.Strings(order)
+	out := make([]StageCost, 0, len(order))
+	for _, name := range order {
+		out = append(out, *agg[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Lost > out[j].Lost })
+	return out
+}
+
+// describeVCS renders a report's revision for display.
+func describeVCS(r *Report) string {
+	if r.VCS == nil {
+		return "unstamped build"
+	}
+	rev := r.VCS.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if r.VCS.Modified {
+		rev += " (dirty)"
+	}
+	return rev
+}
+
+// ForensicsMarkdown renders the markdown forensics report `fpbench
+// compare` drops on gate failure: the regressions beyond the bands,
+// the stage attribution naming the top offenders, per-config wall
+// deltas, and pointers to the captured profiles. profiles maps a
+// label ("cpu", "heap") to the artifact path.
+func ForensicsMarkdown(old, new *Report, oldPath, newPath string, res *Result,
+	profiles map[string]string, generatedAt time.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Perf forensics report\n\n")
+	fmt.Fprintf(&b, "- generated: %s\n", generatedAt.UTC().Format(time.RFC3339))
+	fmt.Fprintf(&b, "- old: `%s` (measured %s, revision %s, host %s/%s cpu=%d)\n",
+		oldPath, old.Timestamp, describeVCS(old), old.Host.GOOS, old.Host.GOARCH, old.Host.NumCPU)
+	fmt.Fprintf(&b, "- new: `%s` (measured %s, revision %s, host %s/%s cpu=%d)\n",
+		newPath, new.Timestamp, describeVCS(new), new.Host.GOOS, new.Host.GOARCH, new.Host.NumCPU)
+	if old.Host != new.Host {
+		fmt.Fprintf(&b, "- **host fingerprints differ** — deltas may be host variance, not code\n")
+	}
+	b.WriteString("\n## Regressions beyond the noise bands\n\n")
+	regs := res.Regressions()
+	if len(regs) == 0 {
+		b.WriteString("none\n")
+	} else {
+		b.WriteString("| configuration | metric | old | new | change |\n")
+		b.WriteString("|---|---|---:|---:|---:|\n")
+		for _, d := range regs {
+			fmt.Fprintf(&b, "| %s | %s | %.4g | %.4g | %+.1f%% |\n",
+				d.Config(), d.Metric, d.Old, d.New, 100*d.Change)
+		}
+	}
+
+	attrs := AttributeSpans(old, new)
+	top := TopStages(attrs)
+	b.WriteString("\n## Stage attribution (self-time diff of best-rep span trees)\n\n")
+	if len(top) == 0 {
+		b.WriteString("no span data in common (pre-v2 report?)\n")
+	} else {
+		b.WriteString("| rank | stage | old s | new s | lost s |\n")
+		b.WriteString("|---:|---|---:|---:|---:|\n")
+		for i, st := range top {
+			fmt.Fprintf(&b, "| %d | `%s` | %.6f | %.6f | %+.6f |\n",
+				i+1, st.Stage, st.OldSeconds, st.NewSeconds, st.Lost)
+		}
+		if top[0].Lost > 0 {
+			fmt.Fprintf(&b, "\n**Top offender: `%s`** — %+.6fs across matched configurations.\n",
+				top[0].Stage, top[0].Lost)
+		}
+	}
+
+	b.WriteString("\n## Wall time per configuration\n\n")
+	b.WriteString("| configuration | old s | new s | delta s |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "| n=%d/workers=%d | %.6f | %.6f | %+.6f |\n",
+			a.N, a.Workers, a.WallOld, a.WallNew, a.WallNew-a.WallOld)
+	}
+
+	if len(profiles) > 0 {
+		b.WriteString("\n## Captured profiles (worst regressed leg, re-run)\n\n")
+		for _, label := range sortedStringKeys(profiles) {
+			fmt.Fprintf(&b, "- %s: `%s` (`go tool pprof -top %s`)\n", label, profiles[label], profiles[label])
+		}
+	}
+	return b.String()
+}
+
+// sortedStringKeys returns the map's keys sorted (deterministic
+// report rendering).
+func sortedStringKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,149 @@
+package benchcmp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"fpstudy/internal/telemetry"
+)
+
+// spanTree builds a canned best-rep span forest: run -> {generate,
+// grade} with the given leaf seconds.
+func spanTree(generate, grade float64) []telemetry.SpanSnapshot {
+	return []telemetry.SpanSnapshot{{
+		Name: "run", Seconds: generate + grade + 0.1,
+		Children: []telemetry.SpanSnapshot{
+			{Name: "generate", Seconds: generate},
+			{Name: "grade", Seconds: grade},
+		},
+	}}
+}
+
+func reportPair() (*Report, *Report) {
+	old := &Report{Runs: []Run{
+		{N: 199, Workers: 1, BestSeconds: 2.1, RespondentsPerSec: 199 / 2.1, Spans: spanTree(1.0, 1.0)},
+		{N: 10000, Workers: 1, BestSeconds: 4.1, RespondentsPerSec: 10000 / 4.1, Spans: spanTree(2.0, 2.0)},
+	}}
+	// grade got 20% slower at both sizes; generate unchanged.
+	new := &Report{Runs: []Run{
+		{N: 199, Workers: 1, BestSeconds: 2.3, RespondentsPerSec: 199 / 2.3, Spans: spanTree(1.0, 1.2)},
+		{N: 10000, Workers: 1, BestSeconds: 4.5, RespondentsPerSec: 10000 / 4.5, Spans: spanTree(2.0, 2.4)},
+	}}
+	return old, new
+}
+
+// TestAttributeNamesSlowedStage is the acceptance contract: a report
+// pair with an injected 20% slowdown in one stage must rank that
+// stage as the top contributor.
+func TestAttributeNamesSlowedStage(t *testing.T) {
+	old, new := reportPair()
+	attrs := AttributeSpans(old, new)
+	if len(attrs) != 2 {
+		t.Fatalf("attributed %d configs, want 2", len(attrs))
+	}
+	for _, a := range attrs {
+		if len(a.Stages) == 0 || a.Stages[0].Stage != "run/grade" {
+			t.Errorf("n=%d: top stage = %+v, want run/grade first", a.N, a.Stages)
+		}
+	}
+	top := TopStages(attrs)
+	if top[0].Stage != "run/grade" {
+		t.Fatalf("TopStages[0] = %+v, want run/grade", top[0])
+	}
+	if got, want := top[0].Lost, (1.2-1.0)+(2.4-2.0); !approx(got, want) {
+		t.Errorf("run/grade lost %.4f, want %.4f", got, want)
+	}
+	// generate is unchanged; its aggregate loss must be ~0 and ranked
+	// below grade.
+	for _, st := range top {
+		if st.Stage == "run/generate" && !approx(st.Lost, 0) {
+			t.Errorf("run/generate lost %.4f, want 0", st.Lost)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// TestAttributeSelfTimeNoDoubleCount: the parent "run" node must only
+// carry its own overhead, not re-count the child slowdown.
+func TestAttributeSelfTimeNoDoubleCount(t *testing.T) {
+	old, new := reportPair()
+	top := TopStages(AttributeSpans(old, new))
+	for _, st := range top {
+		if st.Stage == "run" {
+			// run's self-time is 0.1 on both sides.
+			if !approx(st.Lost, 0) {
+				t.Errorf("run self-time lost %.4f, want 0 (child slowdown double-counted?)", st.Lost)
+			}
+			return
+		}
+	}
+	t.Error("run stage missing from aggregate ranking")
+}
+
+// TestAttributeStageOnlyInOneReport: appearing/vanishing stages
+// attribute their whole self-time.
+func TestAttributeStageOnlyInOneReport(t *testing.T) {
+	old := &Report{Runs: []Run{{N: 199, Workers: 1, Spans: spanTree(1.0, 1.0)}}}
+	new := &Report{Runs: []Run{{N: 199, Workers: 1, Spans: []telemetry.SpanSnapshot{{
+		Name: "run", Seconds: 2.6,
+		Children: []telemetry.SpanSnapshot{
+			{Name: "generate", Seconds: 1.0},
+			{Name: "grade", Seconds: 1.0},
+			{Name: "write", Seconds: 0.5}, // new stage
+		},
+	}}}}}
+	top := TopStages(AttributeSpans(old, new))
+	if top[0].Stage != "run/write" || !approx(top[0].Lost, 0.5) {
+		t.Errorf("new-only stage: top = %+v, want run/write +0.5", top[0])
+	}
+}
+
+// TestAttributeNoSpans: pre-v2 reports (no span data) still produce
+// wall-level attributions without stages.
+func TestAttributeNoSpans(t *testing.T) {
+	old := &Report{Runs: []Run{{N: 199, Workers: 1, BestSeconds: 1.0}}}
+	new := &Report{Runs: []Run{{N: 199, Workers: 1, BestSeconds: 1.5}}}
+	attrs := AttributeSpans(old, new)
+	if len(attrs) != 1 || len(attrs[0].Stages) != 0 {
+		t.Fatalf("attrs = %+v, want one config, no stages", attrs)
+	}
+	if !approx(attrs[0].WallNew-attrs[0].WallOld, 0.5) {
+		t.Errorf("wall delta = %+v", attrs[0])
+	}
+	if got := TopStages(attrs); len(got) != 0 {
+		t.Errorf("TopStages = %+v, want empty", got)
+	}
+}
+
+// TestForensicsMarkdown renders the gate-failure report and checks it
+// names the offending stage, the regressions, and the profiles.
+func TestForensicsMarkdown(t *testing.T) {
+	old, new := reportPair()
+	res := Compare(old, new, Bands{})
+	if len(res.Regressions()) == 0 {
+		t.Fatal("fixture pair must regress (throughput dropped ~9%)")
+	}
+	md := ForensicsMarkdown(old, new, "old.json", "new.json", res,
+		map[string]string{"cpu": "f/cpu.pprof", "heap": "f/heap.pprof"},
+		time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	for _, want := range []string{
+		"Top offender: `run/grade`",
+		"respondents_per_sec",
+		"f/cpu.pprof",
+		"f/heap.pprof",
+		"unstamped build",
+		"| n=199/workers=1 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("forensics markdown missing %q:\n%s", want, md)
+		}
+	}
+}

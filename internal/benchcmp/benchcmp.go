@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"fpstudy/internal/runlog"
 	"fpstudy/internal/telemetry"
 )
 
@@ -72,7 +73,15 @@ import (
 //	  and query stage p99 under the latency band. Reports without the
 //	  section (v6 and older) compare cleanly — the query legs simply
 //	  contribute no deltas.
-const SchemaVersion = 7
+//	8 — adds the top-level "vcs" object (full commit hash, commit
+//	  time, dirty-tree flag, from the toolchain's build-info stamp via
+//	  runtime/debug.ReadBuildInfo) and carries it into every
+//	  BENCH_history.jsonl line, so a trajectory entry names the exact
+//	  code it measured — "host variance" claims become checkable
+//	  against the revision and host fingerprint instead of asserted.
+//	  Absent from go-run/unstamped builds and from all older entries;
+//	  readers tolerate the omission (nil).
+const SchemaVersion = 8
 
 // Host identifies the benchmarking machine.
 type Host struct {
@@ -192,7 +201,10 @@ type Report struct {
 	Timestamp     string `json:"timestamp"`
 	Seed          int64  `json:"seed"`
 	Host          Host   `json:"host"`
-	Runs          []Run  `json:"runs"`
+	// VCS is the source revision the measuring binary was built from
+	// (schema v8+; nil for older reports and unstamped builds).
+	VCS  *runlog.VCS `json:"vcs,omitempty"`
+	Runs []Run       `json:"runs"`
 	// IO holds the dataset serialization benchmarks (schema v4+; absent
 	// from older reports and from runs invoked with -io=false).
 	IO []IORun `json:"io,omitempty"`
@@ -690,11 +702,14 @@ type HistoryRun struct {
 // appended at comparison time so the trajectory accretes across
 // commits and machines.
 type HistoryEntry struct {
-	Timestamp string       `json:"timestamp"`
-	Appended  string       `json:"appended"` // when this line was written
-	Seed      int64        `json:"seed"`
-	Host      Host         `json:"host"`
-	Runs      []HistoryRun `json:"runs"`
+	Timestamp string `json:"timestamp"`
+	Appended  string `json:"appended"` // when this line was written
+	Seed      int64  `json:"seed"`
+	Host      Host   `json:"host"`
+	// VCS names the measured revision (v8+ entries; nil before — old
+	// lines parse fine, their provenance is simply unknown).
+	VCS  *runlog.VCS  `json:"vcs,omitempty"`
+	Runs []HistoryRun `json:"runs"`
 	// IO carries the serialization benchmarks verbatim — IORun is
 	// already compact (no span trees to strip).
 	IO []IORun `json:"io,omitempty"`
@@ -711,6 +726,7 @@ func HistoryFromReport(r *Report, appendedAt time.Time) HistoryEntry {
 		Appended:  appendedAt.UTC().Format(time.RFC3339),
 		Seed:      r.Seed,
 		Host:      r.Host,
+		VCS:       r.VCS,
 	}
 	for _, run := range r.Runs {
 		e.Runs = append(e.Runs, HistoryRun{
@@ -776,4 +792,38 @@ func ReadHistory(path string) ([]HistoryEntry, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ReadHistoryLenient parses a trajectory like ReadHistory but skips
+// unparsable lines instead of failing: blank lines, malformed JSON,
+// and a truncated final line (a crashed appender leaves one with no
+// trailing newline) are counted in skipped and dropped. Entries from
+// any schema era parse — fields a version lacks are simply zero/nil —
+// so one mixed v1..v8 file yields every readable record. This is what
+// `fpstat trend` reads: a trajectory accreted over years must not
+// become unreadable over its worst line.
+func ReadHistoryLenient(path string) (entries []HistoryEntry, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			skipped++
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return entries, skipped, nil
 }

@@ -47,6 +47,13 @@ const (
 	// text).
 	MetricInternedStrings = "colstore.interned_strings"
 
+	// MetricQueryRowsScanned counts respondent rows the query engine's
+	// scan blocks examined; MetricQueryBlocksSkipped counts aggregation
+	// passes elided because a block's selection came up empty. Their
+	// ratio is the engine's filter-pruning win on a given workload.
+	MetricQueryRowsScanned   = "query.rows_scanned"
+	MetricQueryBlocksSkipped = "query.blocks_skipped"
+
 	// MetricIOBytesWritten and MetricIOBytesRead count dataset bytes
 	// moved by the serialization layer (colstore.IOOptions counters):
 	// encode output and decode/load input respectively, either format.
@@ -156,6 +163,12 @@ func InstallPipelineTelemetry(reg *telemetry.Registry) *telemetry.Recorder {
 	query.SetLatencyHook(&query.LatencyHook{
 		Block: func(block, items int, d time.Duration) { latQuery.ObserveShard(block, d) },
 	})
+	rowsScanned := reg.Counter(MetricQueryRowsScanned)
+	blocksSkipped := reg.Counter(MetricQueryBlocksSkipped)
+	query.SetWorkHook(&query.WorkHook{
+		RowsScanned:  func(n int) { rowsScanned.Add(int64(n)) },
+		BlockSkipped: func() { blocksSkipped.Inc() },
+	})
 
 	conds := map[monitor.Condition]monitor.EventCounter{}
 	for _, c := range monitor.Conditions() {
@@ -176,5 +189,6 @@ func UninstallPipelineTelemetry() {
 	quiz.SetGradeBatchObserver(nil)
 	colstore.SetLatencyHook(nil)
 	query.SetLatencyHook(nil)
+	query.SetWorkHook(nil)
 	quiz.SetOracleObserver(nil)
 }

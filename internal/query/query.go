@@ -232,6 +232,7 @@ type scanState struct {
 func scan(src Source, cols []int, workers, nb int, fn func(st *scanState, b int, blk *Block)) error {
 	errs := make([]error, nb)
 	lh := latencyHook.Load()
+	wh := workHook.Load()
 	parallel.ForEachWith(workers, nb,
 		func() *scanState {
 			st := &scanState{sel: NewBitmap(BlockRows)}
@@ -251,6 +252,9 @@ func scan(src Source, cols []int, workers, nb int, fn func(st *scanState, b int,
 			if err != nil {
 				errs[b] = err
 				return
+			}
+			if wh != nil && wh.RowsScanned != nil {
+				wh.RowsScanned(blk.N)
 			}
 			fn(st, b, blk)
 			if lh != nil && lh.Block != nil {
@@ -306,12 +310,23 @@ func Run(src Source, q Query, workers int) (*Result, error) {
 		p.sum = make([][]float64, len(q.Values))
 		applyQuery(&q, st, blk)
 		sel, keys := st.sel, st.keys
+		selected := sel.Count()
 		if q.Key == nil {
-			p.count[0] = int64(sel.Count())
-		} else {
+			p.count[0] = int64(selected)
+		} else if selected > 0 {
 			sel.ForEach(func(j int) { p.count[keys[j]]++ })
 		}
-		if len(q.Values) > 0 {
+		if len(q.Values) > 0 && selected == 0 {
+			// No row survived the filter: every per-value partial is
+			// all-zero, so skip the gather/accumulate pass for this
+			// block entirely. The zero partials keep the merge loop
+			// (and thus the result) bit-identical to the slow path.
+			for vi := range q.Values {
+				p.n[vi] = make([]int64, card)
+				p.sum[vi] = make([]float64, card)
+			}
+			blockSkipped()
+		} else if len(q.Values) > 0 {
 			if cap(st.vals) < blk.N {
 				st.vals = make([]float64, BlockRows)
 				st.ok = make([]bool, BlockRows)
@@ -394,6 +409,12 @@ func RunCollect(src Source, q Query, workers int) (*CollectResult, error) {
 	parts := make([][][]float64, nb)
 	err := scan(src, q.columnsOf(), workers, nb, func(st *scanState, b int, blk *Block) {
 		applyQuery(&q, st, blk)
+		if st.sel.Count() == 0 {
+			// Empty selection: nothing to collect, skip the gather.
+			parts[b] = make([][]float64, card)
+			blockSkipped()
+			return
+		}
 		if cap(st.vals) < blk.N {
 			st.vals = make([]float64, BlockRows)
 			st.ok = make([]bool, BlockRows)

@@ -24,3 +24,33 @@ var latencyHook atomic.Pointer[LatencyHook]
 // (nil uninstalls). Called by the telemetry wiring
 // (internal/core.InstallPipelineTelemetry).
 func SetLatencyHook(h *LatencyHook) { latencyHook.Store(h) }
+
+// WorkHook receives query-engine work counters: how many rows each
+// scan examined and how many blocks the aggregate path skipped
+// outright because their selection came up empty. Observation only;
+// callbacks must be safe for concurrent use.
+type WorkHook struct {
+	// RowsScanned fires once per loaded scan block with the block's
+	// respondent count (rows the predicate/key kernels examined).
+	RowsScanned func(n int)
+	// BlockSkipped fires when an aggregation pass over a block is
+	// elided because no row survived the filter — the value gather and
+	// accumulate loops never run for that block.
+	BlockSkipped func()
+}
+
+// workHook holds the installed work hook; same discipline as
+// latencyHook (one atomic load per scan).
+var workHook atomic.Pointer[WorkHook]
+
+// SetWorkHook installs h as the process-wide query work hook (nil
+// uninstalls).
+func SetWorkHook(h *WorkHook) { workHook.Store(h) }
+
+// blockSkipped reports one elided aggregation pass to the installed
+// work hook.
+func blockSkipped() {
+	if wh := workHook.Load(); wh != nil && wh.BlockSkipped != nil {
+		wh.BlockSkipped()
+	}
+}

@@ -1,0 +1,59 @@
+package query_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"fpstudy/internal/query"
+	"fpstudy/internal/quiz"
+)
+
+// TestWorkHookCounters pins the work-counter semantics: RowsScanned
+// fires once per loaded block with its row count, and BlockSkipped
+// fires exactly when an aggregation pass is elided for an
+// empty-selection block — on both Run and RunCollect.
+func TestWorkHookCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := randomCohort(t, rng, 700)
+	s := d.Schema
+	src := query.NewDatasetSource(d)
+	val := []query.Value{query.LikertValue{Col: s.MustColumnIndex("susp.invalid")}}
+	none := []query.Predicate{query.I32Set{Col: s.MustColumnIndex(quiz.BGArea), Mask: 0}}
+
+	var rows, skipped atomic.Int64
+	query.SetWorkHook(&query.WorkHook{
+		RowsScanned:  func(n int) { rows.Add(int64(n)) },
+		BlockSkipped: func() { skipped.Add(1) },
+	})
+	defer query.SetWorkHook(nil)
+
+	if _, err := query.Run(src, query.Query{Values: val}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Load() != 700 || skipped.Load() != 0 {
+		t.Fatalf("unfiltered: rows=%d skipped=%d, want 700/0", rows.Load(), skipped.Load())
+	}
+
+	if _, err := query.Run(src, query.Query{Filter: none, Values: val}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Load() != 1400 || skipped.Load() != 1 {
+		t.Fatalf("all-false Run: rows=%d skipped=%d, want 1400/1", rows.Load(), skipped.Load())
+	}
+
+	if _, err := query.RunCollect(src, query.Query{Filter: none, Values: val}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Load() != 2100 || skipped.Load() != 2 {
+		t.Fatalf("all-false RunCollect: rows=%d skipped=%d, want 2100/2", rows.Load(), skipped.Load())
+	}
+
+	// A count-only query has no aggregation pass to skip.
+	if _, err := query.Run(src, query.Query{Filter: none}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if skipped.Load() != 2 {
+		t.Fatalf("count-only query skipped %d blocks, want still 2", skipped.Load())
+	}
+}

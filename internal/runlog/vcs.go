@@ -1,0 +1,52 @@
+package runlog
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// VCS identifies the source revision a binary was built from, read
+// from the build-info stamp the Go toolchain embeds when building
+// inside a version-controlled checkout.
+type VCS struct {
+	// Revision is the full VCS commit hash.
+	Revision string `json:"revision"`
+	// Time is the commit timestamp (RFC3339), when stamped.
+	Time string `json:"time,omitempty"`
+	// Modified marks builds from a dirty working tree: the revision
+	// alone does not identify the code that actually ran.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	vcsOnce sync.Once
+	vcsInfo *VCS
+)
+
+// CurrentVCS returns the build's VCS stamp, or nil when the binary
+// carries none (`go run` of a single file, test binaries, builds
+// outside a checkout). Read once per process — build info is
+// immutable.
+func CurrentVCS() *VCS {
+	vcsOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var v VCS
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				v.Revision = s.Value
+			case "vcs.time":
+				v.Time = s.Value
+			case "vcs.modified":
+				v.Modified = s.Value == "true"
+			}
+		}
+		if v.Revision != "" {
+			vcsInfo = &v
+		}
+	})
+	return vcsInfo
+}

@@ -60,6 +60,19 @@ if [ "${CHECK_SLO_SMOKE:-0}" = "1" ]; then
 	make slo-smoke
 fi
 
+# Optional perf-forensics smoke gate: CHECK_STAT_SMOKE=1 drives the
+# observatory end to end with real binaries: ledger records from fpgen
+# and fpbench, a seeded grade-stage regression attributed by fpstat
+# diff, a red compare gate leaving pprof profiles and a forensics
+# report, and fpstat trend over truncated history/ledger files (make
+# stat-smoke). Off by default — the attribution and drift statistics
+# are unit-tested in internal/benchcmp and cmd/fpstat; this stage
+# additionally exercises the built binaries and the on-disk artifacts.
+if [ "${CHECK_STAT_SMOKE:-0}" = "1" ]; then
+	echo "==> make stat-smoke"
+	make stat-smoke
+fi
+
 # Optional perf-regression gate: CHECK_BENCH_GATE=1 re-times the
 # pipeline (n=199 and n=10000) and compares against the committed
 # BENCH_pipeline.json with fpbench compare, failing on regressions

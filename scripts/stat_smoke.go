@@ -1,0 +1,222 @@
+//go:build ignore
+
+// Perf-forensics smoke test: drives the whole observatory end to end
+// with real binaries and a seeded regression, proving the pipeline
+// from red gate to named culprit:
+//
+//  1. fpgen and fpbench append well-formed run-ledger records
+//     (including fpgen's dataset sha256 golden hash) via -runlog;
+//  2. a 20% wall-time regression injected into the grade stage of a
+//     real fpbench report is attributed to run/grade by `fpstat diff`;
+//  3. `fpbench compare` fails the gate on that pair (exit 1) and
+//     leaves CPU+heap pprof profiles plus a markdown forensics report
+//     naming run/grade on disk;
+//  4. `fpstat trend` renders drift over the benchmark history and the
+//     ledger — tolerating a truncated final line in both — and
+//     surfaces the compare failure as a nonzero-exit line.
+//
+// Run via `make stat-smoke` (or `go run scripts/stat_smoke.go` from
+// the repo root). Exits 0 and prints PASS on success.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stat-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// run executes a built binary, returning combined output and exit
+// status; any status other than wantStatus fails the smoke.
+func run(wantStatus int, bin string, args ...string) string {
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	status := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			fail("%s %s: %v", filepath.Base(bin), strings.Join(args, " "), err)
+		}
+		status = ee.ExitCode()
+	}
+	if status != wantStatus {
+		fail("%s %s: exit %d, want %d\n%s", filepath.Base(bin), strings.Join(args, " "), status, wantStatus, out)
+	}
+	return string(out)
+}
+
+// injectGradeSlowdown loads an fpbench report and seeds the
+// regression under test: every run's grade span absorbs an extra 20%
+// of that run's wall time, with the root span, best_seconds, and
+// throughput adjusted to match — exactly what a real grading
+// regression would look like in a report.
+func injectGradeSlowdown(oldPath, newPath string) {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fail("parsing %s: %v", oldPath, err)
+	}
+	runs, _ := rep["runs"].([]any)
+	if len(runs) == 0 {
+		fail("%s has no runs", oldPath)
+	}
+	for _, ra := range runs {
+		r := ra.(map[string]any)
+		best := r["best_seconds"].(float64)
+		delta := 0.20 * best
+		spans, _ := r["spans"].([]any)
+		if len(spans) == 0 {
+			fail("%s run has no spans", oldPath)
+		}
+		root := spans[0].(map[string]any)
+		var graded bool
+		for _, ca := range root["children"].([]any) {
+			c := ca.(map[string]any)
+			if c["name"] == "grade" {
+				c["seconds"] = c["seconds"].(float64) + delta
+				graded = true
+			}
+		}
+		if !graded {
+			fail("%s run has no grade span", oldPath)
+		}
+		root["seconds"] = root["seconds"].(float64) + delta
+		r["best_seconds"] = best + delta
+		r["respondents_per_sec"] = r["n"].(float64) / (best + delta)
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := os.WriteFile(newPath, append(out, '\n'), 0o644); err != nil {
+		fail("%v", err)
+	}
+}
+
+// appendLines tacks raw lines (no trailing newline handling — callers
+// pass exactly what should land in the file) onto a JSONL file.
+func appendLines(path string, lines ...string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	for _, l := range lines {
+		if _, err := f.WriteString(l); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fpstudy-stat-smoke-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	bins := map[string]string{}
+	for _, tool := range []string{"fpgen", "fpbench", "fpstat"} {
+		bin := filepath.Join(tmp, tool)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/"+tool)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fail("building %s: %v", tool, err)
+		}
+		bins[tool] = bin
+	}
+
+	ledger := filepath.Join(tmp, "ledger.jsonl")
+	hist := filepath.Join(tmp, "hist.jsonl")
+	oldRep := filepath.Join(tmp, "old.json")
+	newRep := filepath.Join(tmp, "new.json")
+	forensics := filepath.Join(tmp, "forensics")
+
+	// 1. Real invocations append ledger records.
+	run(0, bins["fpgen"], "-n", "500", "-o", filepath.Join(tmp, "cohort.json"), "-runlog", ledger)
+	run(0, bins["fpbench"], "-n", "199", "-workers", "1", "-reps", "1",
+		"-io=false", "-query=false", "-o", oldRep, "-runlog", ledger)
+	ldata, err := os.ReadFile(ledger)
+	if err != nil {
+		fail("ledger never written: %v", err)
+	}
+	if !strings.Contains(string(ldata), `"dataset_sha256"`) {
+		fail("fpgen ledger record carries no dataset_sha256 golden hash")
+	}
+
+	// 2. Seed the regression; fpstat diff must name the stage.
+	injectGradeSlowdown(oldRep, newRep)
+	diff := run(0, bins["fpstat"], "diff", oldRep, newRep)
+	if !strings.Contains(diff, "top contributor: run/grade") {
+		fail("fpstat diff did not attribute the regression to run/grade:\n%s", diff)
+	}
+
+	// 3. The gate must go red and leave forensics behind.
+	cmp := run(1, bins["fpbench"], "compare",
+		"-forensics", forensics, "-history", hist, "-runlog", ledger, oldRep, newRep)
+	for _, f := range []string{"cpu.pprof", "heap.pprof", "forensics.md"} {
+		if _, err := os.Stat(filepath.Join(forensics, f)); err != nil {
+			fail("compare left no %s: %v\ncompare output:\n%s", f, err, cmp)
+		}
+	}
+	md, err := os.ReadFile(filepath.Join(forensics, "forensics.md"))
+	if err != nil {
+		fail("%v", err)
+	}
+	if !strings.Contains(string(md), "run/grade") {
+		fail("forensics.md does not name run/grade:\n%s", md)
+	}
+
+	// 4. Trend over history+ledger, both ending in a truncated line
+	// (a crashed writer must never take the observatory down). The
+	// history needs >=3 points per series before drift can flag, so
+	// replay the entry compare appended with a wiggle and a collapse.
+	hdata, err := os.ReadFile(hist)
+	if err != nil {
+		fail("compare never appended to history: %v", err)
+	}
+	entry := strings.TrimRight(string(hdata), "\n")
+	wiggle := strings.Replace(entry, `"seed":`, `"gc_count":0,"seed":`, 1) // harmless dup field: same runs, reparsed
+	collapsed := entry
+	var e map[string]any
+	if err := json.Unmarshal([]byte(entry), &e); err != nil {
+		fail("parsing history entry: %v", err)
+	}
+	for _, ra := range e["runs"].([]any) {
+		r := ra.(map[string]any)
+		r["respondents_per_sec"] = r["respondents_per_sec"].(float64) * 0.5
+	}
+	if b, err := json.Marshal(e); err == nil {
+		collapsed = string(b)
+	}
+	appendLines(hist, wiggle+"\n", collapsed+"\n", `{"timestamp":"2026-01-01T`)
+	appendLines(ledger, `{"schema":1,"tool":"fpgen","wall`)
+
+	trend := run(0, bins["fpstat"], "trend", "-history", hist, "-ledger", ledger)
+	for _, want := range []string{
+		"3 entries (1 line(s) skipped)",
+		"3 records (1 line(s) skipped)",
+		"respondents_per_sec",
+		"drifted points:",
+		"nonzero exit: fpbench",
+	} {
+		if !strings.Contains(trend, want) {
+			fail("fpstat trend output missing %q:\n%s", want, trend)
+		}
+	}
+
+	fmt.Println("stat-smoke: PASS: ledger recorded fpgen+fpbench (golden dataset hash present); " +
+		"fpstat diff attributed the seeded 20% slowdown to run/grade; " +
+		"fpbench compare went red leaving cpu.pprof/heap.pprof/forensics.md naming run/grade; " +
+		"fpstat trend rendered drift over truncated history and ledger")
+}
