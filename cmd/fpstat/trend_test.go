@@ -32,7 +32,7 @@ func write(t *testing.T, path, content string) {
 }
 
 // TestTrendMixedSchemaHistory is the tolerance contract: a trajectory
-// spanning schema eras v3-v7 plus junk and a truncated final line
+// spanning schema eras v3-v9 plus junk and a truncated final line
 // renders a report (skip, never crash), and a collapsed run measured
 // on a different host is flagged as drift with a host-variance note.
 func TestTrendMixedSchemaHistory(t *testing.T) {
@@ -47,6 +47,8 @@ func TestTrendMixedSchemaHistory(t *testing.T) {
 			`,"query":[{"n":199,"mode":"mem","name":"grouped_mean","workers":1,"reps":3,"selected":199,"best_seconds":0.0001,"respondents_per_sec":1990000}]`) + "\n" + // v7 era: +query
 		histLine("2026-04-01T00:00:00Z", 5000, 1, "") + "\n" + // collapsed run on a 1-cpu host
 		histLine("2026-05-01T00:00:00Z", 10050, 8, "") + "\n" +
+		histLine("2026-05-15T00:00:00Z", 10020, 8,
+			`,"distrib":[{"n":10000,"procs":4,"workers_per_proc":0,"reps":2,"best_seconds":0.08,"respondents_per_sec":125000}]`) + "\n" + // v9 era: +distrib
 		`{"timestamp":"2026-06-01T` // truncated final line
 	write(t, hist, content)
 
@@ -55,7 +57,7 @@ func TestTrendMixedSchemaHistory(t *testing.T) {
 		t.Fatalf("trendReport: %v", err)
 	}
 	for _, want := range []string{
-		"5 entries (2 line(s) skipped)",
+		"6 entries (2 line(s) skipped)",
 		"n=199/workers=1 respondents_per_sec",
 		"likely host variance",
 		"no ledger at",
@@ -126,6 +128,38 @@ func TestTrendLedger(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("ledger section missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTrendLedgerTopologyAnnotation: a distributed run's wall time is
+// keyed by host AND topology, so when it drifts against the
+// single-process baseline the variance note names the fan-out instead
+// of blaming the code.
+func TestTrendLedgerTopologyAnnotation(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	for i, wall := range []float64{0.5, 0.51, 0.49, 0.5} {
+		rec := runlog.Record{Schema: runlog.Schema, Tool: "fpgen", Timestamp: "2026-08-0" + itoa(i+1) + "T00:00:00Z",
+			Host: runlog.CurrentHost(), WallSeconds: wall}
+		if err := runlog.Append(ledger, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runlog.Append(ledger, runlog.Record{Schema: runlog.Schema, Tool: "fpgen",
+		Timestamp: "2026-08-05T00:00:00Z", Host: runlog.CurrentHost(), WallSeconds: 5,
+		Topology: &runlog.Topology{Procs: 3, WorkersPerProc: 2, WorkerWallSeconds: []float64{1, 1, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := trendReport(filepath.Join(dir, "no-history.jsonl"), ledger, benchcmp.DriftParams{})
+	if err != nil {
+		t.Fatalf("trendReport: %v", err)
+	}
+	if !strings.Contains(out, "distrib=3x2") {
+		t.Errorf("drifted distributed run not annotated with its topology:\n%s", out)
+	}
+	if !strings.Contains(out, "likely host variance") {
+		t.Errorf("topology mismatch not flagged as host variance:\n%s", out)
 	}
 }
 

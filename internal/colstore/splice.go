@@ -1,0 +1,54 @@
+package colstore
+
+import "fmt"
+
+// Splice copies every respondent of src into rows [at, at+src.Len())
+// of d. It is the distributed pipeline's merge step: each worker
+// returns its block-aligned range as a self-contained dataset, and the
+// coordinator splices them back at their global offsets. Because a
+// splice is a pure element-wise copy of code columns, the assembled
+// dataset is bit-identical to one generated in a single process —
+// there is no re-encoding, re-interning, or float arithmetic on the
+// merge path.
+//
+// Splice is deliberately restricted to the shapes generation produces:
+// both datasets must share the same schema and version, use automatic
+// anonymous tokens, and carry no string arena or extras (generated
+// cohorts never intern strings). Distinct target ranges may be spliced
+// concurrently — each call touches only rows [at, at+src.Len()).
+func (d *Dataset) Splice(src *Dataset, at int) error {
+	if src.Schema != d.Schema {
+		return fmt.Errorf("colstore: splice: schema mismatch")
+	}
+	if src.Version != d.Version {
+		return fmt.Errorf("colstore: splice: version %q into %q", src.Version, d.Version)
+	}
+	if at < 0 || at+src.n > d.n {
+		return fmt.Errorf("colstore: splice: range [%d,%d) outside dataset of %d respondents", at, at+src.n, d.n)
+	}
+	if d.tokens != nil || src.tokens != nil {
+		return fmt.Errorf("colstore: splice: only auto-token datasets can be spliced")
+	}
+	if len(src.strtab.strs) != 0 {
+		return fmt.Errorf("colstore: splice: source has %d interned strings", len(src.strtab.strs))
+	}
+	for ci := range src.extras {
+		if len(src.extras[ci]) != 0 {
+			return fmt.Errorf("colstore: splice: source column %d has extras", ci)
+		}
+	}
+	if src.nilResponses != d.nilResponses {
+		return fmt.Errorf("colstore: splice: nil-responses flag mismatch")
+	}
+	for ci := range d.Schema.cols {
+		switch {
+		case d.u8[ci] != nil:
+			copy(d.u8[ci][at:at+src.n], src.u8[ci])
+		case d.code[ci] != nil:
+			copy(d.code[ci][at:at+src.n], src.code[ci])
+		case d.bits[ci] != nil:
+			copy(d.bits[ci][at:at+src.n], src.bits[ci])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package colstore
+
+import (
+	"strings"
+	"testing"
+
+	"fpstudy/internal/survey"
+)
+
+func spliceSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(&survey.Instrument{
+		Title:   "splice-test",
+		Version: "v",
+		Sections: []survey.Section{{
+			ID: "s",
+			Questions: []survey.Question{
+				{ID: "tf", Kind: survey.TrueFalse},
+				{ID: "sc", Kind: survey.SingleChoice, Options: []string{"a", "b"}},
+				{ID: "mc", Kind: survey.MultiChoice, Options: []string{"x", "y"}},
+				{ID: "lk", Kind: survey.Likert, Scale: 5},
+			},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpliceCopiesEveryColumnKind(t *testing.T) {
+	s := spliceSchema(t)
+	dst := s.NewDataset("v", 10)
+	src := s.NewDataset("v", 3)
+	for i := 0; i < 3; i++ {
+		src.SetTF(0, i, TFTrue)
+		src.SetSingle(1, i, src.Schema.Column(1).MustOptionCode("b"))
+		src.SetMultiMask(2, i, 0b11)
+		src.SetLikert(3, i, i+1)
+	}
+	if err := dst.Splice(src, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if dst.u8[0][4+i] != TFTrue || dst.bits[2][4+i] != 0b11 || dst.u8[3][4+i] != uint8(i+1) {
+			t.Fatalf("row %d not spliced", 4+i)
+		}
+		if dst.code[1][4+i] != src.code[1][i] {
+			t.Fatalf("single-choice row %d not spliced", 4+i)
+		}
+	}
+	// Neighbours untouched.
+	if dst.u8[0][3] != 0 || dst.u8[0][7] != 0 {
+		t.Fatal("splice touched rows outside the target range")
+	}
+}
+
+func TestSpliceRejectsUnsafeShapes(t *testing.T) {
+	s := spliceSchema(t)
+	dst := s.NewDataset("v", 10)
+	cases := []struct {
+		name string
+		src  *Dataset
+		at   int
+		want string
+	}{
+		{"schema", spliceSchema(t).NewDataset("v", 2), 0, "schema"},
+		{"version", s.NewDataset("other", 2), 0, "version"},
+		{"overflow", s.NewDataset("v", 4), 8, "outside"},
+		{"negative", s.NewDataset("v", 2), -1, "outside"},
+	}
+	for _, c := range cases {
+		err := dst.Splice(c.src, c.at)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Explicit tokens (non-anonymized cohorts) cannot be spliced.
+	tok := s.NewDataset("v", 2)
+	tok.tokens = []string{"alice", "bob"}
+	if err := dst.Splice(tok, 0); err == nil {
+		t.Error("splice accepted a dataset with explicit tokens")
+	}
+	// Interned strings (free-text answers) cannot be spliced.
+	arena := s.NewDataset("v", 2)
+	arena.strtab.intern("free text")
+	if err := dst.Splice(arena, 0); err == nil {
+		t.Error("splice accepted a dataset with an arena")
+	}
+}

@@ -1,0 +1,391 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/report"
+	"fpstudy/internal/respondent"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Procs is the number of worker processes to spawn (min 1).
+	Procs int
+	// Workers is the in-process worker count each worker process uses
+	// (<= 0 means the child's GOMAXPROCS). When positive it is also
+	// exported as the child's GOMAXPROCS so the in-process pool is not
+	// clamped below the requested fan-out.
+	Workers int
+	// Exe is the worker binary; empty means os.Executable() — the
+	// coordinator re-execs itself.
+	Exe string
+	// Args are extra child arguments (the env var alone selects worker
+	// mode; "-worker" as Args[0] makes worker processes self-describing
+	// in ps output).
+	Args []string
+	// Env entries are appended to the child environment.
+	Env []string
+	// Stderr receives worker stderr; nil means the parent's stderr.
+	Stderr io.Writer
+}
+
+// WorkerError is the structured failure report of a distributed leg:
+// which worker, which leg, and which global respondent range was in
+// flight. A worker crash (exit, kill, truncated frame) surfaces as a
+// WorkerError rather than a hang — pipe EOF/EPIPE ends every pending
+// read and write.
+type WorkerError struct {
+	Index  int    // worker process index
+	Lo, Hi int    // global respondent range the worker was assigned
+	Leg    string // pipeline leg that failed
+	Err    error
+	// ExitStatus is the worker's exit status when it could be
+	// collected, -1 when unknown (e.g. killed after a protocol error).
+	ExitStatus int
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("distrib: worker %d (respondents [%d,%d)) failed during %s leg (exit status %d): %v",
+		e.Index, e.Lo, e.Hi, e.Leg, e.ExitStatus, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// Stats summarizes a run's topology for the run ledger.
+type Stats struct {
+	Procs          int
+	WorkersPerProc int
+	// WorkerWallSeconds is each worker's accumulated self-reported leg
+	// wall time.
+	WorkerWallSeconds []float64
+}
+
+type workerProc struct {
+	index    int
+	cmd      *exec.Cmd
+	in       io.WriteCloser
+	out      *bufio.Reader
+	lo, hi   int // current main-cohort range
+	wall     float64
+	waitOnce sync.Once
+	exit     int
+}
+
+// wait collects the worker's exit status exactly once.
+func (w *workerProc) wait() int {
+	w.waitOnce.Do(func() {
+		err := w.cmd.Wait()
+		w.exit = 0
+		if err != nil {
+			w.exit = -1
+			var ee *exec.ExitError
+			if errors.As(err, &ee) {
+				w.exit = ee.ExitCode()
+			}
+		}
+	})
+	return w.exit
+}
+
+// call does one strict request/response exchange: the request frame,
+// optional binary payload frames, then the response frame and its
+// optional trailing binary frame.
+func (w *workerProc) call(req request, extra ...[]byte) (*response, []byte, error) {
+	if err := writeJSONFrame(w.in, &req); err != nil {
+		return nil, nil, fmt.Errorf("send %s: %w", req.Type, err)
+	}
+	for _, p := range extra {
+		if err := writeFrame(w.in, frameBinary, p); err != nil {
+			return nil, nil, fmt.Errorf("send %s payload: %w", req.Type, err)
+		}
+	}
+	resp, err := readResponse(w.out)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		return nil, nil, errors.New(resp.Err)
+	}
+	var bin []byte
+	if resp.Binary {
+		if bin, err = readFrame(w.out, frameBinary); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.wall += resp.WallSeconds
+	return resp, bin, nil
+}
+
+// Coordinator owns a set of worker processes and runs pipeline legs
+// across them. Legs must be called from one goroutine; within a leg
+// the coordinator fans out to all workers concurrently.
+type Coordinator struct {
+	opt        Options
+	ws         []*workerProc
+	mainRanges []Range
+	mainN      int
+	seed       int64
+}
+
+// Start spawns the worker processes and completes the hello round.
+func Start(opt Options) (*Coordinator, error) {
+	if opt.Procs < 1 {
+		opt.Procs = 1
+	}
+	exe := opt.Exe
+	if exe == "" {
+		var err error
+		if exe, err = os.Executable(); err != nil {
+			return nil, fmt.Errorf("distrib: resolve worker binary: %w", err)
+		}
+	}
+	stderr := opt.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	c := &Coordinator{opt: opt}
+	for i := 0; i < opt.Procs; i++ {
+		cmd := exec.Command(exe, opt.Args...)
+		cmd.Env = append(os.Environ(), EnvWorker+"=1")
+		if opt.Workers > 0 {
+			cmd.Env = append(cmd.Env, fmt.Sprintf("GOMAXPROCS=%d", opt.Workers))
+		}
+		cmd.Env = append(cmd.Env, opt.Env...)
+		cmd.Stderr = stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("distrib: spawn worker %d: %w", i, err)
+		}
+		c.ws = append(c.ws, &workerProc{index: i, cmd: cmd, in: in, out: bufio.NewReaderSize(out, 1<<20)})
+	}
+	err := c.leg(legHello, func(w *workerProc) error {
+		_, _, err := w.call(request{Type: legHello, Proto: Proto, Index: w.index, Workers: opt.Workers})
+		return err
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// leg runs fn against every worker concurrently and waits for all of
+// them. The first failure (lowest worker index) is returned as a
+// WorkerError carrying that worker's range and exit status; the
+// failed worker is killed so a wedged process cannot outlive its
+// error.
+func (c *Coordinator) leg(name string, fn func(w *workerProc) error) error {
+	errs := make([]error, len(c.ws))
+	var wg sync.WaitGroup
+	for _, w := range c.ws {
+		wg.Add(1)
+		go func(w *workerProc) {
+			defer wg.Done()
+			errs[w.index] = fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		w := c.ws[i]
+		w.cmd.Process.Kill()
+		return &WorkerError{Index: i, Lo: w.lo, Hi: w.hi, Leg: name, Err: err, ExitStatus: w.wait()}
+	}
+	return nil
+}
+
+// GenerateMain runs the distributed main-cohort generation: profile
+// draw + ability gather on the workers, calibration once on the
+// coordinator, model broadcast, range sampling on the workers, and a
+// block-aligned splice of the returned FPDS shards. The result is
+// bit-identical to respondent.GenerateMainColumnar(seed, n, ...).
+func (c *Coordinator) GenerateMain(seed int64, n int) (*colstore.Dataset, error) {
+	c.mainRanges = PartitionBlocks(n, len(c.ws))
+	c.mainN = n
+	c.seed = seed
+	coreAbil := make([]float64, n)
+	optAbil := make([]float64, n)
+	err := c.leg(legProfiles, func(w *workerProc) error {
+		r := c.mainRanges[w.index]
+		w.lo, w.hi = r.Lo, r.Hi
+		_, bin, err := w.call(request{Type: legProfiles, Seed: seed, Lo: r.Lo, Hi: r.Hi})
+		if err != nil {
+			return err
+		}
+		return unpackAbilitiesInto(bin, coreAbil[r.Lo:r.Hi], optAbil[r.Lo:r.Hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	models := respondent.CalibrateFromAbilities(c.opt.Workers, coreAbil, optAbil)
+
+	full := quiz.Columns().NewDataset("1.0", n)
+	err = c.leg(legSample, func(w *workerProc) error {
+		r := c.mainRanges[w.index]
+		_, bin, err := w.call(request{Type: legSample, Seed: seed, Models: models})
+		if err != nil {
+			return err
+		}
+		d, err := colstore.DecodeBinary(quiz.Columns(), bytes.NewReader(bin), colstore.IOOptions{})
+		if err != nil {
+			return err
+		}
+		if d.Len() != r.Len() {
+			return fmt.Errorf("worker returned %d respondents, assigned %d", d.Len(), r.Len())
+		}
+		return full.Splice(d, r.Lo)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return full, nil
+}
+
+// GenerateStudents runs the distributed student-cohort generation;
+// bit-identical to respondent.GenerateStudentsColumnar(seed, n, ...).
+func (c *Coordinator) GenerateStudents(seed int64, n int) (*colstore.Dataset, error) {
+	ranges := PartitionBlocks(n, len(c.ws))
+	full := quiz.Columns().NewDataset("1.0-student", n)
+	return full, c.leg(legStudents, func(w *workerProc) error {
+		r := ranges[w.index]
+		_, bin, err := w.call(request{Type: legStudents, Seed: seed, Lo: r.Lo, Hi: r.Hi})
+		if err != nil {
+			return err
+		}
+		d, err := colstore.DecodeBinary(quiz.Columns(), bytes.NewReader(bin), colstore.IOOptions{})
+		if err != nil {
+			return err
+		}
+		if d.Len() != r.Len() {
+			return fmt.Errorf("worker returned %d respondents, assigned %d", d.Len(), r.Len())
+		}
+		return full.Splice(d, r.Lo)
+	})
+}
+
+// Grade scores each worker's retained main range in place and
+// concatenates the per-respondent tallies in range order — identical
+// to quiz.ScoreAllColumns over the merged dataset, because grading is
+// a pure per-respondent function.
+func (c *Coordinator) Grade() (quiz.Grades, error) {
+	n := c.mainN
+	g := quiz.Grades{
+		Core:      make([]quiz.Tally, n),
+		OptScored: make([]quiz.Tally, n),
+		OptAll:    make([]quiz.Tally, n),
+	}
+	return g, c.leg(legGrade, func(w *workerProc) error {
+		r := c.mainRanges[w.index]
+		_, bin, err := w.call(request{Type: legGrade})
+		if err != nil {
+			return err
+		}
+		return unpackGradesInto(bin, g, r.Lo, r.Hi)
+	})
+}
+
+// Figures renders the requested figure tables on the workers
+// (round-robin assignment) from the merged cohorts, which are
+// broadcast once as FPDS frames. Each table is a pure function of the
+// merged columns, so worker-rendered tables are byte-identical to
+// in-process rendering. The returned slice is index-aligned with figs.
+func (c *Coordinator) Figures(main, students *colstore.Dataset, figs []int) ([]report.Table, error) {
+	if len(figs) == 0 {
+		return nil, nil
+	}
+	opt := colstore.IOOptions{Workers: c.opt.Workers}
+	var mb, sb bytes.Buffer
+	if err := main.EncodeBinary(&mb, opt); err != nil {
+		return nil, err
+	}
+	if err := students.EncodeBinary(&sb, opt); err != nil {
+		return nil, err
+	}
+	assign := make([][]int, len(c.ws))
+	slot := make(map[int]int, len(figs))
+	for k, f := range figs {
+		assign[k%len(c.ws)] = append(assign[k%len(c.ws)], f)
+		slot[f] = k
+	}
+	out := make([]report.Table, len(figs))
+	return out, c.leg(legFigures, func(w *workerProc) error {
+		if len(assign[w.index]) == 0 {
+			return nil
+		}
+		resp, _, err := w.call(request{Type: legFigures, Seed: c.seed, Figures: assign[w.index]},
+			mb.Bytes(), sb.Bytes())
+		if err != nil {
+			return err
+		}
+		if len(resp.Tables) != len(assign[w.index]) {
+			return fmt.Errorf("worker returned %d tables, want %d", len(resp.Tables), len(assign[w.index]))
+		}
+		for j, f := range assign[w.index] {
+			out[slot[f]] = resp.Tables[j]
+		}
+		return nil
+	})
+}
+
+// Stats reports the run topology and per-worker wall times.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{Procs: len(c.ws), WorkersPerProc: c.opt.Workers}
+	for _, w := range c.ws {
+		s.WorkerWallSeconds = append(s.WorkerWallSeconds, w.wall)
+	}
+	return s
+}
+
+// Close shuts the workers down by closing their stdin pipes (EOF is
+// the shutdown signal) and collects their exit statuses, killing any
+// worker that does not exit within a grace period. The first nonzero
+// exit becomes the returned error.
+func (c *Coordinator) Close() error {
+	var firstErr error
+	for _, w := range c.ws {
+		if w.in != nil {
+			w.in.Close()
+		}
+	}
+	for _, w := range c.ws {
+		if w.cmd.Process == nil {
+			continue
+		}
+		done := make(chan int, 1)
+		go func(w *workerProc) { done <- w.wait() }(w)
+		var status int
+		select {
+		case status = <-done:
+		case <-time.After(10 * time.Second):
+			w.cmd.Process.Kill()
+			status = <-done
+		}
+		if status != 0 && firstErr == nil {
+			firstErr = fmt.Errorf("distrib: worker %d exited with status %d", w.index, status)
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,256 @@
+package distrib
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/core"
+)
+
+// TestMain lets the test binary serve as its own worker: the
+// coordinator re-execs os.Executable() with EnvWorker set, which
+// WorkerBootstrap intercepts before any test runs.
+func TestMain(m *testing.M) {
+	WorkerBootstrap()
+	os.Exit(m.Run())
+}
+
+func TestPartitionBlocks(t *testing.T) {
+	cases := []struct {
+		n, procs int
+		want     []Range
+	}{
+		{0, 2, []Range{{0, 0}, {0, 0}}},
+		{100, 1, []Range{{0, 100}}},
+		{100, 2, []Range{{0, 100}, {100, 100}}},
+		{20000, 2, []Range{{0, 16384}, {16384, 20000}}},
+		{20000, 4, []Range{{0, 8192}, {8192, 16384}, {16384, 20000}, {20000, 20000}}},
+		{3 * BlockRows, 3, []Range{{0, 8192}, {8192, 16384}, {16384, 24576}}},
+	}
+	for _, c := range cases {
+		got := PartitionBlocks(c.n, c.procs)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("PartitionBlocks(%d, %d) = %v, want %v", c.n, c.procs, got, c.want)
+		}
+		// Ranges must be contiguous, block-aligned, and cover [0, n).
+		lo := 0
+		for _, r := range got {
+			if r.Lo != lo || r.Hi < r.Lo {
+				t.Fatalf("PartitionBlocks(%d, %d): non-contiguous range %v", c.n, c.procs, r)
+			}
+			if r.Lo%BlockRows != 0 && r.Lo != c.n {
+				t.Fatalf("PartitionBlocks(%d, %d): range %v not block-aligned", c.n, c.procs, r)
+			}
+			lo = r.Hi
+		}
+		if lo != c.n {
+			t.Fatalf("PartitionBlocks(%d, %d): covers [0,%d), want [0,%d)", c.n, c.procs, lo, c.n)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("the quick brown fox")
+	if err := writeFrame(&buf, frameBinary, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf, frameBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip = %q, want %q", got, payload)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameJSON, []byte(`{"type":"hello"}`)); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[frameHeaderLen+3] ^= 0x40 // flip a payload bit
+	if _, err := readFrame(bytes.NewReader(b), frameJSON); err == nil {
+		t.Fatal("corrupted frame passed CRC verification")
+	}
+	// A truncated frame must error, not block.
+	if _, err := readFrame(bytes.NewReader(b[:len(b)-2]), frameJSON); err == nil {
+		t.Fatal("truncated frame did not error")
+	}
+	if _, err := readFrame(bytes.NewReader([]byte("XX")), frameJSON); err == nil {
+		t.Fatal("bad magic did not error")
+	}
+}
+
+func sha(b []byte) [32]byte { return sha256.Sum256(b) }
+
+func encodeHash(t *testing.T, d *colstore.Dataset) [32]byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf, colstore.IOOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return sha(buf.Bytes())
+}
+
+// TestGoldenDistributedInvariance is the distributed analogue of the
+// core worker-count golden tests: the merged datasets, grades, and
+// all 22 figures must be byte-identical to the single-process run at
+// every (processes x workers-per-process) topology. n=20000 spans 3
+// FPDS blocks, so multi-process topologies genuinely split the cohort.
+func TestGoldenDistributedInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed golden run in -short mode")
+	}
+	const (
+		seed     = int64(42)
+		nMain    = 20000
+		nStudent = 2000
+	)
+	ref := core.Study{Seed: seed, NMain: nMain, NStudent: nStudent, Workers: 1, ColumnarOnly: true}
+	want := ref.Run()
+	wantMain := encodeHash(t, want.Main.Cols)
+	wantStudents := encodeHash(t, want.StudentCols)
+	var wantFigs [22]string
+	for f := 1; f <= 22; f++ {
+		wantFigs[f-1] = want.Figure(f).String()
+	}
+	allFigs := make([]int, 22)
+	for i := range allFigs {
+		allFigs[i] = i + 1
+	}
+
+	for _, topo := range []struct{ procs, workers int }{{1, 1}, {2, 4}, {4, 2}} {
+		t.Run(fmt.Sprintf("procs=%d_workers=%d", topo.procs, topo.workers), func(t *testing.T) {
+			c, err := Start(Options{Procs: topo.procs, Workers: topo.workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			main, err := c.GenerateMain(seed, nMain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			students, err := c.GenerateStudents(seed+1, nStudent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := encodeHash(t, main); got != wantMain {
+				t.Errorf("main dataset bytes differ from single-process run")
+			}
+			if got := encodeHash(t, students); got != wantStudents {
+				t.Errorf("student dataset bytes differ from single-process run")
+			}
+			g, err := c.Grade()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(g.Core, want.CoreTallies) ||
+				!reflect.DeepEqual(g.OptScored, want.OptTallies) ||
+				!reflect.DeepEqual(g.OptAll, want.OptAllTallies) {
+				t.Errorf("distributed grades differ from single-process run")
+			}
+			tables, err := c.Figures(main, students, allFigs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range allFigs {
+				if got := tables[i].String(); got != wantFigs[f-1] {
+					t.Errorf("figure %d differs from single-process run:\ngot:\n%s\nwant:\n%s", f, got, wantFigs[f-1])
+				}
+			}
+			// Non-vacuity: multi-process topologies must have actually
+			// fanned out — more than one worker held a nonempty range
+			// and reported leg wall time.
+			st := c.Stats()
+			if st.Procs != topo.procs {
+				t.Fatalf("Stats().Procs = %d, want %d", st.Procs, topo.procs)
+			}
+			if topo.procs > 1 {
+				busy := 0
+				for i, r := range PartitionBlocks(nMain, topo.procs) {
+					if r.Len() > 0 && st.WorkerWallSeconds[i] > 0 {
+						busy++
+					}
+				}
+				if busy < 2 {
+					t.Fatalf("only %d worker processes did work; distribution is vacuous", busy)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	}
+}
+
+// TestWorkerFaultMidLeg kills worker 1 via the EnvFault hook the
+// moment it receives the sample request. The coordinator must come
+// back with a structured WorkerError naming the worker, its block
+// range, the leg, and the injected exit status — and must never hang.
+func TestWorkerFaultMidLeg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const n = 20000
+	c, err := Start(Options{Procs: 2, Env: []string{EnvFault + "=" + legSample + ":1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.GenerateMain(7, n)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("coordinator did not return after worker death")
+	}
+	if err == nil {
+		t.Fatal("GenerateMain succeeded despite a dead worker")
+	}
+	var we *WorkerError
+	if !errors.As(err, &we) {
+		t.Fatalf("error is %T (%v), want *WorkerError", err, err)
+	}
+	ranges := PartitionBlocks(n, 2)
+	if we.Index != 1 || we.Leg != legSample {
+		t.Errorf("WorkerError = worker %d leg %s, want worker 1 leg %s", we.Index, we.Leg, legSample)
+	}
+	if we.Lo != ranges[1].Lo || we.Hi != ranges[1].Hi {
+		t.Errorf("WorkerError range [%d,%d), want [%d,%d)", we.Lo, we.Hi, ranges[1].Lo, ranges[1].Hi)
+	}
+	if we.ExitStatus != FaultExitCode {
+		t.Errorf("WorkerError.ExitStatus = %d, want %d", we.ExitStatus, FaultExitCode)
+	}
+}
+
+// TestWorkerErrorAtHello pins the fail-fast path: a protocol version
+// skew must be reported before any generation work happens.
+func TestProtoSkewFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSONFrame(&buf, &request{Type: legHello, Proto: Proto + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if status := WorkerMain(&buf, &out); status != 0 {
+		t.Fatalf("WorkerMain = %d after hello skew, want 0 (error travels in the response)", status)
+	}
+	resp, err := readResponse(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Fatal("worker accepted a mismatched protocol version")
+	}
+}

@@ -1,0 +1,78 @@
+// Package distrib runs the generation/grading/figure pipeline across
+// multiple local worker processes with byte-identical output to the
+// single-process run at any topology.
+//
+// A Coordinator spawns P copies of the current binary in a hidden
+// worker mode (see WorkerBootstrap) and speaks a length-prefixed,
+// CRC-framed request/response protocol over each worker's
+// stdin/stdout pipes. Work is partitioned along the FPDS format's
+// fixed 8192-respondent block boundaries, so every worker's local
+// dataset starts on a shard-block edge and the merged cohort has
+// exactly the blocks (and per-block CRCs) of a single-process run.
+//
+// # Determinism
+//
+// Three properties make the merged output bit-identical at any
+// (processes x workers-per-process) topology:
+//
+//  1. Generation is range-splittable: respondent i's draws depend only
+//     on (seed, stream, global index i) — workers seed every RNG
+//     stream at the global index (respondent.SampleRange's base
+//     offset), so a worker's rows equal the same rows of one process.
+//  2. The one global reduction, question calibration, is not
+//     distributed: workers ship raw per-respondent abilities, the
+//     coordinator assembles the full arrays in range order and runs
+//     the same fixed-shard deterministic sums as a single process,
+//     then broadcasts the models (float64s survive the JSON round
+//     trip exactly).
+//  3. Merging is copying, not arithmetic: datasets are spliced by
+//     element-wise copy at block-aligned offsets, grades are
+//     per-respondent and concatenated in range order, and figures are
+//     rendered by workers from the full merged dataset (a pure
+//     function of its columns). No float is ever re-summed across a
+//     process boundary outside the fixed-shard order.
+package distrib
+
+import "fpstudy/internal/colstore"
+
+// BlockRows is the partitioning unit: the FPDS shard format's fixed
+// respondents-per-block count. Partitioning on block boundaries means
+// every worker's local dataset encodes to whole shard blocks, and the
+// merged dataset's block layout (and per-block CRCs) is identical to
+// a single-process encode.
+const BlockRows = colstore.BlockRespondents
+
+// Range is a half-open global respondent range [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of respondents in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// PartitionBlocks splits an n-respondent cohort across procs workers
+// in contiguous block-aligned ranges: ceil(n/BlockRows) blocks dealt
+// as evenly as possible, earlier workers first. Trailing workers may
+// receive empty ranges when there are fewer blocks than workers.
+func PartitionBlocks(n, procs int) []Range {
+	if procs < 1 {
+		procs = 1
+	}
+	nb := (n + BlockRows - 1) / BlockRows
+	base, rem := nb/procs, nb%procs
+	out := make([]Range, procs)
+	lo := 0
+	for i := range out {
+		b := base
+		if i < rem {
+			b++
+		}
+		hi := lo + b*BlockRows
+		if hi > n {
+			hi = n
+		}
+		out[i] = Range{Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/report"
+	"fpstudy/internal/respondent"
+)
+
+// Proto is the coordinator/worker protocol version, exchanged in the
+// hello leg so a binary skew fails fast instead of mis-parsing.
+const Proto = 1
+
+// Frame layout: 2-byte magic "FD", kind byte, reserved zero byte,
+// big-endian uint32 payload length, payload, big-endian uint32
+// CRC32 (IEEE) of the payload. Control messages are JSON frames;
+// bulk data (FPDS datasets, ability and tally arrays) rides in binary
+// frames so it is never base64'd through JSON.
+const (
+	frameJSON   = 'J'
+	frameBinary = 'B'
+
+	frameHeaderLen  = 8
+	maxFramePayload = 1 << 30
+)
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("distrib: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0], hdr[1] = 'F', 'D'
+	hdr[2] = kind
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var tr [4]byte
+	binary.BigEndian.PutUint32(tr[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(tr[:])
+	return err
+}
+
+// readFrame reads one frame and verifies magic, kind, and CRC. A
+// short read anywhere (worker death mid-frame) surfaces as
+// io.ErrUnexpectedEOF — truncation is an error, never a hang.
+func readFrame(r io.Reader, wantKind byte) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != 'F' || hdr[1] != 'D' {
+		return nil, fmt.Errorf("distrib: bad frame magic %q", hdr[:2])
+	}
+	if hdr[2] != wantKind {
+		return nil, fmt.Errorf("distrib: frame kind %q, want %q", hdr[2], wantKind)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("distrib: frame payload %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("distrib: truncated frame: %w", err)
+	}
+	var tr [4]byte
+	if _, err := io.ReadFull(r, tr[:]); err != nil {
+		return nil, fmt.Errorf("distrib: truncated frame CRC: %w", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(tr[:]); got != want {
+		return nil, fmt.Errorf("distrib: frame CRC mismatch: got %08x, want %08x", got, want)
+	}
+	return payload, nil
+}
+
+// Leg names: each request type is one pipeline leg. The protocol is
+// strict request -> response per worker pipe; bulk payloads follow
+// the JSON frame as binary frames (request: legFigures ships two FPDS
+// frames; response: Binary flags one trailing frame).
+const (
+	legHello    = "hello"
+	legProfiles = "profiles"
+	legSample   = "sample"
+	legStudents = "students"
+	legGrade    = "grade"
+	legFigures  = "figures"
+)
+
+type request struct {
+	Type    string             `json:"type"`
+	Proto   int                `json:"proto,omitempty"`
+	Index   int                `json:"index,omitempty"`
+	Workers int                `json:"workers,omitempty"`
+	Seed    int64              `json:"seed,omitempty"`
+	Lo      int                `json:"lo,omitempty"`
+	Hi      int                `json:"hi,omitempty"`
+	Models  []respondent.Model `json:"models,omitempty"`
+	Figures []int              `json:"figures,omitempty"`
+}
+
+type response struct {
+	Type        string         `json:"type"`
+	Err         string         `json:"err,omitempty"`
+	WallSeconds float64        `json:"wall_seconds,omitempty"`
+	Binary      bool           `json:"binary,omitempty"`
+	Tables      []report.Table `json:"tables,omitempty"`
+}
+
+func writeJSONFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, frameJSON, payload)
+}
+
+func readRequest(r io.Reader) (*request, error) {
+	payload, err := readFrame(r, frameJSON)
+	if err != nil {
+		return nil, err
+	}
+	req := new(request)
+	if err := json.Unmarshal(payload, req); err != nil {
+		return nil, fmt.Errorf("distrib: bad request frame: %w", err)
+	}
+	return req, nil
+}
+
+func readResponse(r io.Reader) (*response, error) {
+	payload, err := readFrame(r, frameJSON)
+	if err != nil {
+		return nil, err
+	}
+	resp := new(response)
+	if err := json.Unmarshal(payload, resp); err != nil {
+		return nil, fmt.Errorf("distrib: bad response frame: %w", err)
+	}
+	return resp, nil
+}
+
+// packAbilities serializes a range's (core, opt) ability arrays as
+// little-endian float64 bit patterns — exact by construction.
+func packAbilities(core, opt []float64) []byte {
+	out := make([]byte, 16*len(core))
+	for i, v := range core {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	off := 8 * len(core)
+	for i, v := range opt {
+		binary.LittleEndian.PutUint64(out[off+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// unpackAbilitiesInto decodes a packAbilities payload into the global
+// arrays' [lo:hi) windows.
+func unpackAbilitiesInto(payload []byte, core, opt []float64) error {
+	if len(payload) != 16*len(core) || len(core) != len(opt) {
+		return fmt.Errorf("distrib: ability payload is %d bytes, want %d", len(payload), 16*len(core))
+	}
+	for i := range core {
+		core[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	off := 8 * len(core)
+	for i := range opt {
+		opt[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off+8*i:]))
+	}
+	return nil
+}
+
+// packGrades serializes per-respondent tallies as three n x 4 byte
+// sections (core, opt-scored, opt-all); every count is at most the
+// question count (~15), far below 256.
+func packGrades(g quiz.Grades) []byte {
+	n := len(g.Core)
+	out := make([]byte, 0, 12*n)
+	for _, sec := range [][]quiz.Tally{g.Core, g.OptScored, g.OptAll} {
+		for _, t := range sec {
+			out = append(out, byte(t.Correct), byte(t.Incorrect), byte(t.DontKnow), byte(t.Unanswered))
+		}
+	}
+	return out
+}
+
+// unpackGradesInto decodes a packGrades payload into rows [lo, hi) of
+// the full-cohort grade slices.
+func unpackGradesInto(payload []byte, g quiz.Grades, lo, hi int) error {
+	n := hi - lo
+	if len(payload) != 12*n {
+		return fmt.Errorf("distrib: grade payload is %d bytes, want %d", len(payload), 12*n)
+	}
+	for s, sec := range [][]quiz.Tally{g.Core[lo:hi], g.OptScored[lo:hi], g.OptAll[lo:hi]} {
+		base := 4 * n * s
+		for i := range sec {
+			p := payload[base+4*i : base+4*i+4]
+			sec[i] = quiz.Tally{
+				Correct:    int(p[0]),
+				Incorrect:  int(p[1]),
+				DontKnow:   int(p[2]),
+				Unanswered: int(p[3]),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package distrib
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/core"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/report"
+	"fpstudy/internal/respondent"
+)
+
+const (
+	// EnvWorker marks a spawned process as a protocol worker; the
+	// coordinator sets it on every child. WorkerBootstrap checks it
+	// before any flag parsing, so worker processes never touch the
+	// host CLI's flags, ledger, or stdout.
+	EnvWorker = "FPSTUDY_DISTRIB_WORKER"
+	// EnvFault is a test hook: "<leg>:<index>" makes worker <index>
+	// exit with FaultExitCode the moment it receives that request
+	// type, simulating a crash mid-leg.
+	EnvFault = "FPSTUDY_DISTRIB_FAULT"
+	// FaultExitCode is the exit status of a fault-injected crash.
+	FaultExitCode = 3
+)
+
+// WorkerBootstrap hijacks the process into worker mode when it was
+// spawned by a Coordinator (EnvWorker set, or an explicit first
+// argument "-worker"). It must be the first statement of every CLI
+// main() that offers -distribute: in worker mode it serves the
+// protocol on stdin/stdout and exits without returning.
+func WorkerBootstrap() {
+	if os.Getenv(EnvWorker) == "1" || (len(os.Args) > 1 && os.Args[1] == "-worker") {
+		os.Exit(WorkerMain(os.Stdin, os.Stdout))
+	}
+}
+
+// workerState is one worker's retained context between legs: its
+// assigned range, drawn profiles, and generated local cohorts, so the
+// sample and grade legs never re-derive what an earlier leg produced.
+type workerState struct {
+	index    int
+	workers  int
+	lo, hi   int
+	profiles []respondent.Profile
+	main     *colstore.Dataset
+	fault    string
+}
+
+func (st *workerState) maybeFault(leg string) {
+	if st.fault != "" && st.fault == fmt.Sprintf("%s:%d", leg, st.index) {
+		os.Exit(FaultExitCode)
+	}
+}
+
+// WorkerMain serves the worker side of the protocol: a strict
+// request/response loop until EOF on r (the coordinator closing the
+// pipe is the shutdown signal). Returns the process exit status.
+func WorkerMain(r io.Reader, w io.Writer) int {
+	br := bufio.NewReaderSize(r, 1<<20)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	st := &workerState{fault: os.Getenv(EnvFault)}
+	for {
+		req, err := readRequest(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "distrib worker %d: read: %v\n", st.index, err)
+			return 1
+		}
+		st.maybeFault(req.Type)
+		t0 := time.Now()
+		bin, tables, herr := st.handle(req, br)
+		resp := response{Type: req.Type, WallSeconds: time.Since(t0).Seconds(), Tables: tables}
+		if herr != nil {
+			resp.Err = herr.Error()
+			bin = nil
+		}
+		resp.Binary = bin != nil
+		err = writeJSONFrame(bw, &resp)
+		if err == nil && bin != nil {
+			err = writeFrame(bw, frameBinary, bin)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "distrib worker %d: write: %v\n", st.index, err)
+			return 1
+		}
+	}
+}
+
+// handle runs one leg. A returned non-nil []byte becomes a trailing
+// binary frame; tables travel in the JSON response.
+func (st *workerState) handle(req *request, br *bufio.Reader) ([]byte, []report.Table, error) {
+	switch req.Type {
+	case legHello:
+		if req.Proto != Proto {
+			return nil, nil, fmt.Errorf("protocol version %d, worker speaks %d", req.Proto, Proto)
+		}
+		st.index = req.Index
+		st.workers = req.Workers
+		return nil, nil, nil
+
+	case legProfiles:
+		st.lo, st.hi = req.Lo, req.Hi
+		st.profiles = respondent.DrawProfilesRange(req.Seed, req.Lo, req.Hi, st.workers)
+		coreAbil, optAbil := respondent.ProfileAbilities(st.profiles)
+		return packAbilities(coreAbil, optAbil), nil, nil
+
+	case legSample:
+		if st.profiles == nil && st.hi > st.lo {
+			return nil, nil, fmt.Errorf("sample before profiles")
+		}
+		st.main = respondent.SampleRange(req.Seed, st.lo, st.profiles, req.Models, st.workers)
+		return encodeDataset(st.main, st.workers)
+
+	case legStudents:
+		d := respondent.SampleStudentsRange(req.Seed, req.Lo, req.Hi, st.workers)
+		return encodeDataset(d, st.workers)
+
+	case legGrade:
+		if st.main == nil {
+			return nil, nil, fmt.Errorf("grade before sample")
+		}
+		g := quiz.ScoreAllColumns(st.main, st.workers)
+		return packGrades(g), nil, nil
+
+	case legFigures:
+		mainBytes, err := readFrame(br, frameBinary)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figures main payload: %w", err)
+		}
+		studentBytes, err := readFrame(br, frameBinary)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figures student payload: %w", err)
+		}
+		opt := colstore.IOOptions{Workers: st.workers}
+		main, err := colstore.DecodeBinary(quiz.Columns(), bytes.NewReader(mainBytes), opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figures main decode: %w", err)
+		}
+		students, err := colstore.DecodeBinary(quiz.Columns(), bytes.NewReader(studentBytes), opt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figures student decode: %w", err)
+		}
+		study := core.Study{Seed: req.Seed, Workers: st.workers, ColumnarOnly: true}
+		res, err := study.ResultsFromColumns(main, students)
+		if err != nil {
+			return nil, nil, err
+		}
+		tables := make([]report.Table, 0, len(req.Figures))
+		for _, f := range req.Figures {
+			tables = append(tables, res.Figure(f))
+		}
+		return nil, tables, nil
+	}
+	return nil, nil, fmt.Errorf("unknown request type %q", req.Type)
+}
+
+// encodeDataset serializes a local dataset as FPDS bytes — the same
+// CRC-framed shard format files use, so every worker-to-coordinator
+// dataset transfer is covered by per-block CRCs end to end.
+func encodeDataset(d *colstore.Dataset, workers int) ([]byte, []report.Table, error) {
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf, colstore.IOOptions{Workers: workers}); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), nil, nil
+}

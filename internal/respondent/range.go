@@ -1,0 +1,153 @@
+package respondent
+
+// Range-splittable generation: the exported slices of the pipeline
+// that internal/distrib dispatches to worker processes. Generation is
+// embarrassingly range-parallel by construction — respondent i's draws
+// depend only on (seed, stream, global index i), never on neighbours —
+// so a worker can produce respondents [lo, hi) into a local dataset
+// whose columns are bit-identical to rows [lo, hi) of the
+// single-process run. The one global reduction, question calibration,
+// is split into an ability gather (DrawProfilesRange +
+// ProfileAbilities on each worker) and a single coordinator-side
+// CalibrateFromAbilities whose result is broadcast back.
+
+import (
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/paperdata"
+	"fpstudy/internal/parallel"
+	"fpstudy/internal/quiz"
+)
+
+// Model is the wire form of a calibrated question model: everything a
+// worker needs to sample answers for one question column. It is
+// serialized as JSON between coordinator and workers; all fields are
+// either exact under JSON round-trip (strings, bool) or float64s,
+// which encoding/json emits in shortest-round-trip form, so a decoded
+// Model is bit-identical to the encoded one.
+type Model struct {
+	ID         string   `json:"id"`
+	PUn        float64  `json:"p_un"`
+	PDK        float64  `json:"p_dk"`
+	Offset     float64  `json:"offset"`
+	Correct    string   `json:"correct"`
+	ChoiceSet  []string `json:"choice_set,omitempty"`
+	AbilityOpt bool     `json:"ability_opt,omitempty"`
+}
+
+func exportModels(qms []questionModel) []Model {
+	out := make([]Model, len(qms))
+	for i, qm := range qms {
+		out[i] = Model{
+			ID:         qm.id,
+			PUn:        qm.pUn,
+			PDK:        qm.pDK,
+			Offset:     qm.offset,
+			Correct:    qm.correct,
+			ChoiceSet:  qm.choiceSet,
+			AbilityOpt: qm.abilityOpt,
+		}
+	}
+	return out
+}
+
+func importModels(ms []Model) []questionModel {
+	out := make([]questionModel, len(ms))
+	for i, m := range ms {
+		out[i] = questionModel{
+			id:         m.ID,
+			pUn:        m.PUn,
+			pDK:        m.PDK,
+			offset:     m.Offset,
+			correct:    m.Correct,
+			choiceSet:  m.ChoiceSet,
+			abilityOpt: m.AbilityOpt,
+		}
+	}
+	return out
+}
+
+// DrawProfilesRange draws profiles for global respondents [lo, hi) of
+// a seed-n cohort. The returned slice has hi-lo entries; entry j is
+// bit-identical to profiles[lo+j] of the single-process draw because
+// each profile is drawn from an RNG repositioned at its global index.
+func DrawProfilesRange(seed int64, lo, hi, workers int) []Profile {
+	n := hi - lo
+	workers = parallel.Workers(workers, n)
+	profiles := make([]Profile, n)
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			blo, bhi := parallel.ShardBounds(s, n)
+			for j := blo; j < bhi; j++ {
+				rng.SeedAt(seed, streamProfile, int64(lo+j))
+				profiles[j] = drawProfileWith(rng, nil)
+			}
+		})
+	return profiles
+}
+
+// ProfileAbilities extracts the core and optimization ability arrays
+// from a profile slice — the per-respondent inputs to calibration.
+func ProfileAbilities(ps []Profile) (core, opt []float64) {
+	return abilitiesOf(ps, false), abilitiesOf(ps, true)
+}
+
+// CalibrateFromAbilities runs question calibration over the full
+// cohort's ability arrays and returns the models in wire form. This is
+// the coordinator's half of the split calibration: abilities gathered
+// from every worker (in range order, so coreAbil[i] belongs to global
+// respondent i) produce exactly the arrays the single-process path
+// builds, and the bisection over them is deterministic, so the
+// resulting offsets are bit-identical.
+func CalibrateFromAbilities(workers int, coreAbil, optAbil []float64) []Model {
+	return exportModels(calibrateFromAbilities(workers, coreAbil, optAbil, Instrumentation{}))
+}
+
+// SampleRange samples quiz and suspicion answers for global
+// respondents [base, base+len(profiles)) into a fresh local dataset
+// using the broadcast models. Row j of the result is bit-identical to
+// row base+j of the single-process dataset: the background stores are
+// pure functions of the profile, and every response stream is seeded
+// at the respondent's global index via the sampler's base offset.
+func SampleRange(seed int64, base int, profiles []Profile, models []Model, workers int) *colstore.Dataset {
+	n := len(profiles)
+	workers = parallel.Workers(workers, n)
+	d := quiz.Columns().NewDataset("1.0", n)
+	cs := newColSampler(d, importModels(models), paperdata.Figure22Main)
+	cs.base = base
+	coreAbil, optAbil := ProfileAbilities(profiles)
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			blo, bhi := parallel.ShardBounds(s, n)
+			cs.sampleBlock(rng, seed, blo, bhi, profiles, coreAbil, optAbil)
+		})
+	return d
+}
+
+// SampleStudentsRange generates global student respondents [lo, hi)
+// into a fresh local dataset; row j is bit-identical to row lo+j of
+// GenerateStudentsColumnar's output for the same seed and cohort size.
+func SampleStudentsRange(seed int64, lo, hi, workers int) *colstore.Dataset {
+	n := hi - lo
+	workers = parallel.Workers(workers, n)
+	d := quiz.Columns().NewDataset("1.0-student", n)
+	var suspCI []int
+	var suspCum [][5]float64
+	for _, it := range quiz.SuspicionItems() {
+		suspCI = append(suspCI, d.Schema.MustColumnIndex(it.ID))
+	}
+	for _, dist := range paperdata.Figure22Student {
+		suspCum = append(suspCum, cumulative(dist.Percent))
+	}
+	parallel.ForEachWith(workers, parallel.NumShards(n), parallel.NewXRand,
+		func(rng *parallel.XRand, s int) {
+			blo, bhi := parallel.ShardBounds(s, n)
+			for k, ci := range suspCI {
+				cum := &suspCum[k]
+				for j := blo; j < bhi; j++ {
+					rng.SeedAt(seed, streamStudent, int64(lo+j)<<subStreamBits|int64(k))
+					d.SetLikert(ci, j, drawLikert(rng, cum))
+				}
+			}
+		})
+	return d
+}

@@ -1,0 +1,101 @@
+package respondent_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fpstudy/internal/colstore"
+	"fpstudy/internal/distrib"
+	"fpstudy/internal/quiz"
+	"fpstudy/internal/respondent"
+)
+
+func encodeBytes(t *testing.T, d *colstore.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf, colstore.IOOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRangeGenerationMatchesFull pins the in-process half of the
+// distributed determinism contract without spawning any processes:
+// block-aligned ranges generated independently (profiles -> gathered
+// abilities -> one calibration -> per-range sampling) and spliced
+// back together must encode to exactly the bytes of the one-shot
+// generation.
+func TestRangeGenerationMatchesFull(t *testing.T) {
+	const (
+		seed = int64(42)
+		n    = 10000
+	)
+	full := respondent.GenerateMainColumnar(seed, n, 2, nil, respondent.Instrumentation{})
+	want := encodeBytes(t, full.Cols)
+
+	ranges := distrib.PartitionBlocks(n, 3) // 8192 + 1808 + empty
+	coreAbil := make([]float64, n)
+	optAbil := make([]float64, n)
+	profs := make([][]respondent.Profile, len(ranges))
+	for i, r := range ranges {
+		profs[i] = respondent.DrawProfilesRange(seed, r.Lo, r.Hi, 2)
+		c, o := respondent.ProfileAbilities(profs[i])
+		copy(coreAbil[r.Lo:r.Hi], c)
+		copy(optAbil[r.Lo:r.Hi], o)
+	}
+	models := respondent.CalibrateFromAbilities(2, coreAbil, optAbil)
+
+	merged := quiz.Columns().NewDataset("1.0", n)
+	for i, r := range ranges {
+		part := respondent.SampleRange(seed, r.Lo, profs[i], models, 2)
+		if part.Len() != r.Len() {
+			t.Fatalf("range %v produced %d respondents", r, part.Len())
+		}
+		if err := merged.Splice(part, r.Lo); err != nil {
+			t.Fatalf("splice %v: %v", r, err)
+		}
+	}
+	if got := encodeBytes(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("spliced range generation differs from one-shot generation")
+	}
+}
+
+// TestStudentRangeMatchesFull is the student-cohort analogue.
+func TestStudentRangeMatchesFull(t *testing.T) {
+	const (
+		seed = int64(43)
+		n    = 9000
+	)
+	full := respondent.GenerateStudentsColumnar(seed, n, 2, respondent.Instrumentation{})
+	want := encodeBytes(t, full)
+
+	merged := quiz.Columns().NewDataset("1.0-student", n)
+	for _, r := range distrib.PartitionBlocks(n, 2) {
+		part := respondent.SampleStudentsRange(seed, r.Lo, r.Hi, 2)
+		if err := merged.Splice(part, r.Lo); err != nil {
+			t.Fatalf("splice %v: %v", r, err)
+		}
+	}
+	if got := encodeBytes(t, merged); !bytes.Equal(got, want) {
+		t.Fatal("spliced student ranges differ from one-shot generation")
+	}
+}
+
+// TestCalibrateFromAbilitiesMatchesModels pins the split-calibration
+// equivalence at a second cohort size (shard-boundary coverage).
+func TestCalibrateFromAbilitiesMatchesModels(t *testing.T) {
+	const (
+		seed = int64(7)
+		n    = 4500
+	)
+	full := respondent.GenerateMainColumnar(seed, n, 1, nil, respondent.Instrumentation{})
+	want := encodeBytes(t, full.Cols)
+
+	profs := respondent.DrawProfilesRange(seed, 0, n, 1)
+	coreAbil, optAbil := respondent.ProfileAbilities(profs)
+	models := respondent.CalibrateFromAbilities(1, coreAbil, optAbil)
+	got := encodeBytes(t, respondent.SampleRange(seed, 0, profs, models, 1))
+	if !bytes.Equal(got, want) {
+		t.Fatal("single-range regeneration differs from GenerateMainColumnar")
+	}
+}

@@ -1,0 +1,126 @@
+//go:build ignore
+
+// Distributed-pipeline smoke test: the end-to-end bit-reproducibility
+// contract of -distribute with real binaries. Generates an n=30000
+// cohort (spanning four FPDS blocks) single-process and with
+// `fpgen -distribute=3`, requiring the .fpds files to be byte-equal —
+// same for the student cohort — then runs `fpreport -all` both ways
+// and requires stdout and exit codes to match byte for byte. Finally
+// checks the run ledger recorded the distributed topology.
+//
+// Run via `make dist-smoke` (or `go run scripts/dist_smoke.go` from
+// the repo root). Exits 0 and prints PASS on success.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dist-smoke: FAIL: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// run executes the binary, captures stdout, and returns it with the
+// exit code. Claims legitimately FAIL at non-paper cohort sizes
+// (fpreport exits 1 then); the smoke test asserts the distributed and
+// single-process runs agree, including on that verdict.
+func run(bin string, args ...string) ([]byte, int) {
+	cmd := exec.Command(bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			fail("running %s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return out.Bytes(), code
+}
+
+func mustRead(path string) []byte {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	return data
+}
+
+func main() {
+	tmp, err := os.MkdirTemp("", "fpstudy-dist-smoke-")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	fpgen := filepath.Join(tmp, "fpgen")
+	fpreport := filepath.Join(tmp, "fpreport")
+	for _, b := range []struct{ bin, pkg string }{{fpgen, "./cmd/fpgen"}, {fpreport, "./cmd/fpreport"}} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			fail("building %s: %v", b.pkg, err)
+		}
+	}
+
+	// n=30000 spans four FPDS blocks, so -distribute=3 genuinely fans
+	// the cohort out across all three worker processes.
+	const n, nStudents = "30000", "3000"
+	single := filepath.Join(tmp, "single.fpds")
+	dist := filepath.Join(tmp, "dist.fpds")
+	if _, code := run(fpgen, "-n", n, "-seed", "42", "-o", single); code != 0 {
+		fail("single-process fpgen exited %d", code)
+	}
+	ledger := filepath.Join(tmp, "ledger.jsonl")
+	if _, code := run(fpgen, "-n", n, "-seed", "42", "-distribute", "3", "-runlog", ledger, "-o", dist); code != 0 {
+		fail("fpgen -distribute=3 exited %d", code)
+	}
+	if !bytes.Equal(mustRead(single), mustRead(dist)) {
+		fail("fpgen -distribute=3 .fpds differs from the single-process shard")
+	}
+
+	singleStu := filepath.Join(tmp, "single-students.fpds")
+	distStu := filepath.Join(tmp, "dist-students.fpds")
+	if _, code := run(fpgen, "-students", "-n", nStudents, "-seed", "43", "-o", singleStu); code != 0 {
+		fail("single-process student fpgen exited %d", code)
+	}
+	if _, code := run(fpgen, "-students", "-n", nStudents, "-seed", "43", "-distribute", "3", "-o", distStu); code != 0 {
+		fail("student fpgen -distribute=3 exited %d", code)
+	}
+	if !bytes.Equal(mustRead(singleStu), mustRead(distStu)) {
+		fail("student fpgen -distribute=3 .fpds differs from the single-process shard")
+	}
+
+	// Full report — generation, grading, all 22 figures, claims — must
+	// agree byte for byte, including the claims verdict (exit code).
+	want, wantCode := run(fpreport, "-all", "-n", n, "-nstudents", nStudents, "-seed", "42")
+	if len(want) == 0 {
+		fail("single-process fpreport produced no output")
+	}
+	got, code := run(fpreport, "-all", "-n", n, "-nstudents", nStudents, "-seed", "42", "-distribute", "3")
+	if code != wantCode {
+		fail("fpreport -distribute=3 exited %d, single-process run exited %d", code, wantCode)
+	}
+	if !bytes.Equal(got, want) {
+		fail("fpreport -distribute=3 output differs from the single-process run (%d vs %d bytes)", len(got), len(want))
+	}
+
+	// The distributed fpgen run above logged to the ledger; its record
+	// must carry the topology.
+	ledgerData := mustRead(ledger)
+	if !bytes.Contains(ledgerData, []byte(`"topology"`)) || !bytes.Contains(ledgerData, []byte(`"procs":3`)) {
+		fail("run ledger does not record the distributed topology: %s", ledgerData)
+	}
+
+	st, _ := os.Stat(dist)
+	fmt.Printf("dist-smoke: PASS: n=%s dataset (%.1f MB), students, and the full report are byte-identical at -distribute=3 (%d bytes of report, exit %d)\n",
+		n, float64(st.Size())/(1<<20), len(want), wantCode)
+}
